@@ -1,0 +1,127 @@
+// Ablations over the design choices DESIGN.md calls out. Three studies:
+//
+//  A. Swap-shaper hold timeout vs sample pacing — quantifies the measured-
+//     rate bias when probe "politeness" traffic (handshake completions,
+//     FIN exchanges) lands inside the shaper's hold window, and shows the
+//     unbiased regime (pacing > hold).
+//
+//  B. Single-connection send-order variant x remote delayed-ACK policy —
+//     the paper's §III-B trade-off as a matrix: which combinations yield
+//     usable samples, which collapse into ambiguity.
+//
+//  C. Striped-link occupancy model (exponential vs uniform backlog) and
+//     lane count — how the Fig. 7 decay shape depends on the cross-traffic
+//     model (exponential: memoryless tail; uniform: hard cutoff).
+#include <cstdio>
+
+#include "bench_common.hpp"
+
+namespace {
+
+using namespace reorder;
+using namespace reorder::bench;
+using util::Duration;
+
+void study_a() {
+  std::printf("A. swap-shaper hold vs sample pacing (SYN test, true p = 0.15)\n");
+  std::printf("%-14s %-14s %10s %10s\n", "hold (ms)", "pacing (ms)", "measured", "bias");
+  for (const int hold_ms : {10, 50}) {
+    for (const int pacing_ms : {5, 20, 60, 120}) {
+      core::TestbedConfig cfg;
+      cfg.seed = 3100 + static_cast<std::uint64_t>(hold_ms * 10 + pacing_ms);
+      cfg.forward.swap_probability = 0.15;
+      cfg.forward.swap_max_hold = Duration::millis(hold_ms);
+      core::Testbed bed{cfg};
+      core::SynTest test{bed.probe(), bed.remote_addr(), core::kDiscardPort};
+      core::TestRunConfig run;
+      run.samples = 2000;  // +-1.6% at 2 sigma; the bias signal is ~2.3%
+      run.sample_spacing = Duration::millis(pacing_ms);
+      const auto result = bed.run_sync(test, run, 3000);
+      std::printf("%-14d %-14d %10.3f %+10.3f\n", hold_ms, pacing_ms, result.forward.rate(),
+                  result.forward.rate() - 0.15);
+    }
+  }
+  std::printf("  -> pacing inside the hold window biases the estimate low (close-traffic\n"
+              "     packets occupy the shaper's hold slot when the next sample's probes\n"
+              "     arrive); pacing beyond it is unbiased to within sampling noise.\n\n");
+}
+
+void study_b() {
+  std::printf("B. single-connection variant x remote hole-fill ACK policy\n");
+  std::printf("   (clean path, 60 samples: usable / ambiguous / reordered)\n");
+  std::printf("%-22s %-18s %8s %10s %10s\n", "variant", "hole-fill ACK", "usable", "ambiguous",
+              "reordered");
+  for (const bool reversed : {false, true}) {
+    for (const bool immediate : {false, true}) {
+      core::TestbedConfig cfg;
+      cfg.seed = 3200 + static_cast<std::uint64_t>(reversed * 2 + immediate);
+      cfg.remote = core::default_remote_config();
+      cfg.remote.behavior.immediate_ack_on_hole_fill = immediate;
+      core::Testbed bed{cfg};
+      core::SingleConnectionOptions opts;
+      opts.reversed_order = reversed;
+      core::SingleConnectionTest test{bed.probe(), bed.remote_addr(), core::kDiscardPort, opts};
+      core::TestRunConfig run;
+      run.samples = 60;
+      const auto result = bed.run_sync(test, run, 3000);
+      std::printf("%-22s %-18s %8d %10d %10d\n", reversed ? "reversed (paper)" : "in-order",
+                  immediate ? "immediate (5681)" : "delayed", result.forward.usable(),
+                  result.forward.ambiguous, result.forward.reordered);
+    }
+  }
+  std::printf("  -> the in-order variant is unusable against delayed-hole-fill stacks\n"
+              "     (every sample coalesces into a lone final ACK, paper §III-B);\n"
+              "     the reversed variant is usable everywhere.\n\n");
+}
+
+double striped_rate(sim::BacklogModel model, std::size_t lanes, int gap_us, std::uint64_t seed) {
+  core::TestbedConfig cfg;
+  cfg.seed = seed;
+  auto striped = sim::StripedLinkConfig{};
+  striped.backlog_model = model;
+  striped.lanes = lanes;
+  cfg.forward.striped = striped;
+  cfg.forward.ingress_link.bandwidth_bps = 1'000'000'000;
+  cfg.forward.egress_link.bandwidth_bps = 1'000'000'000;
+  core::Testbed bed{cfg};
+  core::DualConnectionTest test{bed.probe(), bed.remote_addr(), core::kDiscardPort};
+  core::TestRunConfig run;
+  run.samples = 600;
+  run.inter_packet_gap = Duration::micros(gap_us);
+  run.sample_spacing = Duration::millis(2);
+  const auto result = bed.run_sync(test, run, 3000);
+  return result.forward.rate();
+}
+
+void study_c() {
+  std::printf("C. striped-link occupancy model and lane count (rate vs gap)\n");
+  std::printf("%-26s %8s %8s %8s %8s\n", "model/lanes", "0us", "25us", "50us", "100us");
+  struct Variant {
+    const char* label;
+    sim::BacklogModel model;
+    std::size_t lanes;
+  };
+  for (const Variant v : {Variant{"exponential, 2 lanes", sim::BacklogModel::kExponential, 2},
+                          Variant{"uniform,     2 lanes", sim::BacklogModel::kUniform, 2},
+                          Variant{"exponential, 4 lanes", sim::BacklogModel::kExponential, 4}}) {
+    std::printf("%-26s", v.label);
+    for (const int gap : {0, 25, 50, 100}) {
+      std::printf(" %8.4f", striped_rate(v.model, v.lanes, gap,
+                                         3300 + static_cast<std::uint64_t>(v.lanes * 7 + gap)));
+    }
+    std::printf("\n");
+  }
+  std::printf("  -> the exponential model decays smoothly (Fig. 7's shape); the uniform\n"
+              "     model cuts off hard near 2x its mean backlog (~50 us); more lanes\n"
+              "     change the rate only marginally (overtaking is pairwise).\n");
+}
+
+}  // namespace
+
+int main() {
+  heading("Ablations over simulator design choices", "DESIGN.md §5 (no direct paper analogue)");
+  study_a();
+  study_b();
+  study_c();
+  return 0;
+}

@@ -1,0 +1,86 @@
+// Shared helpers for the experiment-reproduction binaries. Each binary
+// regenerates one table or figure from the paper's evaluation (§IV); they
+// all run with no arguments and print to stdout.
+#pragma once
+
+#include <cstdio>
+#include <memory>
+#include <string>
+
+#include "core/data_transfer_test.hpp"
+#include "core/dual_connection_test.hpp"
+#include "core/single_connection_test.hpp"
+#include "core/syn_test.hpp"
+#include "core/testbed.hpp"
+#include "trace/analyzer.hpp"
+
+namespace reorder::bench {
+
+inline void heading(const std::string& title, const std::string& paper_ref) {
+  std::printf("\n=== %s ===\n", title.c_str());
+  std::printf("(reproduces %s of Bellardo & Savage, \"Measuring Packet Reordering\", IMC 2002)\n\n",
+              paper_ref.c_str());
+}
+
+/// Builds one of the three two-way tests by name ("single", "dual", "syn").
+inline std::unique_ptr<core::ReorderTest> make_test(const std::string& name, core::Testbed& bed,
+                                                    std::uint16_t port = core::kDiscardPort) {
+  if (name == "single") {
+    return std::make_unique<core::SingleConnectionTest>(bed.probe(), bed.remote_addr(), port);
+  }
+  if (name == "dual") {
+    return std::make_unique<core::DualConnectionTest>(bed.probe(), bed.remote_addr(), port);
+  }
+  if (name == "syn") {
+    return std::make_unique<core::SynTest>(bed.probe(), bed.remote_addr(), port);
+  }
+  return std::make_unique<core::DataTransferTest>(bed.probe(), bed.remote_addr(), core::kHttpPort);
+}
+
+/// Ground-truth comparison for one run (the §IV-A methodology): counts
+/// reorder events the test reported vs what the traces show, plus
+/// per-sample disagreements.
+struct TruthComparison {
+  int reported_fwd{0};
+  int actual_fwd{0};
+  int reported_rev{0};
+  int actual_rev{0};
+  int fwd_mismatches{0};
+  int rev_mismatches{0};
+  int verified_samples{0};
+};
+
+inline TruthComparison compare_to_truth(const core::TestRunResult& result, core::Testbed& bed) {
+  TruthComparison c;
+  for (const auto& s : result.samples) {
+    using core::Ordering;
+    if (s.forward == Ordering::kInOrder || s.forward == Ordering::kReordered) {
+      const auto truth = trace::pair_ground_truth(bed.remote_ingress_trace(), s.fwd_uid_first,
+                                                  s.fwd_uid_second);
+      if (truth != trace::PairGroundTruth::kIncomplete) {
+        const bool said = s.forward == Ordering::kReordered;
+        const bool was = truth == trace::PairGroundTruth::kReordered;
+        c.reported_fwd += said ? 1 : 0;
+        c.actual_fwd += was ? 1 : 0;
+        c.fwd_mismatches += said != was ? 1 : 0;
+        ++c.verified_samples;
+      }
+    }
+    if ((s.reverse == Ordering::kInOrder || s.reverse == Ordering::kReordered) &&
+        s.rev_uid_first != 0 && s.rev_uid_second != 0) {
+      const auto truth = trace::pair_ground_truth(bed.remote_egress_trace(), s.rev_uid_first,
+                                                  s.rev_uid_second);
+      if (truth != trace::PairGroundTruth::kIncomplete) {
+        const bool said = s.reverse == Ordering::kReordered;
+        const bool was = truth == trace::PairGroundTruth::kReordered;
+        c.reported_rev += said ? 1 : 0;
+        c.actual_rev += was ? 1 : 0;
+        c.rev_mismatches += said != was ? 1 : 0;
+        ++c.verified_samples;
+      }
+    }
+  }
+  return c;
+}
+
+}  // namespace reorder::bench

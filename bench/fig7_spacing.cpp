@@ -1,0 +1,81 @@
+// Reproduces Figure 7: reordering probability along one path as a function
+// of the spacing between two minimum-sized packets, measured with the
+// dual-connection test.
+//
+// The paper's mechanism (§IV-C): routers stripe packets across parallel
+// L2 links; queues drain at a constant rate, so a trailing packet can only
+// overtake if the lanes' backlog difference exceeds the inter-packet gap.
+// Their path showed >10% reordering back-to-back, <2% after 50 us of
+// added spacing, and ~0 past 250 us. The StripedLink stage reproduces the
+// mechanism; the sweep below reproduces the measurement at the paper's
+// resolution: 1000 samples per point, 1 us steps below 200 us, 20 us
+// steps beyond (paper caption). Printing is decimated to every 4th fine
+// point to keep the table readable; every point enters the profile.
+#include <cstdio>
+
+#include "bench_common.hpp"
+#include "core/metrics.hpp"
+
+namespace {
+
+using namespace reorder;
+using namespace reorder::bench;
+using util::Duration;
+
+constexpr int kSamplesPerPoint = 1000;  // paper caption: 1000 samples/point
+constexpr int kFineStepUs = 1;          // paper: 1 us increments below 200 us
+constexpr int kCoarseStepUs = 20;       // paper: 20 us increments thereafter
+constexpr int kFineLimitUs = 200;
+constexpr int kMaxGapUs = 400;
+constexpr int kPrintEveryUs = 4;
+
+}  // namespace
+
+int main() {
+  heading("Reordering probability vs inter-packet spacing", "Figure 7");
+
+  core::TestbedConfig cfg;
+  cfg.seed = 707;
+  // Forward path: per-packet striping across two lanes (the §IV-C culprit).
+  cfg.forward.striped = sim::StripedLinkConfig{};
+  // Keep the enclosing links fast so their serialization does not mask the
+  // striped segment's time constant.
+  cfg.forward.ingress_link.bandwidth_bps = 1'000'000'000;
+  cfg.forward.egress_link.bandwidth_bps = 1'000'000'000;
+  core::Testbed bed{cfg};
+
+  core::DualConnectionTest test{bed.probe(), bed.remote_addr(), core::kDiscardPort};
+  core::TimeDomainProfile profile;
+
+  std::printf("%-10s %8s %10s %8s\n", "gap(us)", "samples", "reordered", "rate");
+  std::printf("----------------------------------------\n");
+  for (int gap_us = 0; gap_us <= kMaxGapUs;
+       gap_us += (gap_us < kFineLimitUs ? kFineStepUs : kCoarseStepUs)) {
+    core::TestRunConfig run;
+    run.samples = kSamplesPerPoint;
+    run.inter_packet_gap = Duration::micros(gap_us);
+    run.sample_spacing = Duration::millis(2);
+    const auto result = bed.run_sync(test, run, /*deadline_s=*/3000);
+    if (!result.admissible) {
+      std::printf("inadmissible: %s\n", result.note.c_str());
+      return 1;
+    }
+    for (const auto& s : result.samples) profile.add(s.gap, s.forward);
+    if (gap_us % kPrintEveryUs == 0) {
+      std::printf("%-10d %8d %10d %8.4f\n", gap_us, result.forward.usable(),
+                  result.forward.reordered, result.forward.rate());
+    }
+  }
+
+  const double r0 = profile.interpolate_rate(Duration::micros(0)).value_or(0.0);
+  const double r50 = profile.interpolate_rate(Duration::micros(50)).value_or(0.0);
+  const double r250 = profile.interpolate_rate(Duration::micros(250)).value_or(0.0);
+  std::printf("\nback-to-back rate: %.3f   (paper: >10%%)\n", r0);
+  std::printf("rate at 50us:      %.3f   (paper: <2%%)\n", r50);
+  std::printf("rate at 250us:     %.3f   (paper: ~0)\n", r250);
+  std::printf("\nprediction use (§IV-C): a 1500-byte data packet at 100 Mbps adds ~120 us of\n"
+              "leading-edge spacing; interpolated reordering rate there: %.4f — full-sized\n"
+              "transfers see far less reordering than minimum-sized probes.\n",
+              profile.interpolate_rate(Duration::micros(120)).value_or(0.0));
+  return 0;
+}

@@ -1,0 +1,158 @@
+// Library microbenchmarks (engineering, not from the paper): codec and
+// checksum throughput, event-loop scheduling, endpoint segment processing,
+// the reordering stages, and a full end-to-end measurement sample.
+#include <benchmark/benchmark.h>
+
+#include "core/single_connection_test.hpp"
+#include "core/testbed.hpp"
+#include "netsim/event_loop.hpp"
+#include "netsim/swap_shaper.hpp"
+#include "stats/students_t.hpp"
+#include "tcpip/tcp_endpoint.hpp"
+#include "trace/analyzer.hpp"
+#include "util/checksum.hpp"
+
+namespace {
+
+using namespace reorder;
+
+void BM_InternetChecksum(benchmark::State& state) {
+  std::vector<std::uint8_t> data(static_cast<std::size_t>(state.range(0)));
+  for (std::size_t i = 0; i < data.size(); ++i) data[i] = static_cast<std::uint8_t>(i);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(util::internet_checksum(data));
+  }
+  state.SetBytesProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_InternetChecksum)->Arg(40)->Arg(576)->Arg(1500);
+
+void BM_PacketSerialize(benchmark::State& state) {
+  tcpip::Packet pkt;
+  pkt.ip.src = tcpip::Ipv4Address::from_octets(10, 0, 0, 1);
+  pkt.ip.dst = tcpip::Ipv4Address::from_octets(10, 0, 0, 2);
+  pkt.tcp.src_port = 40000;
+  pkt.tcp.dst_port = 80;
+  pkt.tcp.flags = tcpip::kAck | tcpip::kPsh;
+  pkt.payload.assign(static_cast<std::size_t>(state.range(0)), 0xab);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(pkt.to_wire());
+  }
+}
+BENCHMARK(BM_PacketSerialize)->Arg(0)->Arg(512)->Arg(1460);
+
+void BM_PacketRoundTrip(benchmark::State& state) {
+  tcpip::Packet pkt;
+  pkt.ip.src = tcpip::Ipv4Address::from_octets(10, 0, 0, 1);
+  pkt.ip.dst = tcpip::Ipv4Address::from_octets(10, 0, 0, 2);
+  pkt.tcp.mss = 1460;
+  pkt.tcp.flags = tcpip::kSyn;
+  const auto wire = pkt.to_wire();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(tcpip::Packet::from_wire(wire));
+  }
+}
+BENCHMARK(BM_PacketRoundTrip);
+
+void BM_EventLoopScheduleRun(benchmark::State& state) {
+  for (auto _ : state) {
+    sim::EventLoop loop;
+    for (int i = 0; i < state.range(0); ++i) {
+      loop.schedule(util::Duration::micros(i % 97), [] {});
+    }
+    loop.run();
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_EventLoopScheduleRun)->Arg(1000)->Arg(10000);
+
+void BM_EndpointInOrderSegments(benchmark::State& state) {
+  sim::EventLoop loop;
+  tcpip::TcpBehavior behavior;
+  behavior.delayed_ack = tcpip::DelayedAckPolicy::kNone;
+  const tcpip::ConnKey key{80, tcpip::Ipv4Address::from_octets(10, 0, 0, 1), 40000};
+  tcpip::TcpEndpoint ep{loop, behavior, key, 1000,
+                        [](tcpip::TcpHeader, std::vector<std::uint8_t>) {}};
+  tcpip::Packet syn;
+  syn.ip.src = key.remote_addr;
+  syn.tcp.src_port = 40000;
+  syn.tcp.dst_port = 80;
+  syn.tcp.flags = tcpip::kSyn;
+  syn.tcp.seq = 5000;
+  ep.on_segment(syn);
+  tcpip::Packet ack = syn;
+  ack.tcp.flags = tcpip::kAck;
+  ack.tcp.seq = 5001;
+  ack.tcp.ack = 1001;
+  ep.on_segment(ack);
+
+  tcpip::Packet data = ack;
+  data.tcp.flags = tcpip::kAck | tcpip::kPsh;
+  data.payload.assign(512, 0x11);
+  std::uint32_t seq = 5001;
+  for (auto _ : state) {
+    data.tcp.seq = seq;
+    seq += 512;
+    ep.on_segment(data);
+  }
+  state.SetBytesProcessed(state.iterations() * 512);
+}
+BENCHMARK(BM_EndpointInOrderSegments);
+
+void BM_SwapShaperStream(benchmark::State& state) {
+  sim::EventLoop loop;
+  sim::SwapShaper shaper{loop, sim::SwapShaperConfig{0.1, util::Duration::millis(5)},
+                         util::Rng{1}};
+  std::uint64_t sink_count = 0;
+  shaper.connect([&](tcpip::Packet) { ++sink_count; });
+  tcpip::Packet pkt;
+  for (auto _ : state) {
+    shaper.accept(pkt);
+    if ((state.iterations() & 0xff) == 0) loop.run();
+  }
+  loop.run();
+  benchmark::DoNotOptimize(sink_count);
+}
+BENCHMARK(BM_SwapShaperStream);
+
+void BM_CountInversions(benchmark::State& state) {
+  std::vector<std::uint32_t> arrival(static_cast<std::size_t>(state.range(0)));
+  util::Rng rng{3};
+  for (std::size_t i = 0; i < arrival.size(); ++i) arrival[i] = static_cast<std::uint32_t>(i);
+  for (std::size_t i = arrival.size(); i > 1; --i) {
+    std::swap(arrival[i - 1], arrival[rng.below(i)]);
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(trace::count_inversions(arrival));
+  }
+}
+BENCHMARK(BM_CountInversions)->Arg(16)->Arg(100);
+
+void BM_StudentTCritical(benchmark::State& state) {
+  double df = 2.0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(stats::student_t_critical(0.999, df));
+    df = df < 200.0 ? df + 1.0 : 2.0;
+  }
+}
+BENCHMARK(BM_StudentTCritical);
+
+void BM_FullMeasurementSample(benchmark::State& state) {
+  // One complete single-connection measurement (connect + N samples +
+  // close) per iteration batch; reports time per sample.
+  for (auto _ : state) {
+    core::TestbedConfig cfg;
+    cfg.seed = 42;
+    cfg.forward.swap_probability = 0.1;
+    core::Testbed bed{cfg};
+    core::SingleConnectionTest test{bed.probe(), bed.remote_addr(), core::kDiscardPort};
+    core::TestRunConfig run;
+    run.samples = 20;
+    benchmark::DoNotOptimize(bed.run_sync(test, run));
+  }
+  state.SetItemsProcessed(state.iterations() * 20);
+}
+BENCHMARK(BM_FullMeasurementSample)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,128 @@
+// Reproduces the §IV-B cross-test consistency analysis.
+//
+// For each host the paper interleaves all four tests for 20 days, then
+// runs a paired-difference test (Jain) on each pair of per-measurement
+// rate series at a 99.9% confidence interval; the null hypothesis is that
+// the tests measure the same process. Reported: single vs SYN agree on
+// 78% of forward and 93% of reverse paths; the data-transfer test matches
+// SYN/dual (90%) but differs from single-connection, and under heavy
+// reordering reports *less than half* the reordering of the others
+// because its full-sized packets ride further apart in time.
+//
+// The host population here mixes stationary swap-shaper paths (where all
+// tests agree) with striped time-dependent paths (where the data-transfer
+// test's larger packets legitimately see less reordering).
+#include <cstdio>
+#include <map>
+
+#include "bench_common.hpp"
+#include "core/measurement_session.hpp"
+
+namespace {
+
+using namespace reorder;
+using namespace reorder::bench;
+using util::Duration;
+
+constexpr int kHosts = 12;
+constexpr int kRounds = 10;
+constexpr int kSamples = 25;
+
+struct PairScore {
+  int supported{0};
+  int total{0};
+  double pct() const { return total ? 100.0 * supported / total : 0.0; }
+};
+
+}  // namespace
+
+int main() {
+  heading("Pair-difference consistency between tests", "the §IV-B paired analysis");
+
+  util::Rng rng{8181};
+  std::map<std::pair<std::string, std::string>, PairScore> fwd_scores;
+  std::map<std::pair<std::string, std::string>, PairScore> rev_scores;
+  stats::RunningStats dt_ratio;  // data-transfer rate / syn rate on striped paths
+
+  const std::vector<std::string> tests{"single", "dual", "syn", "data-transfer"};
+
+  for (int host = 0; host < kHosts; ++host) {
+    const bool striped_path = host % 2 == 1;
+    core::TestbedConfig cfg;
+    cfg.seed = 8200 + static_cast<std::uint64_t>(host);
+    cfg.remote = core::default_remote_config(/*object_size=*/26 * 512);
+    cfg.remote.behavior.immediate_ack_on_hole_fill = true;
+    if (striped_path) {
+      // Time-dependent reordering on the reverse path: affects every
+      // test's reply stream, but the data transfer's large segments are
+      // spaced further apart and dodge most of it (§IV-C).
+      auto striped = sim::StripedLinkConfig{};
+      striped.contention_probability = 0.35;  // a heavily reordering path
+      cfg.reverse.striped = striped;
+      cfg.forward.swap_probability = rng.uniform(0.01, 0.05);
+    } else {
+      cfg.forward.swap_probability = rng.uniform(0.02, 0.2);
+      cfg.reverse.swap_probability = rng.uniform(0.01, 0.1);
+    }
+    core::Testbed bed{cfg};
+
+    core::MeasurementSession session{bed.loop()};
+    std::vector<std::unique_ptr<core::ReorderTest>> suite;
+    for (const auto& t : tests) suite.push_back(make_test(t, bed));
+    session.add_target("host", std::move(suite));
+
+    core::TestRunConfig run;
+    run.samples = kSamples;
+    session.run(run, kRounds, Duration::seconds(1));
+
+    const std::map<std::string, std::string> name_of{{"single", "single-connection"},
+                                                     {"dual", "dual-connection"},
+                                                     {"syn", "syn"},
+                                                     {"data-transfer", "data-transfer"}};
+    for (std::size_t a = 0; a < tests.size(); ++a) {
+      for (std::size_t b = a + 1; b < tests.size(); ++b) {
+        for (const bool forward : {true, false}) {
+          if (forward && (tests[a] == "data-transfer" || tests[b] == "data-transfer")) continue;
+          const auto sa = session.rate_series("host", name_of.at(tests[a]), forward);
+          const auto sb = session.rate_series("host", name_of.at(tests[b]), forward);
+          const std::size_t n = std::min(sa.size(), sb.size());
+          if (n < 2) continue;
+          auto ta = sa;
+          auto tb = sb;
+          ta.resize(n);
+          tb.resize(n);
+          const auto r = stats::pair_difference_test(ta, tb, 0.999);
+          auto& score = (forward ? fwd_scores : rev_scores)[{tests[a], tests[b]}];
+          score.total += 1;
+          score.supported += r.null_supported ? 1 : 0;
+        }
+      }
+    }
+    if (striped_path) {
+      const auto dt = session.aggregate("host", "data-transfer", false);
+      const auto syn = session.aggregate("host", "syn", false);
+      if (syn.rate() > 0) dt_ratio.add(dt.rate() / syn.rate());
+    }
+  }
+
+  std::printf("%-28s %14s %14s\n", "test pair", "fwd null-ok %", "rev null-ok %");
+  std::printf("-----------------------------------------------------------\n");
+  for (const auto& [key, score] : rev_scores) {
+    const auto fit = fwd_scores.find(key);
+    char fwd_buf[16];
+    if (fit != fwd_scores.end() && fit->second.total > 0) {
+      std::snprintf(fwd_buf, sizeof fwd_buf, "%.0f", fit->second.pct());
+    } else {
+      std::snprintf(fwd_buf, sizeof fwd_buf, "-");
+    }
+    std::printf("%-13s vs %-12s %14s %14.0f\n", key.first.c_str(), key.second.c_str(), fwd_buf,
+                score.pct());
+  }
+
+  std::printf("\npaper anchors: single-vs-syn 78%% fwd / 93%% rev; data-transfer matches\n");
+  std::printf("syn & dual on ~90%% of hosts but diverges on heavily reordering paths.\n");
+  std::printf("\ndata-transfer / syn reverse-rate ratio on striped (heavy) paths: %.2f\n",
+              dt_ratio.mean());
+  std::printf("(paper: \"sometimes less than half as many reordering events\")\n");
+  return 0;
+}

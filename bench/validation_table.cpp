@@ -1,0 +1,116 @@
+// Reproduces the controlled validation of §IV-A.
+//
+// The paper routes all traffic through a FreeBSD router whose dummynet was
+// modified to swap adjacent packets with a configured probability; forward
+// and reverse means take every combination of {1,3,5,10,15,40}% (the TCP
+// data-transfer test varies only the reverse rate), 100 samples per test,
+// and each test's reported reorder counts are checked against packet
+// traces: 114 tests, 8 forward / 2 reverse discrepancies, 99.99% of
+// samples confirmed correct.
+//
+// Here the swap shaper plays dummynet's role and the trace taps play
+// tcpdump's. Expect 114 rows and (in a deterministic simulator without the
+// paper's implementation corner cases) zero or near-zero discrepancies.
+#include <cstdio>
+#include <vector>
+
+#include "bench_common.hpp"
+
+namespace {
+
+using namespace reorder;
+using namespace reorder::bench;
+
+constexpr double kRates[] = {0.01, 0.03, 0.05, 0.10, 0.15, 0.40};
+constexpr int kSamplesPerTest = 100;
+
+struct Row {
+  std::string test;
+  double fwd_p;
+  double rev_p;
+  TruthComparison cmp;
+  bool admissible;
+};
+
+Row run_case(const std::string& test_name, double fwd_p, double rev_p, std::uint64_t seed) {
+  core::TestbedConfig cfg;
+  cfg.seed = seed;
+  cfg.forward.swap_probability = fwd_p;
+  cfg.reverse.swap_probability = rev_p;
+  cfg.remote = core::default_remote_config(/*object_size=*/51 * 512);  // >= 100 pairs
+  // The paper's remote stacks acknowledge hole fills promptly (BSD-style
+  // "ack now when the reassembly queue drains"); model that here so the
+  // single-connection reverse path is exercised.
+  cfg.remote.behavior.immediate_ack_on_hole_fill = true;
+  core::Testbed bed{cfg};
+
+  auto test = make_test(test_name, bed);
+  core::TestRunConfig run;
+  run.samples = kSamplesPerTest;
+  const auto result = bed.run_sync(*test, run, /*deadline_s=*/3000);
+
+  Row row;
+  row.test = test_name;
+  row.fwd_p = fwd_p;
+  row.rev_p = rev_p;
+  row.admissible = result.admissible;
+  if (result.admissible) row.cmp = compare_to_truth(result, bed);
+  return row;
+}
+
+}  // namespace
+
+int main() {
+  heading("Controlled validation", "the §IV-A experiment (114 dummynet configurations)");
+  std::printf("%-14s %5s %5s | %8s %8s %5s | %8s %8s %5s\n", "test", "fwd%", "rev%", "rep.fwd",
+              "act.fwd", "diff", "rep.rev", "act.rev", "diff");
+  std::printf("%.*s\n", 86,
+              "--------------------------------------------------------------------------------"
+              "--------");
+
+  int tests_run = 0;
+  int fwd_discrepant_tests = 0;
+  int rev_discrepant_tests = 0;
+  long total_samples = 0;
+  long mismatched_samples = 0;
+  std::uint64_t seed = 90'000;
+
+  const std::vector<std::string> two_way{"single", "dual", "syn"};
+  for (const auto& test : two_way) {
+    for (const double fwd : kRates) {
+      for (const double rev : kRates) {
+        const Row row = run_case(test, fwd, rev, ++seed);
+        ++tests_run;
+        const int fwd_diff = row.cmp.reported_fwd - row.cmp.actual_fwd;
+        const int rev_diff = row.cmp.reported_rev - row.cmp.actual_rev;
+        if (fwd_diff != 0 || row.cmp.fwd_mismatches != 0) ++fwd_discrepant_tests;
+        if (rev_diff != 0 || row.cmp.rev_mismatches != 0) ++rev_discrepant_tests;
+        total_samples += 2L * kSamplesPerTest;
+        mismatched_samples += row.cmp.fwd_mismatches + row.cmp.rev_mismatches;
+        std::printf("%-14s %5.0f %5.0f | %8d %8d %5d | %8d %8d %5d\n", row.test.c_str(),
+                    fwd * 100, rev * 100, row.cmp.reported_fwd, row.cmp.actual_fwd, fwd_diff,
+                    row.cmp.reported_rev, row.cmp.actual_rev, rev_diff);
+      }
+    }
+  }
+  // The TCP data-transfer test measures only the reverse path.
+  for (const double rev : kRates) {
+    const Row row = run_case("data-transfer", 0.0, rev, ++seed);
+    ++tests_run;
+    const int rev_diff = row.cmp.reported_rev - row.cmp.actual_rev;
+    if (rev_diff != 0 || row.cmp.rev_mismatches != 0) ++rev_discrepant_tests;
+    total_samples += row.cmp.verified_samples;
+    mismatched_samples += row.cmp.rev_mismatches;
+    std::printf("%-14s %5s %5.0f | %8s %8s %5s | %8d %8d %5d\n", "data-transfer", "-", rev * 100,
+                "-", "-", "-", row.cmp.reported_rev, row.cmp.actual_rev, rev_diff);
+  }
+
+  std::printf("\nSummary\n");
+  std::printf("  tests run:                 %d   (paper: 114)\n", tests_run);
+  std::printf("  forward discrepant tests:  %d   (paper: 8)\n", fwd_discrepant_tests);
+  std::printf("  reverse discrepant tests:  %d   (paper: 2)\n", rev_discrepant_tests);
+  const double confirmed =
+      100.0 * (1.0 - static_cast<double>(mismatched_samples) / static_cast<double>(total_samples));
+  std::printf("  samples confirmed correct: %.3f%% (paper: 99.99%%)\n", confirmed);
+  return 0;
+}

@@ -1,0 +1,79 @@
+// loadbalancer_demo: the §III-C/§III-D story in one run.
+//
+// A consumer site puts four backends behind a transparent per-flow load
+// balancer. The dual-connection test's two connections usually hash to
+// different backends with unrelated IPID counters — the validator must
+// refuse to produce (spurious) measurements. The SYN test's two probe
+// packets share one four-tuple, always land on the same backend, and keep
+// working.
+//
+//   $ loadbalancer_demo [--backends=4] [--fwd-swap=0.15]
+#include <cstdio>
+
+#include "core/dual_connection_test.hpp"
+#include "core/syn_test.hpp"
+#include "core/testbed.hpp"
+#include "util/flags.hpp"
+
+int main(int argc, char** argv) {
+  using namespace reorder;
+
+  std::int64_t backends = 4;
+  double fwd_swap = 0.15;
+  std::int64_t seed = 35;
+  util::Flags flags{"loadbalancer_demo", "dual vs SYN test behind a load balancer"};
+  flags.add_i64("backends", &backends, "backends behind the balancer");
+  flags.add_double("fwd-swap", &fwd_swap, "forward swap probability");
+  flags.add_i64("seed", &seed, "simulation seed");
+  if (!flags.parse(argc, argv)) return 1;
+
+  core::TestbedConfig cfg;
+  cfg.seed = static_cast<std::uint64_t>(seed);
+  cfg.backends = static_cast<std::size_t>(backends);
+  cfg.forward.swap_probability = fwd_swap;
+  core::Testbed bed{cfg};
+
+  std::printf("site %s: %lld backends behind a per-flow load balancer\n",
+              bed.remote_addr().to_string().c_str(), static_cast<long long>(backends));
+  std::printf("true forward swap probability: %.3f\n\n", fwd_swap);
+
+  // 1. The dual-connection test validates IPIDs before trusting them.
+  core::DualConnectionTest dual{bed.probe(), bed.remote_addr(), core::kDiscardPort};
+  core::TestRunConfig run;
+  run.samples = 200;
+  // Pace samples beyond the shaper's hold window so each pair sees the
+  // undisturbed swap probability.
+  run.sample_spacing = util::Duration::millis(120);
+  const auto dual_result = bed.run_sync(dual, run);
+  std::printf("[dual-connection]\n");
+  if (dual_result.admissible) {
+    std::printf("  both connections hashed to one backend (it happens!) — rate %.3f\n",
+                dual_result.forward.rate());
+  } else {
+    std::printf("  ruled out: %s\n", dual_result.note.c_str());
+    const auto& v = dual.last_validation();
+    std::printf("  validator detail: within-connection increments %.0f%%, "
+                "between-connection %.0f%%\n",
+                100 * v.within_increase_fraction, 100 * v.between_increase_fraction);
+    std::printf("  (per-connection counters look healthy; across connections they are\n"
+                "   unrelated — the Fig. 3 signature)\n");
+  }
+
+  // 2. The SYN test is immune by construction.
+  core::SynTest syn{bed.probe(), bed.remote_addr(), core::kDiscardPort};
+  const auto syn_result = bed.run_sync(syn, run);
+  std::printf("\n[syn]\n");
+  std::printf("  forward rate: %.3f (true %.3f) from %d usable samples\n",
+              syn_result.forward.rate(), fwd_swap, syn_result.forward.usable());
+  std::printf("  reverse rate: %.3f\n", syn_result.reverse.rate());
+
+  // 3. Show the balancer's flow counts so the mechanism is visible.
+  if (auto* lb = bed.balancer()) {
+    std::printf("\nbalancer flow distribution:\n");
+    for (std::size_t i = 0; i < lb->backend_count(); ++i) {
+      std::printf("  backend %zu: %llu packets\n", i,
+                  static_cast<unsigned long long>(lb->forwarded_to(i)));
+    }
+  }
+  return 0;
+}

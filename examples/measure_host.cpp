@@ -1,0 +1,155 @@
+// measure_host: run any subset of the paper's four techniques against a
+// configurable simulated host, mirroring how the real tool would be
+// pointed at an arbitrary TCP server. Exposes the host knobs that matter
+// to the techniques (IPID policy, second-SYN behaviour, delayed-ACK
+// handling, load balancing) and the path knobs (swap rates, loss).
+//
+//   $ measure_host --tests=single,dual,syn,data --ipid=random
+//       --second-syn=ignore --backends=4 --fwd-swap=0.05 --rev-swap=0.02
+//       --loss=0.01 --pcap=/tmp/run.pcap
+#include <cstdio>
+#include <sstream>
+
+#include "core/data_transfer_test.hpp"
+#include "core/dual_connection_test.hpp"
+#include "core/single_connection_test.hpp"
+#include "core/syn_test.hpp"
+#include "core/testbed.hpp"
+#include "trace/pcap_writer.hpp"
+#include "util/flags.hpp"
+
+namespace {
+
+using namespace reorder;
+
+tcpip::IpidPolicy parse_ipid(const std::string& s) {
+  if (s == "global") return tcpip::IpidPolicy::kGlobalCounter;
+  if (s == "per-dest") return tcpip::IpidPolicy::kPerDestination;
+  if (s == "random") return tcpip::IpidPolicy::kRandom;
+  if (s == "zero") return tcpip::IpidPolicy::kConstantZero;
+  if (s == "random-inc") return tcpip::IpidPolicy::kRandomIncrement;
+  std::fprintf(stderr, "unknown --ipid '%s' (global|per-dest|random|zero|random-inc)\n",
+               s.c_str());
+  std::exit(1);
+}
+
+tcpip::SecondSynBehavior parse_second_syn(const std::string& s) {
+  if (s == "spec") return tcpip::SecondSynBehavior::kSpecCompliant;
+  if (s == "rst") return tcpip::SecondSynBehavior::kAlwaysRst;
+  if (s == "dual-rst") return tcpip::SecondSynBehavior::kDualRst;
+  if (s == "ignore") return tcpip::SecondSynBehavior::kIgnore;
+  std::fprintf(stderr, "unknown --second-syn '%s' (spec|rst|dual-rst|ignore)\n", s.c_str());
+  std::exit(1);
+}
+
+void print_result(const core::TestRunResult& result) {
+  std::printf("\n[%s]\n", result.test_name.c_str());
+  if (!result.admissible) {
+    std::printf("  not admissible on this host: %s\n", result.note.c_str());
+    return;
+  }
+  const auto show = [](const char* dir, const core::ReorderEstimate& e) {
+    if (e.total() == 0) return;
+    std::printf("  %-8s rate=%.4f  (in-order=%d reordered=%d ambiguous=%d lost=%d)\n", dir,
+                e.rate(), e.in_order, e.reordered, e.ambiguous, e.lost);
+  };
+  show("forward", result.forward);
+  show("reverse", result.reverse);
+  if (!result.note.empty()) std::printf("  note: %s\n", result.note.c_str());
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string tests = "single,dual,syn,data";
+  std::string ipid = "global";
+  std::string second_syn = "rst";
+  std::string pcap_path;
+  double fwd_swap = 0.05;
+  double rev_swap = 0.02;
+  double loss = 0.0;
+  std::int64_t backends = 1;
+  std::int64_t samples = 50;
+  std::int64_t seed = 7;
+  bool ack_hole_fill = false;
+
+  util::Flags flags{"measure_host", "run reordering tests against a configurable host"};
+  flags.add_string("tests", &tests, "comma list: single,single-inorder,dual,syn,data");
+  flags.add_string("ipid", &ipid, "host IPID policy (global|per-dest|random|zero|random-inc)");
+  flags.add_string("second-syn", &second_syn, "second-SYN behaviour (spec|rst|dual-rst|ignore)");
+  flags.add_string("pcap", &pcap_path, "write the remote-ingress trace to this pcap file");
+  flags.add_double("fwd-swap", &fwd_swap, "forward-path swap probability");
+  flags.add_double("rev-swap", &rev_swap, "reverse-path swap probability");
+  flags.add_double("loss", &loss, "loss probability (both directions)");
+  flags.add_i64("backends", &backends, "hosts behind the load balancer (1 = none)");
+  flags.add_i64("samples", &samples, "samples per test");
+  flags.add_i64("seed", &seed, "simulation seed");
+  flags.add_bool("ack-hole-fill", &ack_hole_fill, "host ACKs hole-filling segments immediately");
+  if (!flags.parse(argc, argv)) return 1;
+
+  core::TestbedConfig cfg;
+  cfg.seed = static_cast<std::uint64_t>(seed);
+  cfg.backends = static_cast<std::size_t>(backends);
+  cfg.forward.swap_probability = fwd_swap;
+  cfg.reverse.swap_probability = rev_swap;
+  cfg.forward.loss_probability = loss;
+  cfg.reverse.loss_probability = loss;
+  cfg.remote = core::default_remote_config();
+  cfg.remote.ipid_policy = parse_ipid(ipid);
+  cfg.remote.behavior.second_syn = parse_second_syn(second_syn);
+  cfg.remote.behavior.immediate_ack_on_hole_fill = ack_hole_fill;
+  core::Testbed bed{cfg};
+
+  std::printf("host %s: ipid=%s second-syn=%s backends=%lld\n",
+              bed.remote_addr().to_string().c_str(), ipid.c_str(), second_syn.c_str(),
+              static_cast<long long>(backends));
+  std::printf("path: fwd-swap=%.3f rev-swap=%.3f loss=%.3f\n", fwd_swap, rev_swap, loss);
+
+  core::TestRunConfig run;
+  run.samples = static_cast<int>(samples);
+
+  std::stringstream list{tests};
+  std::string name;
+  while (std::getline(list, name, ',')) {
+    std::unique_ptr<core::ReorderTest> test;
+    if (name == "single") {
+      test = std::make_unique<core::SingleConnectionTest>(bed.probe(), bed.remote_addr(),
+                                                          core::kDiscardPort);
+    } else if (name == "single-inorder") {
+      core::SingleConnectionOptions opts;
+      opts.reversed_order = false;
+      test = std::make_unique<core::SingleConnectionTest>(bed.probe(), bed.remote_addr(),
+                                                          core::kDiscardPort, opts);
+    } else if (name == "dual") {
+      auto dual = std::make_unique<core::DualConnectionTest>(bed.probe(), bed.remote_addr(),
+                                                             core::kDiscardPort);
+      auto* raw = dual.get();
+      const auto result = bed.run_sync(*dual, run);
+      print_result(result);
+      const auto& v = raw->last_validation();
+      std::printf("  ipid validation: %s (between+=%.2f within+=%.2f domination=%.2f)\n",
+                  to_string(v.verdict).c_str(), v.between_increase_fraction,
+                  v.within_increase_fraction, v.domination_fraction);
+      continue;
+    } else if (name == "syn") {
+      test = std::make_unique<core::SynTest>(bed.probe(), bed.remote_addr(), core::kDiscardPort);
+    } else if (name == "data") {
+      test = std::make_unique<core::DataTransferTest>(bed.probe(), bed.remote_addr(),
+                                                      core::kHttpPort);
+    } else {
+      std::fprintf(stderr, "unknown test '%s'\n", name.c_str());
+      return 1;
+    }
+    print_result(bed.run_sync(*test, run));
+  }
+
+  if (!pcap_path.empty()) {
+    if (trace::write_pcap_file(pcap_path, bed.remote_ingress_trace())) {
+      std::printf("\nwrote %zu captured packets to %s\n", bed.remote_ingress_trace().size(),
+                  pcap_path.c_str());
+    } else {
+      std::fprintf(stderr, "failed to write %s\n", pcap_path.c_str());
+    }
+  }
+  return 0;
+}

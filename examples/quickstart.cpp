@@ -1,0 +1,60 @@
+// Quickstart: measure one-way reordering to a (simulated) TCP server.
+//
+// Builds the canonical testbed — a probe host and a remote server joined
+// by an emulated path that swaps 10% of adjacent packet pairs in the
+// forward direction — then runs the paper's single-connection test and
+// prints per-direction verdict counts and rates.
+//
+//   $ quickstart [--swap-prob=0.1] [--samples=50] [--seed=1]
+#include <cstdio>
+
+#include "core/single_connection_test.hpp"
+#include "core/testbed.hpp"
+#include "util/flags.hpp"
+
+int main(int argc, char** argv) {
+  using namespace reorder;
+
+  double swap_prob = 0.10;
+  std::int64_t samples = 50;
+  std::int64_t seed = 1;
+  util::Flags flags{"quickstart", "first packet-reordering measurement"};
+  flags.add_double("swap-prob", &swap_prob, "forward-path adjacent swap probability");
+  flags.add_i64("samples", &samples, "measurement samples to take");
+  flags.add_i64("seed", &seed, "simulation seed");
+  if (!flags.parse(argc, argv)) return 1;
+
+  // 1. Build the world: probe <-> path <-> server.
+  core::TestbedConfig cfg;
+  cfg.seed = static_cast<std::uint64_t>(seed);
+  cfg.forward.swap_probability = swap_prob;
+  core::Testbed bed{cfg};
+
+  // 2. Point a measurement technique at the server's discard port.
+  core::SingleConnectionTest test{bed.probe(), bed.remote_addr(), core::kDiscardPort};
+
+  // 3. Run it.
+  core::TestRunConfig run;
+  run.samples = static_cast<int>(samples);
+  const core::TestRunResult result = bed.run_sync(test, run);
+  if (!result.admissible) {
+    std::printf("measurement failed: %s\n", result.note.c_str());
+    return 1;
+  }
+
+  // 4. Read the verdicts.
+  std::printf("test: %s, %zu samples against %s\n", result.test_name.c_str(),
+              result.samples.size(), bed.remote_addr().to_string().c_str());
+  const auto show = [](const char* dir, const core::ReorderEstimate& e) {
+    const auto ci = e.proportion();
+    std::printf("  %-8s in-order=%-4d reordered=%-4d ambiguous=%-4d lost=%-4d"
+                "  rate=%.3f  [%.3f, %.3f]\n",
+                dir, e.in_order, e.reordered, e.ambiguous, e.lost, e.rate(), ci.lower, ci.upper);
+  };
+  show("forward", result.forward);
+  show("reverse", result.reverse);
+  std::printf("\nconfigured forward swap probability was %.3f — the forward rate above\n"
+              "should sit inside its confidence interval.\n",
+              swap_prob);
+  return 0;
+}

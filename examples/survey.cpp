@@ -1,0 +1,97 @@
+// survey: continuous round-robin measurement of a population of hosts —
+// the shape of the paper's 20-day, 50-host experiment — ending in the
+// per-path reordering-rate CDF (Figure 5's presentation).
+//
+//   $ survey --hosts=20 --rounds=6 --samples=15 --reordering-fraction=0.44
+#include <cstdio>
+
+#include "core/measurement_session.hpp"
+#include "core/single_connection_test.hpp"
+#include "core/syn_test.hpp"
+#include "core/testbed.hpp"
+#include "stats/ecdf.hpp"
+#include "util/flags.hpp"
+#include "util/random.hpp"
+
+int main(int argc, char** argv) {
+  using namespace reorder;
+  using util::Duration;
+
+  std::int64_t hosts = 20;
+  std::int64_t rounds = 6;
+  std::int64_t samples = 15;
+  std::int64_t seed = 11;
+  double reordering_fraction = 0.44;
+
+  util::Flags flags{"survey", "round-robin reordering survey over many paths"};
+  flags.add_i64("hosts", &hosts, "number of simulated paths");
+  flags.add_i64("rounds", &rounds, "measurement rounds per host");
+  flags.add_i64("samples", &samples, "samples per measurement (paper: 15)");
+  flags.add_i64("seed", &seed, "population seed");
+  flags.add_double("reordering-fraction", &reordering_fraction,
+                   "fraction of paths that reorder at all");
+  if (!flags.parse(argc, argv)) return 1;
+
+  util::Rng population{static_cast<std::uint64_t>(seed)};
+  stats::Ecdf fwd;
+  stats::Ecdf rev;
+  int reordering_paths = 0;
+
+  std::printf("%-8s %10s %10s %12s %12s\n", "host", "true fwd", "true rev", "measured fwd",
+              "measured rev");
+  std::printf("------------------------------------------------------------\n");
+  for (int h = 0; h < hosts; ++h) {
+    double true_fwd = 0.0;
+    double true_rev = 0.0;
+    if (population.bernoulli(reordering_fraction)) {
+      true_fwd = std::min(0.35, population.exponential(0.06));
+      true_rev = true_fwd * population.uniform(0.1, 0.6);
+    }
+
+    core::TestbedConfig cfg;
+    cfg.seed = static_cast<std::uint64_t>(seed) * 100 + static_cast<std::uint64_t>(h);
+    cfg.forward.swap_probability = true_fwd;
+    cfg.reverse.swap_probability = true_rev;
+    cfg.remote = core::default_remote_config();
+    cfg.remote.behavior.immediate_ack_on_hole_fill = true;
+    core::Testbed bed{cfg};
+
+    core::MeasurementSession session{bed.loop()};
+    std::vector<std::unique_ptr<core::ReorderTest>> tests;
+    tests.push_back(std::make_unique<core::SingleConnectionTest>(bed.probe(), bed.remote_addr(),
+                                                                 core::kDiscardPort));
+    tests.push_back(
+        std::make_unique<core::SynTest>(bed.probe(), bed.remote_addr(), core::kDiscardPort));
+    session.add_target("host", std::move(tests));
+
+    core::TestRunConfig run;
+    run.samples = static_cast<int>(samples);
+    session.run(run, static_cast<int>(rounds), Duration::seconds(1));
+
+    // Pool both techniques, as the paper's per-path summary does.
+    core::ReorderEstimate pooled_fwd;
+    core::ReorderEstimate pooled_rev;
+    for (const char* test : {"single-connection", "syn"}) {
+      const auto f = session.aggregate("host", test, true);
+      const auto r = session.aggregate("host", test, false);
+      pooled_fwd.in_order += f.in_order;
+      pooled_fwd.reordered += f.reordered;
+      pooled_rev.in_order += r.in_order;
+      pooled_rev.reordered += r.reordered;
+    }
+    fwd.add(pooled_fwd.rate());
+    rev.add(pooled_rev.rate());
+    if (pooled_fwd.reordered + pooled_rev.reordered > 0) ++reordering_paths;
+    std::printf("%-8d %10.3f %10.3f %12.3f %12.3f\n", h, true_fwd, true_rev, pooled_fwd.rate(),
+                pooled_rev.rate());
+  }
+
+  std::printf("\nCDF of measured per-path rates:\n");
+  std::printf("%-10s %10s %10s\n", "rate", "fwd CDF", "rev CDF");
+  for (const double r : {0.0, 0.01, 0.02, 0.05, 0.1, 0.2, 0.3}) {
+    std::printf("%-10.2f %10.2f %10.2f\n", r, fwd.cdf(r), rev.cdf(r));
+  }
+  std::printf("\npaths with observed reordering: %d / %lld (%.0f%%)\n", reordering_paths,
+              static_cast<long long>(hosts), 100.0 * reordering_paths / static_cast<double>(hosts));
+  return 0;
+}

@@ -1,0 +1,71 @@
+// time_domain: measure the reordering process as a function of the gap
+// between the two packets of each sample (the paper's §IV-C / Figure 7
+// methodology), then use the resulting distribution to predict how
+// differently sized packets would fare — without building a new test for
+// each protocol, which is exactly the argument the paper makes for
+// distribution measurements over scalar summaries.
+//
+//   $ time_domain --max-gap-us=300 --step-us=10 --samples=400
+#include <cstdio>
+
+#include "core/dual_connection_test.hpp"
+#include "core/metrics.hpp"
+#include "core/testbed.hpp"
+#include "util/flags.hpp"
+
+int main(int argc, char** argv) {
+  using namespace reorder;
+  using util::Duration;
+
+  std::int64_t max_gap_us = 300;
+  std::int64_t step_us = 10;
+  std::int64_t samples = 400;
+  std::int64_t seed = 21;
+
+  util::Flags flags{"time_domain", "reordering probability vs inter-packet gap"};
+  flags.add_i64("max-gap-us", &max_gap_us, "largest gap to probe, microseconds");
+  flags.add_i64("step-us", &step_us, "gap increment, microseconds");
+  flags.add_i64("samples", &samples, "samples per gap point");
+  flags.add_i64("seed", &seed, "simulation seed");
+  if (!flags.parse(argc, argv)) return 1;
+
+  core::TestbedConfig cfg;
+  cfg.seed = static_cast<std::uint64_t>(seed);
+  cfg.forward.striped = sim::StripedLinkConfig{};  // the time-dependent process
+  cfg.forward.ingress_link.bandwidth_bps = 1'000'000'000;
+  cfg.forward.egress_link.bandwidth_bps = 1'000'000'000;
+  core::Testbed bed{cfg};
+
+  core::DualConnectionTest test{bed.probe(), bed.remote_addr(), core::kDiscardPort};
+  core::TimeDomainProfile profile;
+
+  std::printf("%-10s %8s  %s\n", "gap(us)", "rate", "histogram");
+  for (std::int64_t gap = 0; gap <= max_gap_us; gap += step_us) {
+    core::TestRunConfig run;
+    run.samples = static_cast<int>(samples);
+    run.inter_packet_gap = Duration::micros(gap);
+    run.sample_spacing = Duration::millis(2);
+    const auto result = bed.run_sync(test, run, /*deadline_s=*/3000);
+    if (!result.admissible) {
+      std::printf("inadmissible: %s\n", result.note.c_str());
+      return 1;
+    }
+    for (const auto& s : result.samples) profile.add(s.gap, s.forward);
+    const double rate = result.forward.rate();
+    std::string bar(static_cast<std::size_t>(rate * 250), '#');
+    std::printf("%-10lld %8.4f  %s\n", static_cast<long long>(gap), rate, bar.c_str());
+  }
+
+  // Prediction: leading-edge spacing added by serialization of different
+  // packet sizes on a 100 Mbps access link.
+  std::printf("\npredicted reordering rate by packet size (100 Mbps serialization):\n");
+  std::printf("%-12s %14s %12s\n", "size(bytes)", "spacing(us)", "pred. rate");
+  for (const int bytes : {40, 128, 256, 512, 1024, 1500}) {
+    const double spacing_us = bytes * 8.0 / 100.0;  // bits / (bits/us)
+    const auto rate = profile.interpolate_rate(Duration::from_seconds_f(spacing_us * 1e-6));
+    std::printf("%-12d %14.1f %12.4f\n", bytes, spacing_us, rate.value_or(0.0));
+  }
+  std::printf("\n(the paper's §IV-C conclusion: full-sized data packets are less likely\n"
+              " to be reordered than compressed streams of minimum-sized packets)\n");
+  return 0;
+}

@@ -1,0 +1,96 @@
+#include "core/ipid_validator.hpp"
+
+#include "tcpip/seq.hpp"
+
+namespace reorder::core {
+
+std::string to_string(IpidVerdict v) {
+  switch (v) {
+    case IpidVerdict::kSharedMonotonic: return "shared-monotonic";
+    case IpidVerdict::kConstantZero: return "constant-zero";
+    case IpidVerdict::kRandom: return "random";
+    case IpidVerdict::kDisjoint: return "disjoint (load balancer)";
+    case IpidVerdict::kInsufficient: return "insufficient data";
+  }
+  return "?";
+}
+
+IpidAnalysis analyze_ipid_sequence(const std::vector<IpidObservation>& obs,
+                                   std::uint16_t max_step) {
+  IpidAnalysis out;
+  out.observations = obs.size();
+  if (obs.size() < 6) return out;
+
+  std::size_t zeros = 0;
+  for (const auto& o : obs) {
+    if (o.ipid == 0) ++zeros;
+  }
+  out.zero_fraction = static_cast<double>(zeros) / static_cast<double>(obs.size());
+  if (out.zero_fraction > 0.95) {
+    out.verdict = IpidVerdict::kConstantZero;
+    return out;
+  }
+
+  const auto small_positive = [max_step](std::uint16_t from, std::uint16_t to) {
+    const auto d = tcpip::ipid_diff(to, from);
+    return d > 0 && d <= static_cast<std::int16_t>(max_step);
+  };
+
+  // Between-connection: adjacent observations with different connections.
+  std::size_t between_total = 0;
+  std::size_t between_inc = 0;
+  for (std::size_t i = 1; i < obs.size(); ++i) {
+    if (obs[i].connection == obs[i - 1].connection) continue;
+    ++between_total;
+    if (small_positive(obs[i - 1].ipid, obs[i].ipid)) ++between_inc;
+  }
+  // Within-connection: consecutive observations of the same connection.
+  std::size_t within_total = 0;
+  std::size_t within_inc = 0;
+  std::vector<std::size_t> last_index_of_conn(2, static_cast<std::size_t>(-1));
+  // Also the paper's domination criterion: within-difference (spanning two
+  // remote transmissions) must be at least the between-difference.
+  std::size_t dom_total = 0;
+  std::size_t dom_hold = 0;
+  for (std::size_t i = 0; i < obs.size(); ++i) {
+    const int c = obs[i].connection;
+    if (c != 0 && c != 1) continue;
+    const std::size_t prev = last_index_of_conn[static_cast<std::size_t>(c)];
+    if (prev != static_cast<std::size_t>(-1)) {
+      ++within_total;
+      if (small_positive(obs[prev].ipid, obs[i].ipid)) ++within_inc;
+      // Between-step ending at the same observation: the immediately
+      // preceding observation of the other connection, if adjacent.
+      if (i >= 1 && obs[i - 1].connection != c && prev == i - 2 && i >= 2) {
+        const auto within_d = tcpip::ipid_diff(obs[i].ipid, obs[prev].ipid);
+        const auto between_d = tcpip::ipid_diff(obs[i].ipid, obs[i - 1].ipid);
+        if (within_d > 0) {
+          ++dom_total;
+          if (between_d > 0 && within_d >= between_d) ++dom_hold;
+        }
+      }
+    }
+    last_index_of_conn[static_cast<std::size_t>(c)] = i;
+  }
+
+  if (between_total == 0 || within_total == 0) return out;
+  out.between_increase_fraction =
+      static_cast<double>(between_inc) / static_cast<double>(between_total);
+  out.within_increase_fraction =
+      static_cast<double>(within_inc) / static_cast<double>(within_total);
+  out.domination_fraction =
+      dom_total > 0 ? static_cast<double>(dom_hold) / static_cast<double>(dom_total) : 0.0;
+
+  if (out.within_increase_fraction < 0.8) {
+    out.verdict = IpidVerdict::kRandom;
+  } else if (out.between_increase_fraction >= 0.9 && out.domination_fraction >= 0.9) {
+    out.verdict = IpidVerdict::kSharedMonotonic;
+  } else if (out.between_increase_fraction < 0.7) {
+    out.verdict = IpidVerdict::kDisjoint;
+  } else {
+    out.verdict = IpidVerdict::kInsufficient;
+  }
+  return out;
+}
+
+}  // namespace reorder::core

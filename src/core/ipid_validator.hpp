@@ -1,0 +1,60 @@
+// IPID admissibility analysis for the dual-connection test (paper §III-C).
+//
+// The dual test assumes the remote generates IPIDs from one strictly
+// increasing counter shared by both connections. The validator probes both
+// connections alternately — sending the next probe only after the previous
+// ACK arrives, so the remote's transmit order is known — and then compares
+// adjacent IPID differences *between* connections against differences
+// *within* each connection. A shared monotonic counter makes the
+// within-connection difference dominate (it spans two transmissions);
+// random IPIDs destroy within-connection monotonicity; a load balancer
+// preserves it per connection while the between-connection differences
+// decorrelate; Linux 2.4-style hosts return constant zero.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace reorder::core {
+
+enum class IpidVerdict {
+  kSharedMonotonic,  ///< dual-connection test admissible
+  kConstantZero,     ///< all IPIDs zero (Linux 2.4 with PMTUD)
+  kRandom,           ///< per-packet random IPIDs (OpenBSD-style)
+  kDisjoint,         ///< per-connection monotonic but unrelated spaces —
+                     ///< the load-balancer signature (Fig. 3)
+  kInsufficient,     ///< not enough observations to decide
+};
+
+std::string to_string(IpidVerdict v);
+
+/// The observation sequence: IPIDs of the remote's ACKs in remote
+/// transmit order, tagged with which connection each belongs to.
+struct IpidObservation {
+  std::uint16_t ipid{0};
+  int connection{0};  ///< 0 = first connection, 1 = second
+};
+
+struct IpidAnalysis {
+  IpidVerdict verdict{IpidVerdict::kInsufficient};
+  std::size_t observations{0};
+  double zero_fraction{0.0};
+  /// Fraction of adjacent (between-connection) steps that are small
+  /// positive increments.
+  double between_increase_fraction{0.0};
+  /// Fraction of consecutive same-connection steps that are small
+  /// positive increments.
+  double within_increase_fraction{0.0};
+  /// Fraction of steps where the within-connection difference dominates
+  /// the between-connection difference (the paper's criterion).
+  double domination_fraction{0.0};
+};
+
+/// Classifies an observation sequence. `max_step` bounds what counts as a
+/// "small" counter increment (a busy host serves other traffic between our
+/// probes, so increments need not be exactly 1).
+IpidAnalysis analyze_ipid_sequence(const std::vector<IpidObservation>& observations,
+                                   std::uint16_t max_step = 512);
+
+}  // namespace reorder::core

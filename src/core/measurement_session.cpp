@@ -1,0 +1,81 @@
+#include "core/measurement_session.hpp"
+
+#include <algorithm>
+#include <optional>
+
+namespace reorder::core {
+
+void MeasurementSession::add_target(std::string name,
+                                    std::vector<std::unique_ptr<ReorderTest>> tests) {
+  targets_.push_back(Target{std::move(name), std::move(tests)});
+}
+
+const std::vector<Measurement>& MeasurementSession::run(const TestRunConfig& config, int rounds,
+                                                        util::Duration between_measurements) {
+  for (int round = 0; round < rounds; ++round) {
+    for (auto& target : targets_) {
+      for (auto& test : target.tests) {
+        std::optional<TestRunResult> out;
+        const util::TimePoint at = loop_.now();
+        test->run(config, [&out](TestRunResult r) { out = std::move(r); });
+        loop_.run_while(loop_.now() + util::Duration::seconds(600),
+                        [&out] { return !out.has_value(); });
+        Measurement m;
+        m.target = target.name;
+        m.test = test->name();
+        m.at = at;
+        if (out.has_value()) {
+          m.result = std::move(*out);
+        } else {
+          m.result.test_name = test->name();
+          m.result.admissible = false;
+          m.result.note = "measurement did not complete";
+        }
+        measurements_.push_back(std::move(m));
+        loop_.advance(between_measurements);
+      }
+    }
+  }
+  return measurements_;
+}
+
+std::vector<double> MeasurementSession::rate_series(const std::string& target,
+                                                    const std::string& test,
+                                                    bool forward) const {
+  std::vector<double> out;
+  for (const auto& m : measurements_) {
+    if (m.target != target || m.test != test || !m.result.admissible) continue;
+    const ReorderEstimate& est = forward ? m.result.forward : m.result.reverse;
+    if (est.usable() == 0) continue;
+    out.push_back(est.rate());
+  }
+  return out;
+}
+
+ReorderEstimate MeasurementSession::aggregate(const std::string& target, const std::string& test,
+                                              bool forward) const {
+  ReorderEstimate total;
+  for (const auto& m : measurements_) {
+    if (m.target != target || m.test != test || !m.result.admissible) continue;
+    const ReorderEstimate& est = forward ? m.result.forward : m.result.reverse;
+    total.in_order += est.in_order;
+    total.reordered += est.reordered;
+    total.ambiguous += est.ambiguous;
+    total.lost += est.lost;
+  }
+  return total;
+}
+
+stats::PairDifferenceResult MeasurementSession::compare(const std::string& target,
+                                                        const std::string& test_a,
+                                                        const std::string& test_b, bool forward,
+                                                        double confidence) const {
+  auto a = rate_series(target, test_a, forward);
+  auto b = rate_series(target, test_b, forward);
+  const std::size_t n = std::min(a.size(), b.size());
+  a.resize(n);
+  b.resize(n);
+  return stats::pair_difference_test(a, b, confidence);
+}
+
+}  // namespace reorder::core

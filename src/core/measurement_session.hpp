@@ -1,0 +1,68 @@
+// The paper's §IV-B driver: cycle through all tests on each host, then
+// round-robin to the next host, continuously. The session keeps every
+// measurement (timestamped batch of samples) so that per-host time series
+// can be compared across tests with the paired-difference statistic.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/reorder_test.hpp"
+#include "netsim/event_loop.hpp"
+#include "stats/pair_difference.hpp"
+
+namespace reorder::core {
+
+/// One completed measurement in a session.
+struct Measurement {
+  std::string target;
+  std::string test;
+  util::TimePoint at;
+  TestRunResult result;
+};
+
+class MeasurementSession {
+ public:
+  explicit MeasurementSession(sim::EventLoop& loop) : loop_{loop} {}
+
+  /// Registers a target and the tests to cycle through against it. Tests
+  /// are owned by the session.
+  void add_target(std::string name, std::vector<std::unique_ptr<ReorderTest>> tests);
+
+  /// Runs `rounds` full cycles (every test against every target per
+  /// round), pausing `between_measurements` of virtual time after each
+  /// measurement. Synchronous: drives the event loop until finished.
+  const std::vector<Measurement>& run(const TestRunConfig& config, int rounds,
+                                      util::Duration between_measurements);
+
+  const std::vector<Measurement>& measurements() const { return measurements_; }
+
+  /// Mean reordering rate per measurement for (target, test), in time
+  /// order — the paired series for the §IV-B comparison.
+  std::vector<double> rate_series(const std::string& target, const std::string& test,
+                                  bool forward) const;
+
+  /// Aggregate estimate over every measurement of (target, test).
+  ReorderEstimate aggregate(const std::string& target, const std::string& test,
+                            bool forward) const;
+
+  /// Paired comparison of two tests on one target (paper: 99.9% CI).
+  /// Series are truncated to the shorter length; needs >= 2 measurements.
+  stats::PairDifferenceResult compare(const std::string& target, const std::string& test_a,
+                                      const std::string& test_b, bool forward,
+                                      double confidence = 0.999) const;
+
+ private:
+  struct Target {
+    std::string name;
+    std::vector<std::unique_ptr<ReorderTest>> tests;
+  };
+
+  sim::EventLoop& loop_;
+  std::vector<Target> targets_;
+  std::vector<Measurement> measurements_;
+};
+
+}  // namespace reorder::core

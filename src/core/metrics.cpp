@@ -1,0 +1,67 @@
+#include "core/metrics.hpp"
+
+#include <algorithm>
+
+namespace reorder::core {
+
+SequenceReorderStats analyze_sequence(const std::vector<std::uint32_t>& arrival) {
+  SequenceReorderStats out;
+  out.packets = arrival.size();
+  double extent_sum = 0.0;
+  for (std::size_t i = 0; i < arrival.size(); ++i) {
+    // Earliest earlier-arrival with a larger send index; its distance back
+    // from position i is this packet's reordering extent (RFC 4737 §4.2).
+    std::optional<std::size_t> earliest_overtaker;
+    for (std::size_t j = 0; j < i; ++j) {
+      if (arrival[j] > arrival[i]) {
+        earliest_overtaker = j;
+        break;
+      }
+    }
+    if (earliest_overtaker.has_value()) {
+      ++out.reordered;
+      const auto extent = static_cast<std::uint32_t>(i - *earliest_overtaker);
+      out.max_extent = std::max(out.max_extent, extent);
+      extent_sum += static_cast<double>(extent);
+    }
+    for (std::size_t j = i + 1; j < arrival.size(); ++j) {
+      if (arrival[i] > arrival[j]) ++out.adjacent_swaps;
+    }
+  }
+  if (out.packets > 0) out.ratio = static_cast<double>(out.reordered) / static_cast<double>(out.packets);
+  if (out.reordered > 0) out.mean_extent = extent_sum / static_cast<double>(out.reordered);
+  return out;
+}
+
+void TimeDomainProfile::add(util::Duration gap, Ordering forward_verdict) {
+  by_gap_[gap.ns()].add(forward_verdict);
+}
+
+std::vector<TimeDomainProfile::Point> TimeDomainProfile::points() const {
+  std::vector<Point> out;
+  out.reserve(by_gap_.size());
+  for (const auto& [ns, est] : by_gap_) {
+    out.push_back(Point{util::Duration::nanos(ns), est});
+  }
+  return out;
+}
+
+std::optional<ReorderEstimate> TimeDomainProfile::at(util::Duration gap) const {
+  const auto it = by_gap_.find(gap.ns());
+  if (it == by_gap_.end()) return std::nullopt;
+  return it->second;
+}
+
+std::optional<double> TimeDomainProfile::interpolate_rate(util::Duration gap) const {
+  if (by_gap_.empty()) return std::nullopt;
+  const std::int64_t g = gap.ns();
+  const auto hi = by_gap_.lower_bound(g);
+  if (hi == by_gap_.end()) return std::prev(by_gap_.end())->second.rate();
+  if (hi->first == g || hi == by_gap_.begin()) return hi->second.rate();
+  const auto lo = std::prev(hi);
+  const double span = static_cast<double>(hi->first - lo->first);
+  const double frac = static_cast<double>(g - lo->first) / span;
+  return lo->second.rate() * (1.0 - frac) + hi->second.rate() * frac;
+}
+
+}  // namespace reorder::core

@@ -1,0 +1,66 @@
+// Reordering metrics.
+//
+// The paper's primitive metric is the probability that a pair of test
+// packets is exchanged in flight, optionally parameterized by the
+// intervening gap (the time-domain distribution of §IV-C / Fig. 7). For
+// longer packet sequences (the TCP data-transfer baseline) this module
+// also provides the sequence metrics later standardized in RFC 4737
+// (reordering ratio and extents) — the paper cites the predecessor draft
+// (Morton et al.) as related work.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <vector>
+
+#include "core/verdict.hpp"
+#include "util/time.hpp"
+
+namespace reorder::core {
+
+/// RFC 4737-style statistics over an arrival sequence. `arrival` lists the
+/// send indices in order of arrival (missing packets simply absent).
+struct SequenceReorderStats {
+  std::uint64_t packets{0};
+  std::uint64_t reordered{0};       ///< arrivals below the running maximum
+  double ratio{0.0};                ///< reordered / packets
+  std::uint32_t max_extent{0};      ///< largest reordering extent observed
+  double mean_extent{0.0};          ///< mean extent over reordered packets
+  std::uint64_t adjacent_swaps{0};  ///< inversions (minimum exchanges)
+};
+
+/// Computes ratio/extent statistics for an arrival permutation.
+/// A packet is reordered iff a packet with a larger send index arrived
+/// before it; its extent is the distance back to the earliest such packet.
+SequenceReorderStats analyze_sequence(const std::vector<std::uint32_t>& arrival);
+
+/// The reordering rate of back-to-back pairs as a function of the gap
+/// between them — the paper's time-domain representation. Accumulates
+/// (gap, verdict) observations and reports one estimate per distinct gap.
+class TimeDomainProfile {
+ public:
+  void add(util::Duration gap, Ordering forward_verdict);
+
+  struct Point {
+    util::Duration gap;
+    ReorderEstimate estimate;
+  };
+  /// Points sorted by gap.
+  std::vector<Point> points() const;
+
+  /// The estimate at one gap, if any samples were taken there.
+  std::optional<ReorderEstimate> at(util::Duration gap) const;
+
+  /// Linear-interpolated reordering rate at an arbitrary gap — the
+  /// "predict how a different protocol would fare" use in §IV-C.
+  /// Out-of-range gaps clamp to the nearest measured point.
+  std::optional<double> interpolate_rate(util::Duration gap) const;
+
+  std::size_t distinct_gaps() const { return by_gap_.size(); }
+
+ private:
+  std::map<std::int64_t, ReorderEstimate> by_gap_;
+};
+
+}  // namespace reorder::core

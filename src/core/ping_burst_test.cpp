@@ -1,0 +1,125 @@
+#include "core/ping_burst_test.hpp"
+
+#include <algorithm>
+
+#include "trace/analyzer.hpp"
+
+namespace reorder::core {
+
+struct PingBurstTest::Run : std::enable_shared_from_this<PingBurstTest::Run> {
+  probe::ProbeHost& host;
+  tcpip::Ipv4Address target;
+  PingBurstOptions options;
+  int bursts_requested{0};
+  util::Duration spacing;
+  std::function<void(PingBurstResult)> done;
+
+  PingBurstResult result;
+  int burst_index{0};
+  std::uint16_t seq_base{0};
+  std::vector<std::uint16_t> arrival;  // reply sequences in arrival order
+  bool burst_open{false};
+  std::uint64_t timer_token{0};
+  std::uint64_t timer_generation{0};
+
+  Run(probe::ProbeHost& h, tcpip::Ipv4Address t, PingBurstOptions o)
+      : host{h}, target{t}, options{o} {}
+
+  tcpip::Environment& env() { return host.env(); }
+
+  void arm_timer(util::Duration delay, std::function<void()> fn) {
+    const std::uint64_t gen = ++timer_generation;
+    timer_token = env().schedule(delay, [self = shared_from_this(), fn = std::move(fn), gen] {
+      if (gen != self->timer_generation) return;
+      fn();
+    });
+  }
+
+  void start() {
+    host.icmp_handler = [self = shared_from_this()](const tcpip::Packet& pkt) {
+      self->on_reply(pkt);
+    };
+    next_burst();
+  }
+
+  void next_burst() {
+    if (burst_index >= bursts_requested) {
+      finish();
+      return;
+    }
+    arrival.clear();
+    burst_open = true;
+    seq_base = static_cast<std::uint16_t>(burst_index * options.burst_size);
+    for (int i = 0; i < options.burst_size; ++i) {
+      tcpip::Packet req;
+      req.ip.src = host.address();
+      req.ip.dst = target;
+      req.ip.protocol = tcpip::IpProto::kIcmp;
+      req.icmp = tcpip::IcmpEcho{tcpip::IcmpType::kEchoRequest, options.identifier,
+                                 static_cast<std::uint16_t>(seq_base + i)};
+      req.payload.assign(options.payload_bytes, 0x42);
+      host.send(std::move(req));
+      ++result.requests_sent;
+    }
+    arm_timer(options.burst_timeout, [this] { close_burst(); });
+  }
+
+  void on_reply(const tcpip::Packet& pkt) {
+    if (!burst_open) return;
+    if (!pkt.icmp.has_value() || pkt.icmp->type != tcpip::IcmpType::kEchoReply) return;
+    if (pkt.icmp->identifier != options.identifier) return;
+    const std::uint16_t seq = pkt.icmp->sequence;
+    if (seq < seq_base || seq >= seq_base + options.burst_size) return;  // stale burst
+    arrival.push_back(seq);
+    ++result.replies_received;
+    if (static_cast<int>(arrival.size()) == options.burst_size) close_burst();
+  }
+
+  void close_burst() {
+    if (!burst_open) return;
+    burst_open = false;
+    ++timer_generation;
+    env().cancel(timer_token);
+
+    ++result.bursts;
+    if (static_cast<int>(arrival.size()) == options.burst_size) ++result.bursts_complete;
+    // Convert reply sequences to 0-based send indices for the analyzers.
+    std::vector<std::uint32_t> order;
+    order.reserve(arrival.size());
+    for (const auto seq : arrival) order.push_back(static_cast<std::uint32_t>(seq - seq_base));
+    if (trace::any_reordering(order)) ++result.bursts_with_reordering;
+    result.total_inversions += trace::count_inversions(order);
+    // Adjacent send-index pairs (i, i+1) observed exchanged.
+    for (std::size_t i = 0; i + 1 < order.size(); ++i) {
+      ++result.adjacent_pairs;
+      if (order[i] > order[i + 1]) ++result.adjacent_exchanged;
+    }
+
+    ++burst_index;
+    arm_timer(spacing, [this] { next_burst(); });
+  }
+
+  void finish() {
+    host.icmp_handler = nullptr;
+    auto cb = std::move(done);
+    done = nullptr;
+    if (cb) cb(result);
+  }
+};
+
+PingBurstTest::PingBurstTest(probe::ProbeHost& host, tcpip::Ipv4Address target,
+                             PingBurstOptions options)
+    : host_{host}, target_{target}, options_{options} {}
+
+PingBurstTest::~PingBurstTest() = default;
+
+void PingBurstTest::run(int bursts, util::Duration burst_spacing,
+                        std::function<void(PingBurstResult)> done) {
+  active_ = std::make_shared<Run>(host_, target_, options_);
+  active_->bursts_requested = bursts;
+  active_->spacing = burst_spacing;
+  active_->done = std::move(done);
+  active_->start();
+}
+
+}  // namespace reorder::core

@@ -1,0 +1,23 @@
+// The common interface of the paper's four measurement techniques.
+#pragma once
+
+#include <functional>
+#include <string>
+
+#include "core/verdict.hpp"
+
+namespace reorder::core {
+
+/// An asynchronous measurement technique bound to one target host. run()
+/// starts the probe exchange on the event loop and invokes `done` exactly
+/// once with the completed result.
+class ReorderTest {
+ public:
+  virtual ~ReorderTest() = default;
+
+  virtual std::string name() const = 0;
+
+  virtual void run(const TestRunConfig& config, std::function<void(TestRunResult)> done) = 0;
+};
+
+}  // namespace reorder::core

@@ -1,0 +1,328 @@
+#include "core/single_connection_test.hpp"
+
+#include <array>
+
+#include "tcpip/seq.hpp"
+#include "util/logging.hpp"
+
+namespace reorder::core {
+
+namespace {
+bool is_pure_ack(const tcpip::Packet& pkt) {
+  return pkt.tcp.is_ack() && !pkt.tcp.is_syn() && !pkt.tcp.is_fin() && !pkt.tcp.is_rst() &&
+         pkt.payload.empty();
+}
+}  // namespace
+
+SingleConnectionTest::SingleConnectionTest(probe::ProbeHost& host, tcpip::Ipv4Address target,
+                                           std::uint16_t port, SingleConnectionOptions options)
+    : host_{host}, target_{target}, port_{port}, options_{options} {}
+
+std::string SingleConnectionTest::name() const {
+  return options_.reversed_order ? "single-connection" : "single-connection-inorder";
+}
+
+/// Per-run state machine; kept alive by shared_ptr captures until done.
+struct SingleConnectionTest::Run : std::enable_shared_from_this<SingleConnectionTest::Run> {
+  enum class Phase { kConnect, kResync, kResyncSettle, kPrep, kPrepSettle, kMeasure, kDone };
+
+  probe::ProbeHost& host;
+  SingleConnectionOptions options;
+  TestRunConfig config;
+  std::function<void(TestRunResult)> done;
+  std::unique_ptr<probe::ProbeConnection> conn;
+
+  TestRunResult result;
+  Phase phase{Phase::kConnect};
+  int sample_index{0};
+  std::uint32_t base{0};           ///< relative seq where the current hole sits
+  std::uint32_t known_rcv_rel{0};  ///< highest ack (relative) seen from the remote
+
+  // Current sample bookkeeping.
+  SampleResult sample;
+  struct AckSeen {
+    std::uint32_t rel;  ///< 0 = hole dup-ack, 2 = mid, 3 = full, relative to base
+    std::uint64_t uid;
+  };
+  std::vector<AckSeen> acks;
+
+  std::uint64_t timer_token{0};
+  std::uint64_t timer_generation{0};
+  int aux_attempts{0};
+
+  Run(probe::ProbeHost& h, SingleConnectionOptions o, TestRunConfig c,
+      std::function<void(TestRunResult)> d)
+      : host{h}, options{o}, config{c}, done{std::move(d)} {}
+
+  tcpip::Environment& env() { return host.env(); }
+
+  void arm_timer(util::Duration delay, std::function<void(std::uint64_t)> fn) {
+    const std::uint64_t gen = ++timer_generation;
+    timer_token = env().schedule(delay, [self = shared_from_this(), fn = std::move(fn), gen] {
+      fn(gen);
+    });
+  }
+  void cancel_timer() {
+    if (timer_token != 0) env().cancel(timer_token);
+    timer_token = 0;
+    ++timer_generation;
+  }
+
+  void start(tcpip::Ipv4Address target, std::uint16_t port) {
+    conn = std::make_unique<probe::ProbeConnection>(host, host.make_flow(target, port),
+                                                    options.connection);
+    conn->on_packet = [self = shared_from_this()](const tcpip::Packet& pkt) {
+      self->on_packet(pkt);
+    };
+    conn->connect([self = shared_from_this()](bool ok) {
+      if (!ok) {
+        self->result.admissible = false;
+        self->result.note = "connect failed";
+        self->finish(/*graceful=*/false);
+        return;
+      }
+      self->next_sample();
+    });
+  }
+
+  // --- per-sample pipeline: resync -> settle -> prep -> settle -> measure ---
+
+  void next_sample() {
+    if (phase == Phase::kDone) return;
+    if (sample_index >= config.samples) {
+      finish(/*graceful=*/true);
+      return;
+    }
+    begin_resync();
+  }
+
+  /// Makes sure the remote's receive point has reached `base` (re-sending
+  /// any bytes lost in previous samples) before a new hole is prepared.
+  void begin_resync() {
+    phase = Phase::kResync;
+    aux_attempts = 0;
+    if (tcpip::seq_geq(known_rcv_rel, base)) {
+      begin_settle(Phase::kResyncSettle);
+      return;
+    }
+    send_resync();
+  }
+
+  void send_resync() {
+    // Fill [known_rcv_rel, base) in one segment (tiny in practice).
+    const std::uint32_t len = base - known_rcv_rel;
+    std::vector<std::uint8_t> fill(len, 0x5a);
+    conn->send_data_rel(known_rcv_rel, fill);
+    arm_timer(options.aux_rto, [this](std::uint64_t gen) {
+      if (gen != timer_generation || phase != Phase::kResync) return;
+      if (++aux_attempts > options.max_aux_retries) {
+        abandon("resync failed: remote unresponsive");
+        return;
+      }
+      send_resync();
+    });
+  }
+
+  void begin_settle(Phase which) {
+    cancel_timer();
+    phase = which;
+    arm_timer(options.settle, [this, which](std::uint64_t gen) {
+      if (gen != timer_generation || phase != which) return;
+      if (which == Phase::kResyncSettle) {
+        begin_prep();
+      } else {
+        begin_measure();
+      }
+    });
+  }
+
+  void begin_prep() {
+    phase = Phase::kPrep;
+    aux_attempts = 0;
+    send_prep();
+  }
+
+  void send_prep() {
+    const std::array<std::uint8_t, 1> one{0xa5};
+    conn->send_data_rel(base + 1, one);
+    arm_timer(options.aux_rto, [this](std::uint64_t gen) {
+      if (gen != timer_generation || phase != Phase::kPrep) return;
+      if (++aux_attempts > options.max_aux_retries) {
+        abandon("prep failed: remote unresponsive");
+        return;
+      }
+      send_prep();
+    });
+  }
+
+  void begin_measure() {
+    phase = Phase::kMeasure;
+    acks.clear();
+    sample = SampleResult{};
+    sample.started = env().now();
+    sample.gap = config.inter_packet_gap;
+
+    const std::array<std::uint8_t, 1> low{0x01};
+    const std::array<std::uint8_t, 1> high{0x03};
+    auto first = options.reversed_order ? conn->build_data_rel(base + 2, high)
+                                        : conn->build_data_rel(base, low);
+    auto second = options.reversed_order ? conn->build_data_rel(base, low)
+                                         : conn->build_data_rel(base + 2, high);
+    first.uid = tcpip::next_packet_uid();
+    second.uid = tcpip::next_packet_uid();
+    sample.fwd_uid_first = first.uid;
+    sample.fwd_uid_second = second.uid;
+    conn->send_raw(std::move(first));
+    if (config.inter_packet_gap.is_zero()) {
+      conn->send_raw(std::move(second));
+    } else {
+      env().schedule(config.inter_packet_gap,
+                     [self = shared_from_this(), pkt = std::move(second)]() mutable {
+                       if (self->phase != Phase::kMeasure) return;
+                       self->conn->send_raw(std::move(pkt));
+                     });
+    }
+    arm_timer(config.sample_timeout, [this](std::uint64_t gen) {
+      if (gen != timer_generation || phase != Phase::kMeasure) return;
+      classify();
+    });
+  }
+
+  void on_packet(const tcpip::Packet& pkt) {
+    if (phase == Phase::kDone) return;
+    if (pkt.tcp.is_rst()) {
+      abandon("connection reset by remote");
+      return;
+    }
+    if (!is_pure_ack(pkt)) return;
+    const std::uint32_t ack_rel = pkt.tcp.ack - conn->snd_base();
+    if (tcpip::seq_gt(ack_rel, known_rcv_rel)) known_rcv_rel = ack_rel;
+
+    switch (phase) {
+      case Phase::kResync:
+        if (tcpip::seq_geq(ack_rel, base)) begin_settle(Phase::kResyncSettle);
+        break;
+      case Phase::kPrep:
+        // The duplicate ACK for the hole acknowledges exactly `base`.
+        if (ack_rel == base) begin_settle(Phase::kPrepSettle);
+        break;
+      case Phase::kMeasure: {
+        const std::uint32_t off = ack_rel - base;
+        if (off == 0 || off == 2 || off == 3) {
+          acks.push_back(AckSeen{off, pkt.uid});
+          if (acks.size() == 2) classify();
+        }
+        break;
+      }
+      default:
+        break;  // settling or connecting: strays are deliberately ignored
+    }
+  }
+
+  void classify() {
+    cancel_timer();
+    sample.completed = env().now();
+    // Map the observed ACK pattern to verdicts. Offsets: 0 = hole dup-ack
+    // ("ack 1" in the paper's figure), 2 = post-hole-fill ("ack 2"/"ack 3"),
+    // 3 = everything ("ack 4").
+    const auto pattern = [&]() -> std::pair<int, int> {
+      if (acks.size() >= 2) return {static_cast<int>(acks[0].rel), static_cast<int>(acks[1].rel)};
+      if (acks.size() == 1) return {static_cast<int>(acks[0].rel), -1};
+      return {-1, -1};
+    }();
+
+    Ordering fwd = Ordering::kLost;
+    Ordering rev = Ordering::kLost;
+    const bool reversed = options.reversed_order;
+    const int first = pattern.first;
+    const int second = pattern.second;
+    if (second >= 0) {
+      // Both ACKs arrived; the pair (first, second) decides everything.
+      const int in_order_first = reversed ? 0 : 2;
+      if (first == in_order_first && second == 3) {
+        fwd = Ordering::kInOrder;
+        rev = Ordering::kInOrder;
+      } else if (first == 3 && second == in_order_first) {
+        fwd = Ordering::kInOrder;
+        rev = Ordering::kReordered;
+      } else {
+        const int reordered_first = reversed ? 2 : 0;
+        if (first == reordered_first && second == 3) {
+          fwd = Ordering::kReordered;
+          rev = Ordering::kInOrder;
+        } else if (first == 3 && second == reordered_first) {
+          fwd = Ordering::kReordered;
+          rev = Ordering::kReordered;
+        } else {
+          fwd = Ordering::kAmbiguous;
+          rev = Ordering::kAmbiguous;
+        }
+      }
+    } else if (first == 3) {
+      // Lone final ACK: delayed-ACK coalescing (in-order variant) or
+      // forward reordering vs loss (reversed variant).
+      if (reversed && options.lone_final_ack_is_reordered) {
+        fwd = Ordering::kReordered;
+      } else {
+        fwd = Ordering::kAmbiguous;
+      }
+      rev = Ordering::kAmbiguous;
+    } else if (first >= 0) {
+      fwd = Ordering::kLost;
+      rev = Ordering::kLost;
+    }
+    sample.forward = fwd;
+    sample.reverse = rev;
+    if (!acks.empty()) sample.rev_uid_first = acks[0].uid;
+    if (acks.size() > 1) sample.rev_uid_second = acks[1].uid;
+
+    result.samples.push_back(sample);
+    ++sample_index;
+    base += 3;
+    phase = Phase::kResync;  // placeholder until the spacing timer fires
+    arm_timer(config.sample_spacing, [this](std::uint64_t gen) {
+      if (gen != timer_generation) return;
+      next_sample();
+    });
+  }
+
+  void abandon(const std::string& why) {
+    if (phase == Phase::kDone) return;
+    result.note = why;
+    while (static_cast<int>(result.samples.size()) < config.samples) {
+      SampleResult s;
+      s.forward = Ordering::kLost;
+      s.reverse = Ordering::kLost;
+      result.samples.push_back(s);
+    }
+    finish(/*graceful=*/false);
+  }
+
+  void finish(bool graceful) {
+    if (phase == Phase::kDone) return;
+    phase = Phase::kDone;
+    cancel_timer();
+    result.aggregate();
+    auto complete = [self = shared_from_this()] {
+      auto cb = std::move(self->done);
+      self->done = nullptr;
+      if (cb) cb(std::move(self->result));
+    };
+    if (graceful && conn && conn->established()) {
+      // Politely close at the byte the remote expects next.
+      conn->close(base, complete);
+    } else {
+      if (conn) conn->abort();
+      complete();
+    }
+  }
+};
+
+void SingleConnectionTest::run(const TestRunConfig& config,
+                               std::function<void(TestRunResult)> done) {
+  auto run = std::make_shared<Run>(host_, options_, config, std::move(done));
+  run->result.test_name = name();
+  run->start(target_, port_);
+}
+
+}  // namespace reorder::core

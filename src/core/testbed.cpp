@@ -1,0 +1,99 @@
+#include "core/testbed.hpp"
+
+namespace reorder::core {
+
+tcpip::HostConfig default_remote_config(std::size_t object_size) {
+  tcpip::HostConfig cfg;
+  cfg.name = "remote";
+  cfg.listeners[kDiscardPort] = tcpip::ListenerConfig{tcpip::AppKind::kDiscard, 0};
+  cfg.listeners[kEchoPort] = tcpip::ListenerConfig{tcpip::AppKind::kEcho, 0};
+  cfg.listeners[kHttpPort] = tcpip::ListenerConfig{tcpip::AppKind::kObjectServer, object_size};
+  return cfg;
+}
+
+Testbed::Testbed(TestbedConfig config) : config_{std::move(config)} {
+  socket_ = std::make_unique<probe::SimRawSocket>(loop_, config_.probe_addr);
+  probe_ = std::make_unique<probe::ProbeHost>(loop_, *socket_);
+
+  // Remote host(s). With backends > 1 each host believes it owns the VIP.
+  if (config_.remote.listeners.empty()) config_.remote = default_remote_config();
+  for (std::size_t i = 0; i < std::max<std::size_t>(1, config_.backends); ++i) {
+    tcpip::HostConfig host_cfg = config_.remote;
+    host_cfg.address = config_.remote_addr;
+    host_cfg.seed = config_.seed * 1000 + i + 1;
+    // Distinct IPID starting points make disjoint counter spaces obvious.
+    host_cfg.ipid_initial = static_cast<std::uint16_t>(1 + 17'000 * i);
+    remotes_.push_back(std::make_unique<tcpip::Host>(loop_, std::move(host_cfg)));
+  }
+  if (remotes_.size() > 1) {
+    std::vector<tcpip::Host*> raw;
+    raw.reserve(remotes_.size());
+    for (auto& h : remotes_) raw.push_back(h.get());
+    balancer_.emplace(std::move(raw), config_.seed ^ 0x9e3779b9u);
+  }
+
+  // Forward: probe -> (stages) -> ingress tap -> remote/balancer.
+  build_path(forward_, config_.forward, 0x11, &fwd_shaper_, &fwd_striped_, &remote_ingress_,
+             "remote-ingress");
+  forward_.terminate([this](tcpip::Packet pkt) {
+    if (balancer_) {
+      balancer_->receive(pkt);
+    } else {
+      remotes_[0]->receive(pkt);
+    }
+  });
+  socket_->set_transmit(forward_.entry());
+
+  // Reverse: remote -> egress tap -> (stages) -> probe ingress tap -> probe.
+  reverse_.emplace<trace::TraceTap>(loop_, remote_egress_, "remote-egress");
+  build_path(reverse_, config_.reverse, 0x22, &rev_shaper_, &rev_striped_, &probe_ingress_,
+             "probe-ingress");
+  reverse_.terminate([this](tcpip::Packet pkt) { socket_->deliver(std::move(pkt)); });
+  auto reverse_entry = reverse_.entry();
+  for (auto& host : remotes_) host->set_transmit(reverse_entry);
+}
+
+void Testbed::build_path(sim::Path& path, const PathSpec& spec, std::uint64_t seed_tag,
+                         sim::SwapShaper** shaper_out, sim::StripedLink** striped_out,
+                         trace::TraceBuffer* pre_terminal_tap, const char* tap_label) {
+  path.emplace<sim::LinkStage>(loop_, spec.ingress_link);
+  if (spec.swap_probability > 0.0) {
+    sim::SwapShaperConfig shaper_cfg;
+    shaper_cfg.swap_probability = spec.swap_probability;
+    shaper_cfg.max_hold = spec.swap_max_hold;
+    auto& shaper = path.emplace<sim::SwapShaper>(loop_, shaper_cfg,
+                                                 util::Rng{config_.seed ^ (seed_tag * 7717)});
+    if (shaper_out) *shaper_out = &shaper;
+  }
+  if (spec.striped.has_value()) {
+    auto& striped = path.emplace<sim::StripedLink>(loop_, *spec.striped,
+                                                   util::Rng{config_.seed ^ (seed_tag * 7919)});
+    if (striped_out) *striped_out = &striped;
+  }
+  if (spec.loss_probability > 0.0) {
+    path.emplace<sim::LossStage>(spec.loss_probability,
+                                 util::Rng{config_.seed ^ (seed_tag * 8111)});
+  }
+  path.emplace<sim::LinkStage>(loop_, spec.egress_link);
+  if (pre_terminal_tap != nullptr) {
+    path.emplace<trace::TraceTap>(loop_, *pre_terminal_tap, tap_label);
+  }
+}
+
+TestRunResult Testbed::run_sync(ReorderTest& test, const TestRunConfig& config,
+                                std::int64_t deadline_s) {
+  std::optional<TestRunResult> out;
+  test.run(config, [&out](TestRunResult r) { out = std::move(r); });
+  loop_.run_while(loop_.now() + util::Duration::seconds(deadline_s),
+                  [&out] { return !out.has_value(); });
+  if (!out.has_value()) {
+    TestRunResult r;
+    r.test_name = test.name();
+    r.admissible = false;
+    r.note = "test did not complete (event queue drained or deadline)";
+    return r;
+  }
+  return std::move(*out);
+}
+
+}  // namespace reorder::core

@@ -1,0 +1,33 @@
+#include "core/verdict.hpp"
+
+namespace reorder::core {
+
+std::string to_string(Ordering o) {
+  switch (o) {
+    case Ordering::kInOrder: return "in-order";
+    case Ordering::kReordered: return "reordered";
+    case Ordering::kAmbiguous: return "ambiguous";
+    case Ordering::kLost: return "lost";
+  }
+  return "?";
+}
+
+void ReorderEstimate::add(Ordering o) {
+  switch (o) {
+    case Ordering::kInOrder: ++in_order; break;
+    case Ordering::kReordered: ++reordered; break;
+    case Ordering::kAmbiguous: ++ambiguous; break;
+    case Ordering::kLost: ++lost; break;
+  }
+}
+
+void TestRunResult::aggregate() {
+  forward = ReorderEstimate{};
+  reverse = ReorderEstimate{};
+  for (const auto& s : samples) {
+    forward.add(s.forward);
+    reverse.add(s.reverse);
+  }
+}
+
+}  // namespace reorder::core

@@ -1,0 +1,90 @@
+// Shared result types for all measurement techniques.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "stats/summary.hpp"
+#include "util/time.hpp"
+
+namespace reorder::core {
+
+/// Per-direction outcome of one two-packet sample.
+enum class Ordering {
+  kInOrder,    ///< the pair kept its transmission order
+  kReordered,  ///< the pair was exchanged in flight
+  kAmbiguous,  ///< the replies do not identify the order (e.g. coalesced
+               ///< delayed ACK, or the reversed-variant lone final ACK)
+  kLost,       ///< a sample or reply was lost; sample must be discarded
+};
+
+std::string to_string(Ordering o);
+
+/// One measurement sample: a pair of probe packets and the verdicts
+/// inferred from the replies. uid fields tie the sample to trace captures
+/// for ground-truth validation (§IV-A).
+struct SampleResult {
+  Ordering forward{Ordering::kAmbiguous};
+  Ordering reverse{Ordering::kAmbiguous};
+  util::TimePoint started;
+  util::TimePoint completed;
+  util::Duration gap{};  ///< inter-packet gap used for this sample
+
+  /// uids of the two forward sample packets, in transmission order.
+  std::uint64_t fwd_uid_first{0};
+  std::uint64_t fwd_uid_second{0};
+  /// uids of the two reply packets, in arrival order at the probe.
+  std::uint64_t rev_uid_first{0};
+  std::uint64_t rev_uid_second{0};
+};
+
+/// Aggregated verdict counts for one direction.
+struct ReorderEstimate {
+  int in_order{0};
+  int reordered{0};
+  int ambiguous{0};
+  int lost{0};
+
+  void add(Ordering o);
+  int usable() const { return in_order + reordered; }
+  int total() const { return usable() + ambiguous + lost; }
+  /// Reordering rate over usable samples (the paper's reported quantity).
+  double rate() const {
+    return usable() > 0 ? static_cast<double>(reordered) / usable() : 0.0;
+  }
+  /// Wilson interval on the rate at normal quantile z.
+  stats::Proportion proportion(double z = 1.96) const {
+    return stats::wilson_interval(reordered, usable(), z);
+  }
+};
+
+/// Parameters for one test run (a "measurement" in the paper's terms:
+/// a batch of samples against one host).
+struct TestRunConfig {
+  int samples{15};  ///< the paper's per-measurement sample count
+  /// Spacing between the two packets of a sample (Fig. 7's x-axis).
+  util::Duration inter_packet_gap{util::Duration::nanos(0)};
+  /// Pacing between consecutive samples (the paper rate-limits probes).
+  util::Duration sample_spacing{util::Duration::millis(20)};
+  /// Give-up deadline per sample; must exceed RTT + the remote's delayed
+  /// ACK timeout or reversed-variant verdicts will alias with loss.
+  util::Duration sample_timeout{util::Duration::millis(800)};
+};
+
+/// Outcome of a test run.
+struct TestRunResult {
+  std::string test_name;
+  std::vector<SampleResult> samples;
+  ReorderEstimate forward;
+  ReorderEstimate reverse;
+  /// False when the technique does not apply to this host (e.g. dual
+  /// connection test against random IPIDs or a load balancer).
+  bool admissible{true};
+  std::string note;
+
+  /// Recomputes the per-direction aggregates from `samples`.
+  void aggregate();
+};
+
+}  // namespace reorder::core

@@ -1,0 +1,72 @@
+#include "netsim/event_loop.hpp"
+
+#include <utility>
+
+namespace reorder::sim {
+
+std::uint64_t EventLoop::push(util::TimePoint at, std::function<void()> fn) {
+  if (at < now_) at = now_;
+  const Key key{at.ns(), next_seq_++};
+  const std::uint64_t token = next_token_++;
+  queue_.emplace(key, std::make_pair(token, std::move(fn)));
+  by_token_.emplace(token, key);
+  return token;
+}
+
+std::uint64_t EventLoop::schedule(util::Duration delay, std::function<void()> fn) {
+  if (delay.is_negative()) delay = util::Duration::nanos(0);
+  return push(now_ + delay, std::move(fn));
+}
+
+std::uint64_t EventLoop::schedule_at(util::TimePoint at, std::function<void()> fn) {
+  return push(at, std::move(fn));
+}
+
+void EventLoop::cancel(std::uint64_t token) {
+  const auto it = by_token_.find(token);
+  if (it == by_token_.end()) return;
+  queue_.erase(it->second);
+  by_token_.erase(it);
+}
+
+bool EventLoop::pop_and_run() {
+  if (queue_.empty()) return false;
+  auto it = queue_.begin();
+  now_ = util::TimePoint::from_ns(it->first.at_ns);
+  auto [token, fn] = std::move(it->second);
+  by_token_.erase(token);
+  queue_.erase(it);
+  ++executed_;
+  fn();
+  return true;
+}
+
+std::uint64_t EventLoop::run() {
+  std::uint64_t n = 0;
+  while (pop_and_run()) ++n;
+  return n;
+}
+
+std::uint64_t EventLoop::run_until(util::TimePoint deadline) {
+  std::uint64_t n = 0;
+  while (!queue_.empty() && queue_.begin()->first.at_ns <= deadline.ns()) {
+    pop_and_run();
+    ++n;
+  }
+  if (now_ < deadline) now_ = deadline;
+  return n;
+}
+
+bool EventLoop::run_while(util::TimePoint deadline, const std::function<bool()>& keep_going) {
+  while (keep_going()) {
+    if (queue_.empty()) return false;
+    if (queue_.begin()->first.at_ns > deadline.ns()) {
+      now_ = deadline;
+      return false;
+    }
+    pop_and_run();
+  }
+  return true;
+}
+
+}  // namespace reorder::sim

@@ -1,0 +1,52 @@
+#include "netsim/link.hpp"
+
+#include <utility>
+
+namespace reorder::sim {
+
+LinkStage::LinkStage(EventLoop& loop, LinkParams params) : loop_{loop}, params_{params} {}
+
+util::Duration LinkStage::serialization_time(std::size_t bytes) const {
+  if (params_.bandwidth_bps <= 0) return util::Duration::nanos(0);
+  const double seconds =
+      static_cast<double>(bytes) * 8.0 / static_cast<double>(params_.bandwidth_bps);
+  return util::Duration::from_seconds_f(seconds);
+}
+
+void LinkStage::accept(tcpip::Packet pkt) {
+  if (in_queue_ >= params_.queue_limit_packets) {
+    ++dropped_;
+    return;
+  }
+  const util::TimePoint now = loop_.now();
+  const util::Duration ser = serialization_time(pkt.wire_size());
+  const util::TimePoint start = busy_until_ > now ? busy_until_ : now;
+  const util::TimePoint done = start + ser;
+  busy_until_ = done;
+  ++in_queue_;
+  const util::TimePoint arrive = done + params_.propagation;
+  loop_.schedule_at(arrive, [this, p = std::move(pkt)]() mutable {
+    --in_queue_;
+    ++forwarded_;
+    emit(std::move(p));
+  });
+}
+
+void DelayStage::accept(tcpip::Packet pkt) {
+  loop_.schedule(delay_, [this, p = std::move(pkt)]() mutable { emit(std::move(p)); });
+}
+
+void JitterStage::accept(tcpip::Packet pkt) {
+  const auto extra = util::Duration::nanos(rng_.between(lo_.ns(), hi_.ns()));
+  loop_.schedule(extra, [this, p = std::move(pkt)]() mutable { emit(std::move(p)); });
+}
+
+void LossStage::accept(tcpip::Packet pkt) {
+  if (rng_.bernoulli(p_)) {
+    ++dropped_;
+    return;
+  }
+  emit(std::move(pkt));
+}
+
+}  // namespace reorder::sim

@@ -1,0 +1,35 @@
+#include "netsim/load_balancer.hpp"
+
+#include <stdexcept>
+
+namespace reorder::sim {
+
+namespace {
+// 64-bit mix (splitmix64 finalizer) — a stand-in for the balancer ASIC's
+// flow hash; quality only needs to be "spreads four-tuples".
+std::uint64_t mix(std::uint64_t z) {
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+  return z ^ (z >> 31);
+}
+}  // namespace
+
+LoadBalancer::LoadBalancer(std::vector<tcpip::Host*> backends, std::uint64_t hash_salt)
+    : backends_{std::move(backends)}, salt_{hash_salt}, per_backend_(backends_.size(), 0) {
+  if (backends_.empty()) throw std::invalid_argument{"load balancer needs >= 1 backend"};
+}
+
+std::size_t LoadBalancer::backend_index(const tcpip::Packet& pkt) const {
+  const std::uint64_t key = (static_cast<std::uint64_t>(pkt.ip.src.value()) << 32) |
+                            (static_cast<std::uint64_t>(pkt.tcp.src_port) << 16) |
+                            pkt.tcp.dst_port;
+  return static_cast<std::size_t>(mix(key ^ salt_) % backends_.size());
+}
+
+void LoadBalancer::receive(const tcpip::Packet& pkt) {
+  const std::size_t idx = backend_index(pkt);
+  ++per_backend_[idx];
+  backends_[idx]->receive(pkt);
+}
+
+}  // namespace reorder::sim

@@ -1,0 +1,38 @@
+// Transparent per-flow load balancer (paper Fig. 3). All backends share the
+// balancer's virtual IP; the balancer hashes the TCP four-tuple so every
+// packet of a flow reaches the same backend, but *different connections*
+// (different source ports) land on different machines with independent
+// IPID counters — which is exactly what silently breaks the dual-
+// connection test and what the SYN test is designed to survive.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "tcpip/host.hpp"
+#include "tcpip/packet.hpp"
+
+namespace reorder::sim {
+
+class LoadBalancer {
+ public:
+  /// `backends` must outlive the balancer and be configured with the VIP
+  /// as their own address (transparent balancing).
+  LoadBalancer(std::vector<tcpip::Host*> backends, std::uint64_t hash_salt = 0x5bd1e995u);
+
+  /// Forwards one packet to the flow's backend.
+  void receive(const tcpip::Packet& pkt);
+
+  /// Which backend a four-tuple maps to (exposed for tests).
+  std::size_t backend_index(const tcpip::Packet& pkt) const;
+
+  std::uint64_t forwarded_to(std::size_t backend) const { return per_backend_.at(backend); }
+  std::size_t backend_count() const { return backends_.size(); }
+
+ private:
+  std::vector<tcpip::Host*> backends_;
+  std::uint64_t salt_;
+  std::vector<std::uint64_t> per_backend_;
+};
+
+}  // namespace reorder::sim

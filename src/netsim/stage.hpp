@@ -1,0 +1,47 @@
+// Unidirectional packet-processing stages. A Path composes stages into a
+// chain; each stage transforms timing/ordering/survival of the packets that
+// flow through it. All reordering processes in the simulator are stages.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <utility>
+
+#include "tcpip/packet.hpp"
+
+namespace reorder::sim {
+
+/// Downstream consumer of packets.
+using PacketSink = std::function<void(tcpip::Packet)>;
+
+/// Base class for path elements. Stages are connected in a fixed order at
+/// topology-build time and are not thread-safe (the simulator is
+/// single-threaded by design).
+class Stage {
+ public:
+  virtual ~Stage() = default;
+
+  /// Ingests one packet. Implementations either emit() it (possibly later
+  /// via the event loop) or drop it.
+  virtual void accept(tcpip::Packet pkt) = 0;
+
+  /// Wires the downstream sink; must be called before traffic flows.
+  void connect(PacketSink next) { next_ = std::move(next); }
+
+  /// Diagnostic name for topology dumps.
+  virtual std::string name() const = 0;
+
+ protected:
+  /// Forwards a packet downstream. No-op when unconnected (topology under
+  /// construction), which keeps partially built paths safe.
+  void emit(tcpip::Packet pkt) {
+    if (next_) next_(std::move(pkt));
+  }
+
+ private:
+  PacketSink next_;
+};
+
+}  // namespace reorder::sim

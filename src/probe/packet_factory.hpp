@@ -1,0 +1,58 @@
+// Crafting helpers for probe packets. Every measurement packet in the
+// library is built here, so segment shapes (flags, options, windows) are
+// consistent across tests.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "tcpip/packet.hpp"
+
+namespace reorder::probe {
+
+/// The four-tuple a probe flow operates on, from the probe's perspective.
+struct FlowAddr {
+  tcpip::Ipv4Address local;
+  std::uint16_t local_port{0};
+  tcpip::Ipv4Address remote;
+  std::uint16_t remote_port{0};
+
+  friend auto operator<=>(const FlowAddr&, const FlowAddr&) = default;
+
+  /// True iff `pkt` is addressed to this flow (remote -> local direction).
+  bool matches_incoming(const tcpip::Packet& pkt) const {
+    return pkt.ip.src == remote && pkt.ip.dst == local && pkt.tcp.src_port == remote_port &&
+           pkt.tcp.dst_port == local_port;
+  }
+};
+
+/// Builds outgoing segments for a flow.
+class PacketFactory {
+ public:
+  explicit PacketFactory(FlowAddr addr) : addr_{addr} {}
+
+  const FlowAddr& addr() const { return addr_; }
+
+  /// A SYN with initial sequence number `iss`, advertising `mss`/`window`.
+  tcpip::Packet syn(std::uint32_t iss, std::uint16_t mss, std::uint16_t window) const;
+
+  /// A pure ACK.
+  tcpip::Packet ack(std::uint32_t seq, std::uint32_t ack, std::uint16_t window) const;
+
+  /// A data segment (PSH|ACK) carrying `payload`.
+  tcpip::Packet data(std::uint32_t seq, std::uint32_t ack, std::uint16_t window,
+                     std::span<const std::uint8_t> payload) const;
+
+  /// A FIN|ACK.
+  tcpip::Packet fin(std::uint32_t seq, std::uint32_t ack, std::uint16_t window) const;
+
+  /// An RST.
+  tcpip::Packet rst(std::uint32_t seq) const;
+
+ private:
+  tcpip::Packet base() const;
+  FlowAddr addr_;
+};
+
+}  // namespace reorder::probe

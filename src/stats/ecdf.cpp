@@ -1,0 +1,72 @@
+#include "stats/ecdf.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace reorder::stats {
+
+void Ecdf::add(double x) {
+  samples_.push_back(x);
+  sorted_ = false;
+}
+
+void Ecdf::add_all(const std::vector<double>& xs) {
+  samples_.insert(samples_.end(), xs.begin(), xs.end());
+  sorted_ = false;
+}
+
+void Ecdf::ensure_sorted() const {
+  if (!sorted_) {
+    std::sort(samples_.begin(), samples_.end());
+    sorted_ = true;
+  }
+}
+
+double Ecdf::cdf(double x) const {
+  if (samples_.empty()) return 0.0;
+  ensure_sorted();
+  const auto it = std::upper_bound(samples_.begin(), samples_.end(), x);
+  return static_cast<double>(it - samples_.begin()) / static_cast<double>(samples_.size());
+}
+
+double Ecdf::quantile(double q) const {
+  if (samples_.empty()) return 0.0;
+  ensure_sorted();
+  q = std::clamp(q, 0.0, 1.0);
+  if (q <= 0.0) return samples_.front();
+  const auto rank = static_cast<std::size_t>(
+      std::ceil(q * static_cast<double>(samples_.size())));
+  return samples_[std::min(samples_.size() - 1, rank == 0 ? 0 : rank - 1)];
+}
+
+double Ecdf::min() const {
+  ensure_sorted();
+  return samples_.empty() ? 0.0 : samples_.front();
+}
+
+double Ecdf::max() const {
+  ensure_sorted();
+  return samples_.empty() ? 0.0 : samples_.back();
+}
+
+const std::vector<double>& Ecdf::sorted() const {
+  ensure_sorted();
+  return samples_;
+}
+
+std::vector<std::pair<double, double>> Ecdf::curve(std::size_t max_points) const {
+  std::vector<std::pair<double, double>> out;
+  if (samples_.empty() || max_points == 0) return out;
+  ensure_sorted();
+  const std::size_t n = samples_.size();
+  const std::size_t step = std::max<std::size_t>(1, n / max_points);
+  for (std::size_t i = 0; i < n; i += step) {
+    out.emplace_back(samples_[i], static_cast<double>(i + 1) / static_cast<double>(n));
+  }
+  if (out.back().first != samples_.back() || out.back().second != 1.0) {
+    out.emplace_back(samples_.back(), 1.0);
+  }
+  return out;
+}
+
+}  // namespace reorder::stats

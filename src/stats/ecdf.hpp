@@ -1,0 +1,42 @@
+// Empirical cumulative distribution function over double samples.
+// Backs the paper's Figure 5 (CDF of per-path reordering rates).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace reorder::stats {
+
+/// Collects samples and answers CDF / quantile queries. Samples are sorted
+/// lazily on first query and the sort is cached until the next insertion.
+class Ecdf {
+ public:
+  void add(double x);
+  void add_all(const std::vector<double>& xs);
+
+  std::size_t count() const { return samples_.size(); }
+  bool empty() const { return samples_.empty(); }
+
+  /// P[X <= x]; 0 for an empty distribution.
+  double cdf(double x) const;
+
+  /// Inverse CDF with the nearest-rank definition; q clamped to [0,1].
+  double quantile(double q) const;
+
+  double min() const;
+  double max() const;
+
+  /// The sorted sample vector (useful for printing full CDF curves).
+  const std::vector<double>& sorted() const;
+
+  /// Evenly spaced (value, cumulative fraction) points for plotting;
+  /// at most `max_points` entries, always including both endpoints.
+  std::vector<std::pair<double, double>> curve(std::size_t max_points = 100) const;
+
+ private:
+  void ensure_sorted() const;
+  mutable std::vector<double> samples_;
+  mutable bool sorted_{true};
+};
+
+}  // namespace reorder::stats

@@ -1,0 +1,41 @@
+// Fixed-width histogram for latency / gap distributions.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace reorder::stats {
+
+/// Histogram over [lo, hi) with `bins` equal-width buckets plus underflow
+/// and overflow counters.
+class Histogram {
+ public:
+  Histogram(double lo, double hi, std::size_t bins);
+
+  void add(double x);
+
+  std::size_t bins() const { return counts_.size(); }
+  std::int64_t count() const { return total_; }
+  std::int64_t underflow() const { return underflow_; }
+  std::int64_t overflow() const { return overflow_; }
+  std::int64_t bin_count(std::size_t i) const { return counts_.at(i); }
+  /// Inclusive lower edge of bin i.
+  double bin_lo(std::size_t i) const;
+  /// Exclusive upper edge of bin i.
+  double bin_hi(std::size_t i) const;
+
+  /// ASCII rendering (one line per non-empty bin) for example programs.
+  std::string render(std::size_t width = 50) const;
+
+ private:
+  double lo_;
+  double hi_;
+  double bin_width_;
+  std::vector<std::int64_t> counts_;
+  std::int64_t underflow_{0};
+  std::int64_t overflow_{0};
+  std::int64_t total_{0};
+};
+
+}  // namespace reorder::stats

@@ -1,0 +1,39 @@
+#include "stats/pair_difference.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "stats/students_t.hpp"
+#include "stats/summary.hpp"
+
+namespace reorder::stats {
+
+PairDifferenceResult pair_difference_test(std::span<const double> a,
+                                          std::span<const double> b,
+                                          double confidence) {
+  if (a.size() != b.size()) {
+    throw std::invalid_argument{"pair_difference_test: series lengths differ"};
+  }
+  if (a.size() < 2) {
+    throw std::invalid_argument{"pair_difference_test: need at least 2 pairs"};
+  }
+  RunningStats diffs;
+  for (std::size_t i = 0; i < a.size(); ++i) diffs.add(a[i] - b[i]);
+
+  PairDifferenceResult r;
+  r.n = a.size();
+  r.mean_difference = diffs.mean();
+  r.stddev = diffs.stddev();
+  r.confidence = confidence;
+  const double df = static_cast<double>(r.n - 1);
+  const double tcrit = student_t_critical(confidence, df);
+  const double half_width = tcrit * diffs.stderr_mean();
+  r.ci_lower = r.mean_difference - half_width;
+  r.ci_upper = r.mean_difference + half_width;
+  // Degenerate case: identical series -> zero-width interval at zero still
+  // supports the null.
+  r.null_supported = r.ci_lower <= 0.0 && 0.0 <= r.ci_upper;
+  return r;
+}
+
+}  // namespace reorder::stats

@@ -1,0 +1,31 @@
+// Paired-observation comparison of two measurement series (Jain, "The Art
+// of Computer Systems Performance Analysis", ch. 13). This is the test the
+// paper uses to decide whether two reordering tests measure the same
+// underlying process on a host: compute per-pair differences, build a
+// t-based confidence interval for the mean difference, and check whether
+// the interval contains zero (the null hypothesis).
+#pragma once
+
+#include <cstddef>
+#include <span>
+
+namespace reorder::stats {
+
+/// Outcome of a paired-difference test.
+struct PairDifferenceResult {
+  std::size_t n{0};          ///< number of usable pairs
+  double mean_difference{0}; ///< mean of (a_i - b_i)
+  double stddev{0};          ///< sample std-dev of the differences
+  double ci_lower{0};        ///< confidence interval lower bound
+  double ci_upper{0};        ///< confidence interval upper bound
+  double confidence{0};      ///< the confidence level used
+  bool null_supported{false};///< true iff the CI contains zero
+};
+
+/// Runs the paired test on series `a` and `b` (must be equal length, n >= 2)
+/// at the given two-sided confidence level (paper: 0.999).
+PairDifferenceResult pair_difference_test(std::span<const double> a,
+                                          std::span<const double> b,
+                                          double confidence = 0.999);
+
+}  // namespace reorder::stats

@@ -1,0 +1,47 @@
+#include "stats/students_t.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "stats/special.hpp"
+
+namespace reorder::stats {
+
+double student_t_cdf(double t, double df) {
+  if (!(df >= 1.0)) throw std::invalid_argument{"student_t_cdf: df must be >= 1"};
+  if (t == 0.0) return 0.5;
+  const double x = df / (df + t * t);
+  const double tail = 0.5 * incomplete_beta(df / 2.0, 0.5, x);
+  return t > 0.0 ? 1.0 - tail : tail;
+}
+
+double student_t_quantile(double p, double df) {
+  if (!(p > 0.0 && p < 1.0)) throw std::invalid_argument{"student_t_quantile: p in (0,1)"};
+  if (p == 0.5) return 0.0;
+  // CDF is strictly increasing; bracket then bisect. 60 iterations gives
+  // ~1e-15 relative precision on the bracket width.
+  double lo = -1.0;
+  double hi = 1.0;
+  while (student_t_cdf(lo, df) > p) lo *= 2.0;
+  while (student_t_cdf(hi, df) < p) hi *= 2.0;
+  for (int i = 0; i < 200; ++i) {
+    const double mid = 0.5 * (lo + hi);
+    if (student_t_cdf(mid, df) < p) {
+      lo = mid;
+    } else {
+      hi = mid;
+    }
+    if (hi - lo < 1e-12 * (1.0 + std::fabs(hi))) break;
+  }
+  return 0.5 * (lo + hi);
+}
+
+double student_t_critical(double confidence, double df) {
+  if (!(confidence > 0.0 && confidence < 1.0)) {
+    throw std::invalid_argument{"student_t_critical: confidence in (0,1)"};
+  }
+  const double upper = 1.0 - (1.0 - confidence) / 2.0;
+  return student_t_quantile(upper, df);
+}
+
+}  // namespace reorder::stats

@@ -1,0 +1,18 @@
+// Student's t distribution: CDF via the incomplete beta function and
+// quantiles via bisection. Needed for the paper's 99.9%-confidence
+// paired-difference test (Section IV-B, per Jain's methodology).
+#pragma once
+
+namespace reorder::stats {
+
+/// P[T <= t] for a t distribution with `df` degrees of freedom (df >= 1).
+double student_t_cdf(double t, double df);
+
+/// Inverse CDF: the t for which P[T <= t] = p, p in (0, 1).
+double student_t_quantile(double p, double df);
+
+/// Two-sided critical value t* with P[|T| <= t*] = confidence.
+/// confidence in (0, 1), e.g. 0.999 for the paper's 99.9% interval.
+double student_t_critical(double confidence, double df);
+
+}  // namespace reorder::stats

@@ -1,0 +1,63 @@
+#include "stats/summary.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace reorder::stats {
+
+void RunningStats::add(double x) {
+  ++n_;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(n_);
+  m2_ += delta * (x - mean_);
+  min_ = std::min(min_, x);
+  max_ = std::max(max_, x);
+}
+
+void RunningStats::merge(const RunningStats& other) {
+  if (other.n_ == 0) return;
+  if (n_ == 0) {
+    *this = other;
+    return;
+  }
+  const double delta = other.mean_ - mean_;
+  const auto na = static_cast<double>(n_);
+  const auto nb = static_cast<double>(other.n_);
+  const double nt = na + nb;
+  mean_ += delta * nb / nt;
+  m2_ += other.m2_ + delta * delta * na * nb / nt;
+  n_ += other.n_;
+  min_ = std::min(min_, other.min_);
+  max_ = std::max(max_, other.max_);
+}
+
+double RunningStats::variance() const {
+  if (n_ < 2) return 0.0;
+  return m2_ / static_cast<double>(n_ - 1);
+}
+
+double RunningStats::stddev() const { return std::sqrt(variance()); }
+
+double RunningStats::stderr_mean() const {
+  if (n_ < 2) return 0.0;
+  return stddev() / std::sqrt(static_cast<double>(n_));
+}
+
+Proportion wilson_interval(std::int64_t successes, std::int64_t trials, double z) {
+  Proportion p;
+  p.successes = successes;
+  p.trials = trials;
+  if (trials <= 0) return p;
+  const double n = static_cast<double>(trials);
+  const double phat = static_cast<double>(successes) / n;
+  p.estimate = phat;
+  const double z2 = z * z;
+  const double denom = 1.0 + z2 / n;
+  const double center = phat + z2 / (2.0 * n);
+  const double margin = z * std::sqrt(phat * (1.0 - phat) / n + z2 / (4.0 * n * n));
+  p.lower = std::max(0.0, (center - margin) / denom);
+  p.upper = std::min(1.0, (center + margin) / denom);
+  return p;
+}
+
+}  // namespace reorder::stats

@@ -1,0 +1,50 @@
+// Streaming summary statistics (Welford's algorithm) and simple proportion
+// confidence intervals. Used by every experiment driver to aggregate
+// per-sample verdicts into rates with uncertainty.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+
+namespace reorder::stats {
+
+/// Single-pass mean/variance/min/max accumulator. Numerically stable
+/// (Welford); supports merging partial results (Chan et al.).
+class RunningStats {
+ public:
+  void add(double x);
+  /// Merges another accumulator into this one.
+  void merge(const RunningStats& other);
+
+  std::int64_t count() const { return n_; }
+  double mean() const { return n_ > 0 ? mean_ : 0.0; }
+  /// Sample variance (n-1 denominator); 0 for fewer than two samples.
+  double variance() const;
+  double stddev() const;
+  double min() const { return n_ > 0 ? min_ : 0.0; }
+  double max() const { return n_ > 0 ? max_ : 0.0; }
+  /// Standard error of the mean; 0 for fewer than two samples.
+  double stderr_mean() const;
+
+ private:
+  std::int64_t n_{0};
+  double mean_{0.0};
+  double m2_{0.0};
+  double min_{std::numeric_limits<double>::infinity()};
+  double max_{-std::numeric_limits<double>::infinity()};
+};
+
+/// A binomial proportion with a Wilson score interval.
+struct Proportion {
+  std::int64_t successes{0};
+  std::int64_t trials{0};
+  double estimate{0.0};
+  double lower{0.0};
+  double upper{0.0};
+};
+
+/// Wilson score interval for `successes` out of `trials` at normal quantile
+/// `z` (1.96 ~ 95%, 3.29 ~ 99.9%). Well-behaved at 0 and n.
+Proportion wilson_interval(std::int64_t successes, std::int64_t trials, double z = 1.96);
+
+}  // namespace reorder::stats

@@ -1,0 +1,28 @@
+// The minimal clock/scheduler interface a protocol stack needs. The
+// discrete-event loop in netsim implements it; keeping the interface here
+// lets tcpip stay independent of the simulator (and unit-testable against a
+// trivial manual clock).
+#pragma once
+
+#include <functional>
+
+#include "util/time.hpp"
+
+namespace reorder::tcpip {
+
+/// Virtual time plus deferred execution. Implementations must run callbacks
+/// in timestamp order; ties in FIFO order of scheduling.
+class Environment {
+ public:
+  virtual ~Environment() = default;
+
+  virtual util::TimePoint now() const = 0;
+
+  /// Runs `fn` after `delay` (>= 0). Returns a token that can be cancelled.
+  virtual std::uint64_t schedule(util::Duration delay, std::function<void()> fn) = 0;
+
+  /// Cancels a previously scheduled callback; no-op if already run.
+  virtual void cancel(std::uint64_t token) = 0;
+};
+
+}  // namespace reorder::tcpip

@@ -1,0 +1,110 @@
+#include "tcpip/fragment.hpp"
+
+#include <algorithm>
+#include <map>
+
+#include "tcpip/ipv4.hpp"
+#include "util/byte_io.hpp"
+
+namespace reorder::tcpip {
+
+std::vector<std::vector<std::uint8_t>> fragment_datagram(
+    std::span<const std::uint8_t> datagram, std::size_t mtu) {
+  if (datagram.size() <= mtu) {
+    return {std::vector<std::uint8_t>{datagram.begin(), datagram.end()}};
+  }
+  util::ByteReader r{datagram};
+  const auto parsed = Ipv4Header::parse(r);
+  if (parsed.header.dont_fragment) return {};
+  const auto payload = datagram.subspan(Ipv4Header::kWireSize);
+
+  // Payload bytes per fragment: multiple of 8, as the offset field demands.
+  const std::size_t per_fragment = ((mtu - Ipv4Header::kWireSize) / 8) * 8;
+  if (per_fragment == 0) return {};
+
+  std::vector<std::vector<std::uint8_t>> out;
+  for (std::size_t off = 0; off < payload.size(); off += per_fragment) {
+    const std::size_t len = std::min(per_fragment, payload.size() - off);
+    Ipv4Header h = parsed.header;
+    h.fragment_offset = static_cast<std::uint16_t>(
+        parsed.header.fragment_offset + off / 8);
+    h.more_fragments = (off + len < payload.size()) || parsed.header.more_fragments;
+    std::vector<std::uint8_t> frag;
+    frag.reserve(Ipv4Header::kWireSize + len);
+    util::ByteWriter w{frag};
+    h.serialize(w, len);
+    w.bytes(payload.subspan(off, len));
+    out.push_back(std::move(frag));
+  }
+  return out;
+}
+
+std::optional<std::vector<std::uint8_t>> reassemble_datagram(
+    const std::vector<std::vector<std::uint8_t>>& fragments) {
+  if (fragments.empty()) return std::nullopt;
+
+  struct Piece {
+    Ipv4Header header;
+    std::vector<std::uint8_t> payload;
+  };
+  std::map<std::uint32_t, Piece> by_offset;  // byte offset -> piece
+  std::optional<std::uint32_t> total_len;
+  std::optional<Ipv4Header> first_header;
+
+  for (const auto& frag : fragments) {
+    util::ByteReader r{frag};
+    Ipv4Header::Parsed parsed;
+    try {
+      parsed = Ipv4Header::parse(r);
+    } catch (const util::ParseError&) {
+      return std::nullopt;
+    }
+    if (parsed.total_length != frag.size()) return std::nullopt;
+    if (first_header.has_value()) {
+      // All fragments must share the reassembly key.
+      if (parsed.header.identification != first_header->identification ||
+          parsed.header.src != first_header->src || parsed.header.dst != first_header->dst ||
+          parsed.header.protocol != first_header->protocol) {
+        return std::nullopt;
+      }
+    } else {
+      first_header = parsed.header;
+    }
+    const std::uint32_t offset = static_cast<std::uint32_t>(parsed.header.fragment_offset) * 8;
+    Piece piece;
+    piece.header = parsed.header;
+    piece.payload.assign(frag.begin() + Ipv4Header::kWireSize, frag.end());
+    if (!parsed.header.more_fragments) {
+      const std::uint32_t end = offset + static_cast<std::uint32_t>(piece.payload.size());
+      if (total_len.has_value() && *total_len != end) return std::nullopt;
+      total_len = end;
+    }
+    // Duplicates (retransmitted fragments) must be byte-identical.
+    const auto [it, inserted] = by_offset.emplace(offset, std::move(piece));
+    if (!inserted && it->second.payload.size() != by_offset.at(offset).payload.size()) {
+      return std::nullopt;
+    }
+  }
+  if (!total_len.has_value()) return std::nullopt;
+
+  std::vector<std::uint8_t> payload;
+  std::uint32_t expect = 0;
+  for (const auto& [offset, piece] : by_offset) {
+    if (offset != expect) return std::nullopt;  // hole (or overlap)
+    payload.insert(payload.end(), piece.payload.begin(), piece.payload.end());
+    expect = offset + static_cast<std::uint32_t>(piece.payload.size());
+  }
+  if (expect != *total_len) return std::nullopt;
+
+  Ipv4Header h = *first_header;
+  h.fragment_offset = 0;
+  h.more_fragments = false;
+  std::vector<std::uint8_t> out;
+  out.reserve(Ipv4Header::kWireSize + payload.size());
+  util::ByteWriter w{out};
+  h.serialize(w, payload.size());
+  w.bytes(payload);
+  return out;
+}
+
+}  // namespace reorder::tcpip

@@ -1,0 +1,36 @@
+// IPv4 fragmentation and reassembly over wire-format datagrams.
+//
+// This is the mechanism that gives the IP identification field its
+// meaning (paper §III-A): all fragments of a datagram carry the sender's
+// IPID and the receiver reassembles by (src, dst, protocol, IPID). The
+// dual-connection test's whole premise — that IPIDs from a classic stack
+// order its transmissions — is an artifact of how senders keep this field
+// unique, so the library implements the real thing.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <vector>
+
+namespace reorder::tcpip {
+
+/// Splits a wire-format IPv4 datagram into fragments that each fit `mtu`
+/// bytes (including the 20-byte IP header). Fragment payload sizes are
+/// multiples of 8 except for the last fragment; headers carry the original
+/// identification with MF set on all but the final fragment.
+///
+/// Returns a single-element copy when the datagram already fits. Returns
+/// an empty vector when the datagram needs fragmenting but has DF set
+/// (the sender would receive ICMP "fragmentation needed" — the Linux 2.4
+/// PMTUD behaviour that also zeroes the IPID).
+std::vector<std::vector<std::uint8_t>> fragment_datagram(
+    std::span<const std::uint8_t> datagram, std::size_t mtu);
+
+/// Reassembles fragments of one datagram (any arrival order, duplicates
+/// tolerated). Returns the original datagram, or std::nullopt if pieces
+/// are missing, overlap inconsistently, or mix identifications.
+std::optional<std::vector<std::uint8_t>> reassemble_datagram(
+    const std::vector<std::vector<std::uint8_t>>& fragments);
+
+}  // namespace reorder::tcpip

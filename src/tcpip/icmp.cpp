@@ -1,0 +1,37 @@
+#include "tcpip/icmp.hpp"
+
+#include "util/checksum.hpp"
+
+namespace reorder::tcpip {
+
+void IcmpEcho::serialize(util::ByteWriter& w, std::span<const std::uint8_t> payload) const {
+  std::vector<std::uint8_t> scratch;
+  util::ByteWriter sw{scratch};
+  sw.u8(static_cast<std::uint8_t>(type));
+  sw.u8(0);  // code
+  sw.u16(0); // checksum placeholder
+  sw.u16(identifier);
+  sw.u16(sequence);
+  util::InternetChecksum c;
+  c.update(scratch);
+  c.update(payload);
+  const std::uint16_t sum = c.finish();
+  sw.patch_u16(2, sum);
+  w.bytes(scratch);
+  w.bytes(payload);
+}
+
+IcmpEcho::Parsed IcmpEcho::parse(std::span<const std::uint8_t> message) {
+  util::ByteReader r{message};
+  Parsed out;
+  out.header.type = static_cast<IcmpType>(r.u8());
+  r.u8();   // code
+  r.u16();  // checksum (verified over the whole message below)
+  out.header.identifier = r.u16();
+  out.header.sequence = r.u16();
+  out.header_len = kWireSize;
+  out.checksum_ok = util::internet_checksum(message) == 0;
+  return out;
+}
+
+}  // namespace reorder::tcpip

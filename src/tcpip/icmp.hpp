@@ -1,0 +1,45 @@
+// Minimal ICMP echo support (RFC 792 types 8/0).
+//
+// Needed to reproduce the measurement baseline the paper critiques in
+// §II: Bennett et al. estimated reordering by sending bursts of ICMP echo
+// requests and inspecting reply order — a technique that cannot attribute
+// reordering to the forward or reverse path and that operators
+// increasingly filter. The ping-burst baseline in core/ is built on this.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "util/byte_io.hpp"
+
+namespace reorder::tcpip {
+
+enum class IcmpType : std::uint8_t {
+  kEchoReply = 0,
+  kEchoRequest = 8,
+};
+
+/// An ICMP echo request/reply header (the 8-byte echo form).
+struct IcmpEcho {
+  IcmpType type{IcmpType::kEchoRequest};
+  std::uint16_t identifier{0};
+  std::uint16_t sequence{0};
+
+  static constexpr std::size_t kWireSize = 8;
+
+  /// Serializes header + payload with a valid ICMP checksum.
+  void serialize(util::ByteWriter& w, std::span<const std::uint8_t> payload) const;
+
+  struct Parsed;
+  /// Parses an ICMP message (must span the whole ICMP portion).
+  static Parsed parse(std::span<const std::uint8_t> message);
+};
+
+struct IcmpEcho::Parsed {
+  IcmpEcho header;
+  bool checksum_ok{false};
+  std::size_t header_len{0};
+};
+
+}  // namespace reorder::tcpip

@@ -1,0 +1,89 @@
+#include "tcpip/ipid.hpp"
+
+namespace reorder::tcpip {
+
+std::string to_string(IpidPolicy policy) {
+  switch (policy) {
+    case IpidPolicy::kGlobalCounter: return "global-counter";
+    case IpidPolicy::kPerDestination: return "per-destination";
+    case IpidPolicy::kRandom: return "random";
+    case IpidPolicy::kConstantZero: return "constant-zero";
+    case IpidPolicy::kRandomIncrement: return "random-increment";
+  }
+  return "?";
+}
+
+namespace {
+
+class GlobalCounter final : public IpidGenerator {
+ public:
+  explicit GlobalCounter(std::uint16_t initial) : counter_{initial} {}
+  std::uint16_t next(Ipv4Address) override { return counter_++; }
+  IpidPolicy policy() const override { return IpidPolicy::kGlobalCounter; }
+
+ private:
+  std::uint16_t counter_;
+};
+
+class PerDestination final : public IpidGenerator {
+ public:
+  explicit PerDestination(std::uint16_t initial) : initial_{initial} {}
+  std::uint16_t next(Ipv4Address dst) override {
+    auto [it, inserted] = counters_.try_emplace(dst.value(), initial_);
+    return it->second++;
+  }
+  IpidPolicy policy() const override { return IpidPolicy::kPerDestination; }
+
+ private:
+  std::uint16_t initial_;
+  std::map<std::uint32_t, std::uint16_t> counters_;
+};
+
+class RandomIpid final : public IpidGenerator {
+ public:
+  explicit RandomIpid(std::uint64_t seed) : rng_{seed} {}
+  std::uint16_t next(Ipv4Address) override {
+    return static_cast<std::uint16_t>(rng_.below(65536));
+  }
+  IpidPolicy policy() const override { return IpidPolicy::kRandom; }
+
+ private:
+  util::Rng rng_;
+};
+
+class ConstantZero final : public IpidGenerator {
+ public:
+  std::uint16_t next(Ipv4Address) override { return 0; }
+  IpidPolicy policy() const override { return IpidPolicy::kConstantZero; }
+};
+
+class RandomIncrement final : public IpidGenerator {
+ public:
+  RandomIncrement(std::uint64_t seed, std::uint16_t initial) : rng_{seed}, counter_{initial} {}
+  std::uint16_t next(Ipv4Address) override {
+    counter_ = static_cast<std::uint16_t>(counter_ +
+                                          static_cast<std::uint16_t>(rng_.between(1, 7)));
+    return counter_;
+  }
+  IpidPolicy policy() const override { return IpidPolicy::kRandomIncrement; }
+
+ private:
+  util::Rng rng_;
+  std::uint16_t counter_;
+};
+
+}  // namespace
+
+std::unique_ptr<IpidGenerator> make_ipid_generator(IpidPolicy policy, std::uint64_t seed,
+                                                   std::uint16_t initial) {
+  switch (policy) {
+    case IpidPolicy::kGlobalCounter: return std::make_unique<GlobalCounter>(initial);
+    case IpidPolicy::kPerDestination: return std::make_unique<PerDestination>(initial);
+    case IpidPolicy::kRandom: return std::make_unique<RandomIpid>(seed);
+    case IpidPolicy::kConstantZero: return std::make_unique<ConstantZero>();
+    case IpidPolicy::kRandomIncrement: return std::make_unique<RandomIncrement>(seed, initial);
+  }
+  return nullptr;
+}
+
+}  // namespace reorder::tcpip

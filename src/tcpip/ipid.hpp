@@ -1,0 +1,46 @@
+// IP identification (IPID) generation policies.
+//
+// The dual-connection test depends on the classic "single global counter"
+// implementation artifact: two packets from the same host can be ordered by
+// comparing their IPIDs. Real stacks diverge from this (the paper names
+// Linux 2.4's constant zero under PMTU discovery, OpenBSD's pseudorandom
+// ids, Solaris' per-destination counters), so each behaviour is a policy
+// here and the IpidValidator in core/ must tell them apart.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+
+#include "tcpip/ipv4.hpp"
+#include "util/random.hpp"
+
+namespace reorder::tcpip {
+
+/// Which IPID scheme a host uses.
+enum class IpidPolicy {
+  kGlobalCounter,    ///< classic: one counter, +1 per transmitted packet
+  kPerDestination,   ///< Solaris-style: independent counter per peer
+  kRandom,           ///< OpenBSD-style: pseudorandom per packet
+  kConstantZero,     ///< Linux 2.4 with PMTUD: always 0, DF set
+  kRandomIncrement,  ///< counter advanced by a small random step
+};
+
+std::string to_string(IpidPolicy policy);
+
+/// Stateful IPID source. One instance per host.
+class IpidGenerator {
+ public:
+  virtual ~IpidGenerator() = default;
+  /// Returns the identification value for the next packet to `dst`.
+  virtual std::uint16_t next(Ipv4Address dst) = 0;
+  virtual IpidPolicy policy() const = 0;
+};
+
+/// Factory. `seed` feeds the stochastic policies; `initial` is the first
+/// counter value for counter-based policies (mod 65536).
+std::unique_ptr<IpidGenerator> make_ipid_generator(IpidPolicy policy, std::uint64_t seed = 1,
+                                                   std::uint16_t initial = 1);
+
+}  // namespace reorder::tcpip

@@ -1,0 +1,88 @@
+#include "tcpip/ipv4.hpp"
+
+#include <cstdio>
+#include <stdexcept>
+
+#include "util/checksum.hpp"
+
+namespace reorder::tcpip {
+
+Ipv4Address Ipv4Address::parse(const std::string& dotted) {
+  unsigned a = 0, b = 0, c = 0, d = 0;
+  char tail = 0;
+  const int got = std::sscanf(dotted.c_str(), "%u.%u.%u.%u%c", &a, &b, &c, &d, &tail);
+  if (got != 4 || a > 255 || b > 255 || c > 255 || d > 255) {
+    throw std::invalid_argument{"bad IPv4 address: " + dotted};
+  }
+  return from_octets(static_cast<std::uint8_t>(a), static_cast<std::uint8_t>(b),
+                     static_cast<std::uint8_t>(c), static_cast<std::uint8_t>(d));
+}
+
+std::string Ipv4Address::to_string() const {
+  char buf[16];
+  std::snprintf(buf, sizeof buf, "%u.%u.%u.%u", (value_ >> 24) & 0xff, (value_ >> 16) & 0xff,
+                (value_ >> 8) & 0xff, value_ & 0xff);
+  return buf;
+}
+
+void Ipv4Header::serialize(util::ByteWriter& w, std::size_t payload_len) const {
+  const std::size_t start = w.size();
+  const auto total = static_cast<std::uint16_t>(kWireSize + payload_len);
+  w.u8(0x45);  // version 4, IHL 5 words
+  w.u8(tos);
+  w.u16(total);
+  w.u16(identification);
+  std::uint16_t frag = fragment_offset & 0x1fff;
+  if (dont_fragment) frag |= 0x4000;
+  if (more_fragments) frag |= 0x2000;
+  w.u16(frag);
+  w.u8(ttl);
+  w.u8(static_cast<std::uint8_t>(protocol));
+  const std::size_t checksum_at = w.size();
+  w.u16(0);  // checksum placeholder
+  w.u32(src.value());
+  w.u32(dst.value());
+  // Checksum over the header bytes just written.
+  // ByteWriter does not expose its buffer, so recompute from the fields.
+  std::vector<std::uint8_t> hdr;
+  util::ByteWriter hw{hdr};
+  hw.u8(0x45);
+  hw.u8(tos);
+  hw.u16(total);
+  hw.u16(identification);
+  hw.u16(frag);
+  hw.u8(ttl);
+  hw.u8(static_cast<std::uint8_t>(protocol));
+  hw.u16(0);
+  hw.u32(src.value());
+  hw.u32(dst.value());
+  const std::uint16_t sum = util::internet_checksum(hdr);
+  w.patch_u16(checksum_at, sum);
+  (void)start;
+}
+
+Ipv4Header::Parsed Ipv4Header::parse(util::ByteReader& r) {
+  const auto header_bytes = r.bytes(kWireSize);
+  util::ByteReader hr{header_bytes};
+  Parsed out;
+  const std::uint8_t ver_ihl = hr.u8();
+  if ((ver_ihl >> 4) != 4) throw util::ParseError{"not IPv4"};
+  const std::size_t ihl = static_cast<std::size_t>(ver_ihl & 0x0f) * 4;
+  if (ihl != kWireSize) throw util::ParseError{"IPv4 options unsupported"};
+  out.header.tos = hr.u8();
+  out.total_length = hr.u16();
+  out.header.identification = hr.u16();
+  const std::uint16_t frag = hr.u16();
+  out.header.dont_fragment = (frag & 0x4000) != 0;
+  out.header.more_fragments = (frag & 0x2000) != 0;
+  out.header.fragment_offset = frag & 0x1fff;
+  out.header.ttl = hr.u8();
+  out.header.protocol = static_cast<IpProto>(hr.u8());
+  hr.u16();  // checksum (validated over the whole header below)
+  out.header.src = Ipv4Address{hr.u32()};
+  out.header.dst = Ipv4Address{hr.u32()};
+  out.checksum_ok = util::internet_checksum(header_bytes) == 0;
+  return out;
+}
+
+}  // namespace reorder::tcpip

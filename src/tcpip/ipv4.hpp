@@ -1,0 +1,73 @@
+// IPv4 addressing and header representation with a real wire codec
+// (RFC 791). The simulator passes structured headers for speed, but every
+// header can be serialized to standards-conformant bytes — the pcap writer
+// and the codec tests use that path.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "util/byte_io.hpp"
+
+namespace reorder::tcpip {
+
+/// Strongly typed IPv4 address (host-order value internally).
+class Ipv4Address {
+ public:
+  constexpr Ipv4Address() = default;
+  constexpr explicit Ipv4Address(std::uint32_t v) : value_{v} {}
+  static constexpr Ipv4Address from_octets(std::uint8_t a, std::uint8_t b, std::uint8_t c,
+                                           std::uint8_t d) {
+    return Ipv4Address{(static_cast<std::uint32_t>(a) << 24) |
+                       (static_cast<std::uint32_t>(b) << 16) |
+                       (static_cast<std::uint32_t>(c) << 8) | d};
+  }
+  /// Parses dotted-quad notation; throws std::invalid_argument on bad input.
+  static Ipv4Address parse(const std::string& dotted);
+
+  constexpr std::uint32_t value() const { return value_; }
+  std::string to_string() const;
+
+  friend constexpr auto operator<=>(Ipv4Address, Ipv4Address) = default;
+
+ private:
+  std::uint32_t value_{0};
+};
+
+/// IP protocol numbers we care about.
+enum class IpProto : std::uint8_t { kIcmp = 1, kTcp = 6, kUdp = 17 };
+
+/// Structured IPv4 header (no options). total_length and header checksum
+/// are computed during serialization; parse() verifies the checksum.
+struct Ipv4Header {
+  std::uint8_t tos{0};
+  std::uint16_t identification{0};
+  bool dont_fragment{false};
+  bool more_fragments{false};
+  std::uint16_t fragment_offset{0};  ///< in 8-byte units
+  std::uint8_t ttl{64};
+  IpProto protocol{IpProto::kTcp};
+  Ipv4Address src;
+  Ipv4Address dst;
+
+  static constexpr std::size_t kWireSize = 20;
+
+  /// Appends the 20-byte header (checksum filled in) for a datagram whose
+  /// payload (everything after this header) is `payload_len` bytes.
+  void serialize(util::ByteWriter& w, std::size_t payload_len) const;
+
+  struct Parsed;
+  /// Parses the 20-byte header; the result carries the fields plus the
+  /// total length from the wire and the checksum verdict.
+  static Parsed parse(util::ByteReader& r);
+};
+
+struct Ipv4Header::Parsed {
+  Ipv4Header header;
+  std::uint16_t total_length{0};
+  bool checksum_ok{false};
+};
+
+}  // namespace reorder::tcpip

@@ -1,0 +1,39 @@
+// Wrap-safe 32-bit TCP sequence-number arithmetic (RFC 793 comparisons).
+// All comparisons are modulo 2^32 with a signed-distance interpretation:
+// a < b iff the shortest walk from a to b is forward and non-zero.
+#pragma once
+
+#include <cstdint>
+
+namespace reorder::tcpip {
+
+/// Signed distance from `a` to `b` on the sequence circle.
+constexpr std::int32_t seq_diff(std::uint32_t a, std::uint32_t b) {
+  return static_cast<std::int32_t>(a - b);
+}
+
+constexpr bool seq_lt(std::uint32_t a, std::uint32_t b) { return seq_diff(a, b) < 0; }
+constexpr bool seq_leq(std::uint32_t a, std::uint32_t b) { return seq_diff(a, b) <= 0; }
+constexpr bool seq_gt(std::uint32_t a, std::uint32_t b) { return seq_diff(a, b) > 0; }
+constexpr bool seq_geq(std::uint32_t a, std::uint32_t b) { return seq_diff(a, b) >= 0; }
+
+/// True iff seq lies in the half-open window [lo, lo + size).
+constexpr bool seq_in_window(std::uint32_t seq, std::uint32_t lo, std::uint32_t size) {
+  return seq_geq(seq, lo) && seq_lt(seq, lo + size);
+}
+
+/// The greater of two sequence numbers under circular comparison.
+constexpr std::uint32_t seq_max(std::uint32_t a, std::uint32_t b) {
+  return seq_geq(a, b) ? a : b;
+}
+
+/// 16-bit IPID circular comparison (same idea, half the width). Used by the
+/// dual-connection test to order acknowledgment packets by their IPIDs.
+constexpr std::int16_t ipid_diff(std::uint16_t a, std::uint16_t b) {
+  return static_cast<std::int16_t>(static_cast<std::uint16_t>(a - b));
+}
+
+constexpr bool ipid_lt(std::uint16_t a, std::uint16_t b) { return ipid_diff(a, b) < 0; }
+constexpr bool ipid_gt(std::uint16_t a, std::uint16_t b) { return ipid_diff(a, b) > 0; }
+
+}  // namespace reorder::tcpip

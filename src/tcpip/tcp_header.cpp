@@ -1,0 +1,124 @@
+#include "tcpip/tcp_header.hpp"
+
+#include <array>
+#include <cstdio>
+
+#include "util/checksum.hpp"
+
+namespace reorder::tcpip {
+
+namespace {
+
+void append_pseudo_header(util::InternetChecksum& c, Ipv4Address src, Ipv4Address dst,
+                          std::size_t tcp_len) {
+  std::array<std::uint8_t, 12> ph{};
+  const std::uint32_t s = src.value();
+  const std::uint32_t d = dst.value();
+  ph[0] = static_cast<std::uint8_t>(s >> 24);
+  ph[1] = static_cast<std::uint8_t>(s >> 16);
+  ph[2] = static_cast<std::uint8_t>(s >> 8);
+  ph[3] = static_cast<std::uint8_t>(s);
+  ph[4] = static_cast<std::uint8_t>(d >> 24);
+  ph[5] = static_cast<std::uint8_t>(d >> 16);
+  ph[6] = static_cast<std::uint8_t>(d >> 8);
+  ph[7] = static_cast<std::uint8_t>(d);
+  ph[8] = 0;
+  ph[9] = static_cast<std::uint8_t>(IpProto::kTcp);
+  ph[10] = static_cast<std::uint8_t>(tcp_len >> 8);
+  ph[11] = static_cast<std::uint8_t>(tcp_len & 0xff);
+  c.update(ph);
+}
+
+void write_header_bytes(util::ByteWriter& w, const TcpHeader& h, std::uint16_t checksum) {
+  w.u16(h.src_port);
+  w.u16(h.dst_port);
+  w.u32(h.seq);
+  w.u32(h.ack);
+  const auto offset_words = static_cast<std::uint8_t>(h.wire_size() / 4);
+  w.u8(static_cast<std::uint8_t>(offset_words << 4));
+  w.u8(h.flags);
+  w.u16(h.window);
+  w.u16(checksum);
+  w.u16(h.urgent);
+  if (h.mss.has_value()) {
+    w.u8(2);  // kind: MSS
+    w.u8(4);  // length
+    w.u16(*h.mss);
+  }
+}
+
+}  // namespace
+
+void TcpHeader::serialize(util::ByteWriter& w, Ipv4Address src, Ipv4Address dst,
+                          std::span<const std::uint8_t> payload) const {
+  // First render with zero checksum into a scratch buffer, checksum it with
+  // the pseudo-header, then emit the final bytes.
+  std::vector<std::uint8_t> scratch;
+  util::ByteWriter sw{scratch};
+  write_header_bytes(sw, *this, 0);
+  const std::size_t tcp_len = scratch.size() + payload.size();
+
+  util::InternetChecksum c;
+  append_pseudo_header(c, src, dst, tcp_len);
+  c.update(scratch);
+  c.update(payload);
+  const std::uint16_t sum = c.finish();
+
+  write_header_bytes(w, *this, sum);
+  w.bytes(payload);
+}
+
+TcpHeader::Parsed TcpHeader::parse(std::span<const std::uint8_t> segment, Ipv4Address src,
+                                   Ipv4Address dst) {
+  util::ByteReader r{segment};
+  Parsed out;
+  out.header.src_port = r.u16();
+  out.header.dst_port = r.u16();
+  out.header.seq = r.u32();
+  out.header.ack = r.u32();
+  const std::uint8_t off = r.u8();
+  out.header_len = static_cast<std::size_t>(off >> 4) * 4;
+  if (out.header_len < 20 || out.header_len > segment.size()) {
+    throw util::ParseError{"bad TCP data offset"};
+  }
+  out.header.flags = r.u8();
+  out.header.window = r.u16();
+  r.u16();  // checksum, verified over the whole segment below
+  out.header.urgent = r.u16();
+  // Options.
+  while (r.position() < out.header_len) {
+    const std::uint8_t kind = r.u8();
+    if (kind == 0) break;    // end of options
+    if (kind == 1) continue; // NOP
+    const std::uint8_t len = r.u8();
+    if (len < 2) throw util::ParseError{"bad TCP option length"};
+    if (kind == 2 && len == 4) {
+      out.header.mss = r.u16();
+    } else {
+      r.skip(len - 2);
+    }
+  }
+
+  util::InternetChecksum c;
+  append_pseudo_header(c, src, dst, segment.size());
+  c.update(segment);
+  out.checksum_ok = c.finish() == 0;
+  return out;
+}
+
+std::string TcpHeader::describe() const {
+  std::string f;
+  if (has(kSyn)) f += "SYN|";
+  if (has(kFin)) f += "FIN|";
+  if (has(kRst)) f += "RST|";
+  if (has(kPsh)) f += "PSH|";
+  if (has(kAck)) f += "ACK|";
+  if (has(kUrg)) f += "URG|";
+  if (!f.empty()) f.pop_back();
+  char buf[128];
+  std::snprintf(buf, sizeof buf, "%s seq=%u ack=%u win=%u", f.empty() ? "-" : f.c_str(), seq, ack,
+                window);
+  return buf;
+}
+
+}  // namespace reorder::tcpip

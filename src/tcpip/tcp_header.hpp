@@ -1,0 +1,67 @@
+// Structured TCP header (RFC 793) with MSS option support and a wire codec
+// including the IPv4 pseudo-header checksum.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <string>
+
+#include "tcpip/ipv4.hpp"
+#include "util/byte_io.hpp"
+
+namespace reorder::tcpip {
+
+/// TCP flag bits, combinable with operator|.
+enum TcpFlags : std::uint8_t {
+  kFin = 0x01,
+  kSyn = 0x02,
+  kRst = 0x04,
+  kPsh = 0x08,
+  kAck = 0x10,
+  kUrg = 0x20,
+};
+
+/// Structured TCP header. data_offset and checksum are computed by the
+/// codec. Only the MSS option is modeled (the only one the paper's
+/// techniques rely on).
+struct TcpHeader {
+  std::uint16_t src_port{0};
+  std::uint16_t dst_port{0};
+  std::uint32_t seq{0};
+  std::uint32_t ack{0};
+  std::uint8_t flags{0};
+  std::uint16_t window{65535};
+  std::uint16_t urgent{0};
+  std::optional<std::uint16_t> mss;  ///< MSS option (SYN segments only)
+
+  bool has(TcpFlags f) const { return (flags & f) != 0; }
+  bool is_syn() const { return has(kSyn); }
+  bool is_ack() const { return has(kAck); }
+  bool is_rst() const { return has(kRst); }
+  bool is_fin() const { return has(kFin); }
+
+  /// Header length on the wire (20 bytes + padded options).
+  std::size_t wire_size() const { return mss.has_value() ? 24u : 20u; }
+
+  /// Serializes header + payload with a valid checksum computed over the
+  /// pseudo-header for (src, dst).
+  void serialize(util::ByteWriter& w, Ipv4Address src, Ipv4Address dst,
+                 std::span<const std::uint8_t> payload) const;
+
+  struct Parsed;
+  /// Parses a TCP segment (header + options); `segment` must span the whole
+  /// TCP portion of the datagram so the checksum can be verified.
+  static Parsed parse(std::span<const std::uint8_t> segment, Ipv4Address src, Ipv4Address dst);
+
+  /// "SYN|ACK seq=12 ack=13 win=65535" — for logs and test failure messages.
+  std::string describe() const;
+};
+
+struct TcpHeader::Parsed {
+  TcpHeader header;
+  std::size_t header_len{0};
+  bool checksum_ok{false};
+};
+
+}  // namespace reorder::tcpip

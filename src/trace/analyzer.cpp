@@ -1,0 +1,108 @@
+#include "trace/analyzer.hpp"
+
+#include <algorithm>
+#include <map>
+#include <set>
+
+#include "tcpip/seq.hpp"
+
+namespace reorder::trace {
+
+std::uint64_t count_inversions(const std::vector<std::uint32_t>& arrival) {
+  // O(n^2) is fine: sample sequences are short (paper uses 2..100 packets).
+  std::uint64_t inv = 0;
+  for (std::size_t i = 0; i < arrival.size(); ++i) {
+    for (std::size_t j = i + 1; j < arrival.size(); ++j) {
+      if (arrival[i] > arrival[j]) ++inv;
+    }
+  }
+  return inv;
+}
+
+std::uint64_t count_pair_exchanges(const std::vector<std::uint32_t>& arrival) {
+  // Position of each send index in the arrival sequence.
+  std::map<std::uint32_t, std::size_t> pos;
+  for (std::size_t i = 0; i < arrival.size(); ++i) pos.emplace(arrival[i], i);
+  std::uint64_t exchanged = 0;
+  for (const auto& [send_idx, at] : pos) {
+    if (send_idx % 2 != 0) continue;
+    const auto partner = pos.find(send_idx + 1);
+    if (partner == pos.end()) continue;
+    if (partner->second < at) ++exchanged;
+  }
+  return exchanged;
+}
+
+bool any_reordering(const std::vector<std::uint32_t>& arrival) {
+  return !std::is_sorted(arrival.begin(), arrival.end());
+}
+
+ArrivalOrder arrival_order(const TraceBuffer& buffer, const std::vector<std::uint64_t>& sent_uids) {
+  std::map<std::uint64_t, std::uint32_t> send_index;
+  for (std::size_t i = 0; i < sent_uids.size(); ++i) {
+    send_index.emplace(sent_uids[i], static_cast<std::uint32_t>(i));
+  }
+  ArrivalOrder out;
+  std::set<std::uint64_t> seen;
+  for (const auto& rec : buffer.records()) {
+    const auto it = send_index.find(rec.packet.uid);
+    if (it == send_index.end()) continue;
+    if (!seen.insert(rec.packet.uid).second) continue;  // retransmit duplicate
+    out.arrival.push_back(it->second);
+  }
+  for (const auto& [uid, idx] : send_index) {
+    if (!seen.contains(uid)) out.missing.push_back(idx);
+  }
+  std::sort(out.missing.begin(), out.missing.end());
+  return out;
+}
+
+PairGroundTruth pair_ground_truth(const TraceBuffer& buffer, std::uint64_t uid_first,
+                                  std::uint64_t uid_second) {
+  std::optional<std::size_t> first_at;
+  std::optional<std::size_t> second_at;
+  const auto& recs = buffer.records();
+  for (std::size_t i = 0; i < recs.size(); ++i) {
+    const std::uint64_t uid = recs[i].packet.uid;
+    if (uid == uid_first && !first_at) first_at = i;
+    if (uid == uid_second && !second_at) second_at = i;
+  }
+  if (!first_at || !second_at) return PairGroundTruth::kIncomplete;
+  return *second_at < *first_at ? PairGroundTruth::kReordered : PairGroundTruth::kInOrder;
+}
+
+TcpTraceStats analyze_tcp_stream(const TraceBuffer& buffer, std::uint16_t src_port,
+                                 std::uint16_t dst_port) {
+  TcpTraceStats stats;
+  bool have_any = false;
+  std::uint32_t max_end = 0;  // highest sequence number seen + segment length
+  std::set<std::uint32_t> starts_seen;
+  for (const auto& rec : buffer.records()) {
+    const auto& p = rec.packet;
+    if (p.tcp.src_port != src_port || p.tcp.dst_port != dst_port) continue;
+    if (p.payload.empty()) continue;
+    ++stats.data_segments;
+    const std::uint32_t seg_seq = p.tcp.seq;
+    const auto seg_end = seg_seq + static_cast<std::uint32_t>(p.payload.size());
+    if (!have_any) {
+      have_any = true;
+      max_end = seg_end;
+      starts_seen.insert(seg_seq);
+      continue;
+    }
+    if (!starts_seen.insert(seg_seq).second) {
+      ++stats.retransmissions;
+      continue;
+    }
+    if (tcpip::seq_lt(seg_seq, max_end)) {
+      // Arrived below the highest point: delivered after a later packet.
+      ++stats.out_of_order;
+    } else if (tcpip::seq_gt(seg_seq, max_end)) {
+      ++stats.max_advance_jumps;  // created a hole: something is late/lost
+    }
+    max_end = tcpip::seq_max(max_end, seg_end);
+  }
+  return stats;
+}
+
+}  // namespace reorder::trace

@@ -1,0 +1,66 @@
+// Ground-truth ordering analysis over captured traces.
+//
+// Two families of questions:
+//  * permutation metrics — given packets labeled by send order, how many
+//    adjacent exchanges / inversions did the network apply? (the paper's
+//    primitive metric and its generalizations)
+//  * trace queries — given a TraceBuffer and the uids of sample packets in
+//    send order, recover the arrival permutation and the pairwise verdicts
+//    the measurement tests are supposed to report.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "trace/trace.hpp"
+
+namespace reorder::trace {
+
+/// Number of inversions in `arrival`: pairs (i < j) with arrival[i] >
+/// arrival[j], where arrival is the sequence of send indices in arrival
+/// order. Equals the number of adjacent transpositions bubble sort needs.
+std::uint64_t count_inversions(const std::vector<std::uint32_t>& arrival);
+
+/// The paper's primitive metric for a pair stream: for consecutive send
+/// indices (2k, 2k+1), counts pairs whose arrival order is exchanged.
+std::uint64_t count_pair_exchanges(const std::vector<std::uint32_t>& arrival);
+
+/// True iff any packet arrived before one sent earlier (any inversion).
+bool any_reordering(const std::vector<std::uint32_t>& arrival);
+
+/// Recovered arrival data for a set of sample packets.
+struct ArrivalOrder {
+  /// Send indices in arrival order; missing packets are absent.
+  std::vector<std::uint32_t> arrival;
+  /// Send indices that never arrived (lost before the tap).
+  std::vector<std::uint32_t> missing;
+  bool complete() const { return missing.empty(); }
+};
+
+/// Matches `sent_uids` (in send order) against a capture buffer. Duplicate
+/// captures of the same uid (retransmits) count once, first arrival wins.
+ArrivalOrder arrival_order(const TraceBuffer& buffer, const std::vector<std::uint64_t>& sent_uids);
+
+/// Verdict for one two-packet sample, as ground truth sees it.
+enum class PairGroundTruth { kInOrder, kReordered, kIncomplete };
+
+/// Ground truth for a pair of sample packets (uid_first sent before
+/// uid_second): did they arrive exchanged at the tap?
+PairGroundTruth pair_ground_truth(const TraceBuffer& buffer, std::uint64_t uid_first,
+                                  std::uint64_t uid_second);
+
+/// Paxson-style passive analysis of a unidirectional TCP data trace:
+/// counts data segments arriving with a sequence number below the highest
+/// in-sequence point (out-of-order deliveries), separating probable
+/// retransmissions (same seq seen twice) from reorderings.
+struct TcpTraceStats {
+  std::uint64_t data_segments{0};
+  std::uint64_t out_of_order{0};
+  std::uint64_t retransmissions{0};
+  std::uint64_t max_advance_jumps{0};  ///< segments that created a hole
+};
+TcpTraceStats analyze_tcp_stream(const TraceBuffer& buffer, std::uint16_t src_port,
+                                 std::uint16_t dst_port);
+
+}  // namespace reorder::trace

@@ -1,0 +1,55 @@
+#include "trace/pcap_writer.hpp"
+
+#include <fstream>
+
+namespace reorder::trace {
+
+namespace {
+constexpr std::uint32_t kMagicMicros = 0xa1b2c3d4;  // classic pcap, microsecond stamps
+constexpr std::uint32_t kLinktypeRaw = 101;
+}  // namespace
+
+PcapWriter::PcapWriter(std::ostream& out) : out_{out} {
+  // pcap files are little-endian when written with this magic on x86; we
+  // emit little-endian explicitly for portability.
+  u32(kMagicMicros);
+  u16(2);   // version major
+  u16(4);   // version minor
+  u32(0);   // thiszone
+  u32(0);   // sigfigs
+  u32(65535);  // snaplen
+  u32(kLinktypeRaw);
+}
+
+void PcapWriter::u16(std::uint16_t v) {
+  const char bytes[2] = {static_cast<char>(v & 0xff), static_cast<char>(v >> 8)};
+  out_.write(bytes, 2);
+}
+
+void PcapWriter::u32(std::uint32_t v) {
+  const char bytes[4] = {static_cast<char>(v & 0xff), static_cast<char>((v >> 8) & 0xff),
+                         static_cast<char>((v >> 16) & 0xff), static_cast<char>(v >> 24)};
+  out_.write(bytes, 4);
+}
+
+void PcapWriter::write(const TraceRecord& record) {
+  const auto wire = record.packet.to_wire();
+  const std::int64_t ns = record.at.ns();
+  u32(static_cast<std::uint32_t>(ns / 1'000'000'000));
+  u32(static_cast<std::uint32_t>((ns % 1'000'000'000) / 1'000));
+  u32(static_cast<std::uint32_t>(wire.size()));
+  u32(static_cast<std::uint32_t>(wire.size()));
+  out_.write(reinterpret_cast<const char*>(wire.data()), static_cast<std::streamsize>(wire.size()));
+  ++packets_;
+}
+
+bool write_pcap_file(const std::string& path, const TraceBuffer& buffer) {
+  std::ofstream f{path, std::ios::binary};
+  if (!f) return false;
+  PcapWriter w{f};
+  for (const auto& rec : buffer.records()) w.write(rec);
+  f.flush();
+  return static_cast<bool>(f);
+}
+
+}  // namespace reorder::trace

@@ -1,0 +1,35 @@
+// Writes captured traces as standard pcap files (LINKTYPE_RAW, IPv4
+// datagrams), openable with tcpdump/wireshark. Serializes through the real
+// wire codec, so checksums in the output are valid.
+#pragma once
+
+#include <cstdint>
+#include <ostream>
+#include <string>
+
+#include "trace/trace.hpp"
+
+namespace reorder::trace {
+
+/// Streams pcap records to any std::ostream.
+class PcapWriter {
+ public:
+  /// Writes the global header. linktype 101 = LINKTYPE_RAW (raw IP).
+  explicit PcapWriter(std::ostream& out);
+
+  /// Appends one captured packet.
+  void write(const TraceRecord& record);
+
+  std::size_t packets_written() const { return packets_; }
+
+ private:
+  void u16(std::uint16_t v);
+  void u32(std::uint32_t v);
+  std::ostream& out_;
+  std::size_t packets_{0};
+};
+
+/// Convenience: dumps a whole buffer to `path`. Returns false on I/O error.
+bool write_pcap_file(const std::string& path, const TraceBuffer& buffer);
+
+}  // namespace reorder::trace

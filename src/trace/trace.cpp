@@ -1,0 +1,15 @@
+#include "trace/trace.hpp"
+
+#include <algorithm>
+
+namespace reorder::trace {
+
+std::vector<TraceRecord> TraceBuffer::filter_uids(const std::vector<std::uint64_t>& uids) const {
+  std::vector<TraceRecord> out;
+  for (const auto& r : records_) {
+    if (std::find(uids.begin(), uids.end(), r.packet.uid) != uids.end()) out.push_back(r);
+  }
+  return out;
+}
+
+}  // namespace reorder::trace

@@ -1,0 +1,98 @@
+// Big-endian (network order) byte encoding and decoding over contiguous
+// buffers. All protocol headers in this library are serialized through
+// these helpers so byte-order handling lives in exactly one place.
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+#include <span>
+#include <stdexcept>
+#include <vector>
+
+namespace reorder::util {
+
+/// Appends network-order encoded integers to a growable byte vector.
+class ByteWriter {
+ public:
+  explicit ByteWriter(std::vector<std::uint8_t>& out) : out_{out} {}
+
+  void u8(std::uint8_t v) { out_.push_back(v); }
+  void u16(std::uint16_t v) {
+    out_.push_back(static_cast<std::uint8_t>(v >> 8));
+    out_.push_back(static_cast<std::uint8_t>(v & 0xff));
+  }
+  void u32(std::uint32_t v) {
+    out_.push_back(static_cast<std::uint8_t>(v >> 24));
+    out_.push_back(static_cast<std::uint8_t>((v >> 16) & 0xff));
+    out_.push_back(static_cast<std::uint8_t>((v >> 8) & 0xff));
+    out_.push_back(static_cast<std::uint8_t>(v & 0xff));
+  }
+  void bytes(std::span<const std::uint8_t> b) {
+    out_.insert(out_.end(), b.begin(), b.end());
+  }
+  /// Number of bytes written so far through this writer's target.
+  std::size_t size() const { return out_.size(); }
+  /// Patches a previously written big-endian u16 at absolute offset `at`.
+  void patch_u16(std::size_t at, std::uint16_t v) {
+    out_.at(at) = static_cast<std::uint8_t>(v >> 8);
+    out_.at(at + 1) = static_cast<std::uint8_t>(v & 0xff);
+  }
+
+ private:
+  std::vector<std::uint8_t>& out_;
+};
+
+/// Thrown when a parse runs off the end of its buffer or sees an
+/// inconsistent length field.
+class ParseError : public std::runtime_error {
+ public:
+  explicit ParseError(const std::string& what) : std::runtime_error{what} {}
+};
+
+/// Reads network-order integers from a byte span, bounds-checked.
+class ByteReader {
+ public:
+  explicit ByteReader(std::span<const std::uint8_t> in) : in_{in} {}
+
+  std::uint8_t u8() {
+    need(1);
+    return in_[pos_++];
+  }
+  std::uint16_t u16() {
+    need(2);
+    const std::uint16_t v = static_cast<std::uint16_t>(
+        (static_cast<std::uint16_t>(in_[pos_]) << 8) | in_[pos_ + 1]);
+    pos_ += 2;
+    return v;
+  }
+  std::uint32_t u32() {
+    need(4);
+    const std::uint32_t v = (static_cast<std::uint32_t>(in_[pos_]) << 24) |
+                            (static_cast<std::uint32_t>(in_[pos_ + 1]) << 16) |
+                            (static_cast<std::uint32_t>(in_[pos_ + 2]) << 8) |
+                            static_cast<std::uint32_t>(in_[pos_ + 3]);
+    pos_ += 4;
+    return v;
+  }
+  std::span<const std::uint8_t> bytes(std::size_t n) {
+    need(n);
+    auto s = in_.subspan(pos_, n);
+    pos_ += n;
+    return s;
+  }
+  void skip(std::size_t n) {
+    need(n);
+    pos_ += n;
+  }
+  std::size_t remaining() const { return in_.size() - pos_; }
+  std::size_t position() const { return pos_; }
+
+ private:
+  void need(std::size_t n) const {
+    if (in_.size() - pos_ < n) throw ParseError{"buffer underrun"};
+  }
+  std::span<const std::uint8_t> in_;
+  std::size_t pos_{0};
+};
+
+}  // namespace reorder::util

@@ -1,0 +1,35 @@
+#include "util/checksum.hpp"
+
+namespace reorder::util {
+
+void InternetChecksum::update(std::span<const std::uint8_t> data) {
+  std::size_t i = 0;
+  if (have_odd_ && !data.empty()) {
+    // Complete the dangling high byte from the previous odd-length chunk.
+    sum_ += static_cast<std::uint16_t>((static_cast<std::uint16_t>(odd_byte_) << 8) | data[0]);
+    have_odd_ = false;
+    i = 1;
+  }
+  for (; i + 1 < data.size(); i += 2) {
+    sum_ += static_cast<std::uint16_t>((static_cast<std::uint16_t>(data[i]) << 8) | data[i + 1]);
+  }
+  if (i < data.size()) {
+    have_odd_ = true;
+    odd_byte_ = data[i];
+  }
+}
+
+std::uint16_t InternetChecksum::finish() const {
+  std::uint64_t s = sum_;
+  if (have_odd_) s += static_cast<std::uint16_t>(static_cast<std::uint16_t>(odd_byte_) << 8);
+  while (s >> 16) s = (s & 0xffff) + (s >> 16);
+  return static_cast<std::uint16_t>(~s & 0xffff);
+}
+
+std::uint16_t internet_checksum(std::span<const std::uint8_t> data) {
+  InternetChecksum c;
+  c.update(data);
+  return c.finish();
+}
+
+}  // namespace reorder::util

@@ -1,0 +1,32 @@
+// RFC 1071 Internet checksum, used by both the IPv4 header checksum and the
+// TCP checksum (the latter over a pseudo-header + segment).
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+namespace reorder::util {
+
+/// Incremental one's-complement sum. Feed byte ranges in any chunking; the
+/// fold and complement happen in finish(). Odd-length chunks are handled by
+/// carrying the dangling byte into the next chunk, matching the behaviour of
+/// a single contiguous sum.
+class InternetChecksum {
+ public:
+  /// Accumulates `data` into the running sum.
+  void update(std::span<const std::uint8_t> data);
+
+  /// Returns the one's-complement checksum in host byte order.
+  /// The object may continue to accumulate after a finish() call.
+  std::uint16_t finish() const;
+
+ private:
+  std::uint64_t sum_{0};
+  bool have_odd_{false};
+  std::uint8_t odd_byte_{0};
+};
+
+/// One-shot convenience over a single buffer.
+std::uint16_t internet_checksum(std::span<const std::uint8_t> data);
+
+}  // namespace reorder::util

@@ -1,0 +1,143 @@
+#include "util/flags.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+
+namespace reorder::util {
+
+Flags::Flags(std::string program, std::string description)
+    : program_{std::move(program)}, description_{std::move(description)} {}
+
+void Flags::add_i64(const std::string& name, std::int64_t* target, const std::string& help) {
+  Spec spec;
+  spec.help = help;
+  spec.kind = "int";
+  spec.default_repr = std::to_string(*target);
+  spec.set = [target](const std::string& v) {
+    char* end = nullptr;
+    const long long parsed = std::strtoll(v.c_str(), &end, 10);
+    if (end == v.c_str() || *end != '\0') return false;
+    *target = parsed;
+    return true;
+  };
+  specs_.emplace(name, std::move(spec));
+}
+
+void Flags::add_double(const std::string& name, double* target, const std::string& help) {
+  Spec spec;
+  spec.help = help;
+  spec.kind = "float";
+  spec.default_repr = std::to_string(*target);
+  spec.set = [target](const std::string& v) {
+    char* end = nullptr;
+    const double parsed = std::strtod(v.c_str(), &end);
+    if (end == v.c_str() || *end != '\0') return false;
+    *target = parsed;
+    return true;
+  };
+  specs_.emplace(name, std::move(spec));
+}
+
+void Flags::add_string(const std::string& name, std::string* target, const std::string& help) {
+  Spec spec;
+  spec.help = help;
+  spec.kind = "string";
+  spec.default_repr = *target;
+  spec.set = [target](const std::string& v) {
+    *target = v;
+    return true;
+  };
+  specs_.emplace(name, std::move(spec));
+}
+
+void Flags::add_bool(const std::string& name, bool* target, const std::string& help) {
+  Spec spec;
+  spec.help = help;
+  spec.kind = "bool";
+  spec.default_repr = *target ? "true" : "false";
+  spec.bool_target = target;
+  spec.set = [target](const std::string& v) {
+    if (v == "true" || v == "1") {
+      *target = true;
+    } else if (v == "false" || v == "0") {
+      *target = false;
+    } else {
+      return false;
+    }
+    return true;
+  };
+  specs_.emplace(name, std::move(spec));
+}
+
+bool Flags::apply(const std::string& name, const std::string& value, bool has_value) {
+  auto it = specs_.find(name);
+  if (it == specs_.end()) {
+    // Allow --no-<flag> for booleans.
+    if (name.rfind("no-", 0) == 0) {
+      auto base = specs_.find(name.substr(3));
+      if (base != specs_.end() && base->second.bool_target != nullptr && !has_value) {
+        *base->second.bool_target = false;
+        return true;
+      }
+    }
+    std::fprintf(stderr, "%s: unknown flag --%s\n", program_.c_str(), name.c_str());
+    return false;
+  }
+  if (!has_value) {
+    if (it->second.bool_target != nullptr) {
+      *it->second.bool_target = true;
+      return true;
+    }
+    std::fprintf(stderr, "%s: flag --%s requires a value\n", program_.c_str(), name.c_str());
+    return false;
+  }
+  if (!it->second.set(value)) {
+    std::fprintf(stderr, "%s: bad value '%s' for --%s\n", program_.c_str(), value.c_str(),
+                 name.c_str());
+    return false;
+  }
+  return true;
+}
+
+bool Flags::parse(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg == "--help" || arg == "-h") {
+      std::fputs(usage().c_str(), stdout);
+      return false;
+    }
+    if (arg.rfind("--", 0) != 0) {
+      positional_.push_back(std::move(arg));
+      continue;
+    }
+    arg = arg.substr(2);
+    const auto eq = arg.find('=');
+    if (eq != std::string::npos) {
+      if (!apply(arg.substr(0, eq), arg.substr(eq + 1), /*has_value=*/true)) return false;
+      continue;
+    }
+    // "--name value" form: consume the next token unless this is a bool.
+    auto it = specs_.find(arg);
+    const bool is_bool = it != specs_.end() && it->second.bool_target != nullptr;
+    if (!is_bool && i + 1 < argc && std::string{argv[i + 1]}.rfind("--", 0) != 0) {
+      if (!apply(arg, argv[++i], /*has_value=*/true)) return false;
+    } else {
+      if (!apply(arg, "", /*has_value=*/false)) return false;
+    }
+  }
+  return true;
+}
+
+std::string Flags::usage() const {
+  std::ostringstream os;
+  os << program_ << " — " << description_ << "\n\nFlags:\n";
+  for (const auto& [name, spec] : specs_) {
+    os << "  --" << name << " <" << spec.kind << ">  " << spec.help
+       << " (default: " << spec.default_repr << ")\n";
+  }
+  os << "  --help  show this message\n";
+  return os.str();
+}
+
+}  // namespace reorder::util

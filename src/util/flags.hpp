@@ -1,0 +1,53 @@
+// A tiny declarative command-line flag parser for examples and benches.
+// Supports --name=value, --name value, and boolean --name / --no-name.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace reorder::util {
+
+/// Declarative flag set. Register flags bound to variables, then parse().
+///
+///   Flags flags{"quickstart", "Run a first measurement"};
+///   double p = 0.05;
+///   flags.add_double("swap-prob", &p, "adjacent swap probability");
+///   if (!flags.parse(argc, argv)) return 1;  // printed error or --help
+class Flags {
+ public:
+  Flags(std::string program, std::string description);
+
+  void add_i64(const std::string& name, std::int64_t* target, const std::string& help);
+  void add_double(const std::string& name, double* target, const std::string& help);
+  void add_string(const std::string& name, std::string* target, const std::string& help);
+  void add_bool(const std::string& name, bool* target, const std::string& help);
+
+  /// Returns false if parsing failed or --help was requested (usage printed).
+  bool parse(int argc, char** argv);
+
+  /// Positional arguments left over after flag parsing.
+  const std::vector<std::string>& positional() const { return positional_; }
+
+  /// Renders the usage text.
+  std::string usage() const;
+
+ private:
+  struct Spec {
+    std::string help;
+    std::string kind;
+    std::string default_repr;
+    std::function<bool(const std::string&)> set;
+    bool* bool_target{nullptr};
+  };
+  bool apply(const std::string& name, const std::string& value, bool has_value);
+
+  std::string program_;
+  std::string description_;
+  std::map<std::string, Spec> specs_;
+  std::vector<std::string> positional_;
+};
+
+}  // namespace reorder::util

@@ -1,0 +1,40 @@
+// Minimal leveled logger. Quiet by default (Warn) so experiment output
+// stays parseable; tests and examples raise the level when debugging.
+#pragma once
+
+#include <cstdio>
+#include <string>
+
+namespace reorder::util {
+
+enum class LogLevel { kTrace = 0, kDebug = 1, kInfo = 2, kWarn = 3, kError = 4, kOff = 5 };
+
+/// Process-wide minimum level; messages below it are discarded.
+void set_log_level(LogLevel level);
+LogLevel log_level();
+
+/// Writes one line to stderr as "[level] message".
+void log_line(LogLevel level, const std::string& msg);
+
+namespace detail {
+template <typename... Args>
+void logf(LogLevel level, const char* fmt, Args... args) {
+  if (level < log_level()) return;
+  char buf[1024];
+  std::snprintf(buf, sizeof buf, fmt, args...);
+  log_line(level, buf);
+}
+}  // namespace detail
+
+template <typename... Args>
+void log_trace(const char* fmt, Args... args) { detail::logf(LogLevel::kTrace, fmt, args...); }
+template <typename... Args>
+void log_debug(const char* fmt, Args... args) { detail::logf(LogLevel::kDebug, fmt, args...); }
+template <typename... Args>
+void log_info(const char* fmt, Args... args) { detail::logf(LogLevel::kInfo, fmt, args...); }
+template <typename... Args>
+void log_warn(const char* fmt, Args... args) { detail::logf(LogLevel::kWarn, fmt, args...); }
+template <typename... Args>
+void log_error(const char* fmt, Args... args) { detail::logf(LogLevel::kError, fmt, args...); }
+
+}  // namespace reorder::util

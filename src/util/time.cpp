@@ -1,0 +1,35 @@
+#include "util/time.hpp"
+
+#include <cmath>
+#include <cstdio>
+
+namespace reorder::util {
+
+Duration Duration::from_seconds_f(double s) {
+  return Duration::nanos(static_cast<std::int64_t>(std::llround(s * 1e9)));
+}
+
+namespace {
+
+std::string render_ns(std::int64_t ns) {
+  char buf[64];
+  const char* sign = ns < 0 ? "-" : "";
+  const std::int64_t a = ns < 0 ? -ns : ns;
+  if (a < 1'000) {
+    std::snprintf(buf, sizeof buf, "%s%ldns", sign, static_cast<long>(a));
+  } else if (a < 1'000'000) {
+    std::snprintf(buf, sizeof buf, "%s%.3gus", sign, static_cast<double>(a) / 1e3);
+  } else if (a < 1'000'000'000) {
+    std::snprintf(buf, sizeof buf, "%s%.4gms", sign, static_cast<double>(a) / 1e6);
+  } else {
+    std::snprintf(buf, sizeof buf, "%s%.6gs", sign, static_cast<double>(a) / 1e9);
+  }
+  return buf;
+}
+
+}  // namespace
+
+std::string Duration::to_string() const { return render_ns(ns_); }
+std::string TimePoint::to_string() const { return render_ns(ns_); }
+
+}  // namespace reorder::util

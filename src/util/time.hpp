@@ -1,0 +1,89 @@
+// Simulation time: a strong integer-nanosecond tick type.
+//
+// The whole library runs on virtual time supplied by the event loop, so the
+// representation must be exact (no floating point) and cheap to copy.
+// Duration and TimePoint are distinct types to keep "when" and "how long"
+// from being mixed accidentally (adding two TimePoints does not compile).
+#pragma once
+
+#include <cstdint>
+#include <compare>
+#include <string>
+
+namespace reorder::util {
+
+/// A span of virtual time, in integer nanoseconds. Signed so that
+/// differences of time points are representable.
+class Duration {
+ public:
+  constexpr Duration() = default;
+
+  /// Named constructors; prefer these over the raw-tick constructor.
+  static constexpr Duration nanos(std::int64_t n) { return Duration{n}; }
+  static constexpr Duration micros(std::int64_t u) { return Duration{u * 1'000}; }
+  static constexpr Duration millis(std::int64_t m) { return Duration{m * 1'000'000}; }
+  static constexpr Duration seconds(std::int64_t s) { return Duration{s * 1'000'000'000}; }
+  /// Fractional seconds (used by bandwidth computations); rounds to nearest ns.
+  static Duration from_seconds_f(double s);
+
+  constexpr std::int64_t ns() const { return ns_; }
+  constexpr std::int64_t us() const { return ns_ / 1'000; }
+  constexpr std::int64_t ms() const { return ns_ / 1'000'000; }
+  constexpr double seconds_f() const { return static_cast<double>(ns_) * 1e-9; }
+
+  constexpr bool is_zero() const { return ns_ == 0; }
+  constexpr bool is_negative() const { return ns_ < 0; }
+
+  friend constexpr Duration operator+(Duration a, Duration b) { return Duration{a.ns_ + b.ns_}; }
+  friend constexpr Duration operator-(Duration a, Duration b) { return Duration{a.ns_ - b.ns_}; }
+  friend constexpr Duration operator*(Duration a, std::int64_t k) { return Duration{a.ns_ * k}; }
+  friend constexpr Duration operator*(std::int64_t k, Duration a) { return Duration{a.ns_ * k}; }
+  friend constexpr Duration operator/(Duration a, std::int64_t k) { return Duration{a.ns_ / k}; }
+  constexpr Duration& operator+=(Duration o) { ns_ += o.ns_; return *this; }
+  constexpr Duration& operator-=(Duration o) { ns_ -= o.ns_; return *this; }
+  constexpr Duration operator-() const { return Duration{-ns_}; }
+
+  friend constexpr auto operator<=>(Duration, Duration) = default;
+
+  /// Human-readable rendering with an adaptive unit ("250us", "1.5ms").
+  std::string to_string() const;
+
+ private:
+  constexpr explicit Duration(std::int64_t n) : ns_{n} {}
+  std::int64_t ns_{0};
+};
+
+/// An instant on the virtual clock. Zero is the epoch at which every
+/// EventLoop starts.
+class TimePoint {
+ public:
+  constexpr TimePoint() = default;
+
+  static constexpr TimePoint epoch() { return TimePoint{}; }
+  static constexpr TimePoint from_ns(std::int64_t n) { return TimePoint{n}; }
+
+  constexpr std::int64_t ns() const { return ns_; }
+  constexpr double seconds_f() const { return static_cast<double>(ns_) * 1e-9; }
+
+  friend constexpr TimePoint operator+(TimePoint t, Duration d) {
+    return TimePoint{t.ns_ + d.ns()};
+  }
+  friend constexpr TimePoint operator+(Duration d, TimePoint t) { return t + d; }
+  friend constexpr TimePoint operator-(TimePoint t, Duration d) {
+    return TimePoint{t.ns_ - d.ns()};
+  }
+  friend constexpr Duration operator-(TimePoint a, TimePoint b) {
+    return Duration::nanos(a.ns_ - b.ns_);
+  }
+  constexpr TimePoint& operator+=(Duration d) { ns_ += d.ns(); return *this; }
+
+  friend constexpr auto operator<=>(TimePoint, TimePoint) = default;
+
+  std::string to_string() const;
+
+ private:
+  constexpr explicit TimePoint(std::int64_t n) : ns_{n} {}
+  std::int64_t ns_{0};
+};
+
+}  // namespace reorder::util

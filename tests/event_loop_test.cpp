@@ -1,0 +1,144 @@
+// Unit tests for the discrete-event loop: ordering, ties, cancellation,
+// bounded runs.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "netsim/event_loop.hpp"
+
+namespace reorder::sim {
+namespace {
+
+using util::Duration;
+using util::TimePoint;
+
+TEST(EventLoop, RunsInTimestampOrder) {
+  EventLoop loop;
+  std::vector<int> order;
+  loop.schedule(Duration::millis(30), [&] { order.push_back(3); });
+  loop.schedule(Duration::millis(10), [&] { order.push_back(1); });
+  loop.schedule(Duration::millis(20), [&] { order.push_back(2); });
+  loop.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(loop.now(), TimePoint::epoch() + Duration::millis(30));
+}
+
+TEST(EventLoop, FifoForEqualTimestamps) {
+  EventLoop loop;
+  std::vector<int> order;
+  for (int i = 0; i < 10; ++i) {
+    loop.schedule(Duration::millis(5), [&order, i] { order.push_back(i); });
+  }
+  loop.run();
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(order[static_cast<std::size_t>(i)], i);
+}
+
+TEST(EventLoop, EventsScheduledWhileRunning) {
+  EventLoop loop;
+  std::vector<int> order;
+  loop.schedule(Duration::millis(1), [&] {
+    order.push_back(1);
+    loop.schedule(Duration::millis(1), [&] { order.push_back(2); });
+  });
+  loop.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2}));
+  EXPECT_EQ(loop.now().ns(), Duration::millis(2).ns());
+}
+
+TEST(EventLoop, CancelPreventsExecution) {
+  EventLoop loop;
+  bool ran = false;
+  const auto token = loop.schedule(Duration::millis(1), [&] { ran = true; });
+  loop.cancel(token);
+  loop.run();
+  EXPECT_FALSE(ran);
+  EXPECT_EQ(loop.pending(), 0u);
+}
+
+TEST(EventLoop, CancelIsIdempotentAndSafeAfterRun) {
+  EventLoop loop;
+  const auto token = loop.schedule(Duration::millis(1), [] {});
+  loop.run();
+  loop.cancel(token);  // already executed: no-op
+  loop.cancel(999999); // never existed: no-op
+}
+
+TEST(EventLoop, RunUntilStopsAtDeadline) {
+  EventLoop loop;
+  std::vector<int> order;
+  loop.schedule(Duration::millis(10), [&] { order.push_back(1); });
+  loop.schedule(Duration::millis(30), [&] { order.push_back(2); });
+  const auto n = loop.run_until(TimePoint::epoch() + Duration::millis(20));
+  EXPECT_EQ(n, 1u);
+  EXPECT_EQ(order, (std::vector<int>{1}));
+  // The clock parks exactly at the deadline even with no event there.
+  EXPECT_EQ(loop.now().ns(), Duration::millis(20).ns());
+  loop.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2}));
+}
+
+TEST(EventLoop, AdvanceMovesClockWithEmptyQueue) {
+  EventLoop loop;
+  loop.advance(Duration::seconds(5));
+  EXPECT_EQ(loop.now().ns(), Duration::seconds(5).ns());
+}
+
+TEST(EventLoop, NegativeDelayClampsToNow) {
+  EventLoop loop;
+  loop.advance(Duration::millis(10));
+  bool ran = false;
+  loop.schedule(Duration::millis(-5), [&] { ran = true; });
+  loop.run();
+  EXPECT_TRUE(ran);
+  EXPECT_EQ(loop.now().ns(), Duration::millis(10).ns());
+}
+
+TEST(EventLoop, ScheduleAtPastClampsToNow) {
+  EventLoop loop;
+  loop.advance(Duration::millis(10));
+  TimePoint when;
+  loop.schedule_at(TimePoint::epoch(), [&] { when = loop.now(); });
+  loop.run();
+  EXPECT_EQ(when.ns(), Duration::millis(10).ns());
+}
+
+TEST(EventLoop, RunWhileStopsWhenPredicateFalse) {
+  EventLoop loop;
+  int count = 0;
+  for (int i = 0; i < 10; ++i) {
+    loop.schedule(Duration::millis(i), [&] { ++count; });
+  }
+  const bool stopped = loop.run_while(TimePoint::epoch() + Duration::seconds(1),
+                                      [&] { return count < 3; });
+  EXPECT_TRUE(stopped);
+  EXPECT_EQ(count, 3);
+}
+
+TEST(EventLoop, RunWhileReturnsFalseOnDrain) {
+  EventLoop loop;
+  loop.schedule(Duration::millis(1), [] {});
+  const bool stopped =
+      loop.run_while(TimePoint::epoch() + Duration::seconds(1), [] { return true; });
+  EXPECT_FALSE(stopped);
+}
+
+TEST(EventLoop, RunWhileRespectsDeadline) {
+  EventLoop loop;
+  int count = 0;
+  loop.schedule(Duration::seconds(10), [&] { ++count; });
+  const bool stopped =
+      loop.run_while(TimePoint::epoch() + Duration::seconds(1), [] { return true; });
+  EXPECT_FALSE(stopped);
+  EXPECT_EQ(count, 0);
+  EXPECT_EQ(loop.now().ns(), Duration::seconds(1).ns());
+}
+
+TEST(EventLoop, CountsExecutedEvents) {
+  EventLoop loop;
+  for (int i = 0; i < 5; ++i) loop.schedule(Duration::millis(i), [] {});
+  loop.run();
+  EXPECT_EQ(loop.events_executed(), 5u);
+}
+
+}  // namespace
+}  // namespace reorder::sim

@@ -1,0 +1,119 @@
+// The inter-packet-gap parameter against hold-window reordering processes,
+// and whole-suite session integration.
+#include <gtest/gtest.h>
+
+#include "core/data_transfer_test.hpp"
+#include "core/dual_connection_test.hpp"
+#include "core/measurement_session.hpp"
+#include "core/single_connection_test.hpp"
+#include "core/syn_test.hpp"
+#include "core/testbed.hpp"
+
+namespace reorder::core {
+namespace {
+
+using util::Duration;
+
+// A swap shaper can only exchange a pair whose spacing is inside its hold
+// window: the gap parameter must drive the measured rate from ~p to ~0.
+struct GapCase {
+  std::int64_t gap_us;
+  double expected_rate;
+};
+
+class GapVsHoldWindow : public ::testing::TestWithParam<GapCase> {};
+
+TEST_P(GapVsHoldWindow, SynTestSeesTheProcessDieBeyondTheHold) {
+  const auto& param = GetParam();
+  TestbedConfig cfg;
+  cfg.seed = 7000 + static_cast<std::uint64_t>(param.gap_us);
+  cfg.forward.swap_probability = 0.30;
+  cfg.forward.swap_max_hold = Duration::millis(2);  // a short-lived process
+  Testbed bed{cfg};
+  SynTest test{bed.probe(), bed.remote_addr(), kDiscardPort};
+  TestRunConfig run;
+  run.samples = 250;
+  run.inter_packet_gap = Duration::micros(param.gap_us);
+  // Pace samples well beyond one RTT so the previous sample's polite-close
+  // traffic has fully drained: otherwise the FIN acknowledgment (sent one
+  // RTT after classification) lands between gap-spaced SYNs and absorbs
+  // their swap — a real interleaving artifact, excluded here on purpose.
+  run.sample_spacing = Duration::millis(150);
+  const auto result = bed.run_sync(test, run, 3000);
+  ASSERT_TRUE(result.admissible);
+  EXPECT_NEAR(result.forward.rate(), param.expected_rate, 0.08)
+      << "gap " << param.gap_us << "us against a 2ms hold window";
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, GapVsHoldWindow,
+                         ::testing::Values(GapCase{0, 0.30},       // inside the window
+                                           GapCase{500, 0.30},     // still inside
+                                           GapCase{5000, 0.0},     // beyond 2ms: process gone
+                                           GapCase{20000, 0.0}));
+
+TEST(FullSuiteSession, AllFourTestsRoundRobin) {
+  TestbedConfig cfg;
+  cfg.seed = 7200;
+  cfg.forward.swap_probability = 0.10;
+  cfg.reverse.swap_probability = 0.05;
+  cfg.remote = default_remote_config(/*object_size=*/16 * 512);
+  cfg.remote.behavior.immediate_ack_on_hole_fill = true;
+  Testbed bed{cfg};
+
+  MeasurementSession session{bed.loop()};
+  std::vector<std::unique_ptr<ReorderTest>> tests;
+  tests.push_back(
+      std::make_unique<SingleConnectionTest>(bed.probe(), bed.remote_addr(), kDiscardPort));
+  tests.push_back(
+      std::make_unique<DualConnectionTest>(bed.probe(), bed.remote_addr(), kDiscardPort));
+  tests.push_back(std::make_unique<SynTest>(bed.probe(), bed.remote_addr(), kDiscardPort));
+  tests.push_back(std::make_unique<DataTransferTest>(bed.probe(), bed.remote_addr(), kHttpPort));
+  session.add_target("host", std::move(tests));
+
+  TestRunConfig run;
+  run.samples = 20;
+  const auto& ms = session.run(run, /*rounds=*/4, Duration::millis(200));
+  ASSERT_EQ(ms.size(), 16u);
+  for (const auto& m : ms) {
+    EXPECT_TRUE(m.result.admissible) << m.test << ": " << m.result.note;
+  }
+  // Every two-way test's forward aggregate should be in the vicinity of
+  // the configured rate.
+  for (const char* name : {"single-connection", "dual-connection", "syn"}) {
+    const auto agg = session.aggregate("host", name, /*forward=*/true);
+    EXPECT_GT(agg.usable(), 60) << name;
+    EXPECT_NEAR(agg.rate(), 0.10, 0.07) << name;
+  }
+  // The data-transfer test saw the reverse path only.
+  const auto dt = session.aggregate("host", "data-transfer", /*forward=*/false);
+  EXPECT_GT(dt.usable(), 40);
+  // Cross-test paired comparison at the paper's confidence level.
+  const auto cmp = session.compare("host", "single-connection", "dual-connection", true);
+  EXPECT_TRUE(cmp.null_supported);
+}
+
+TEST(FullSuiteSession, InadmissibleHostIsolatedToDualTest) {
+  TestbedConfig cfg;
+  cfg.seed = 7300;
+  cfg.remote = default_remote_config();
+  cfg.remote.ipid_policy = tcpip::IpidPolicy::kRandom;
+  Testbed bed{cfg};
+
+  MeasurementSession session{bed.loop()};
+  std::vector<std::unique_ptr<ReorderTest>> tests;
+  tests.push_back(
+      std::make_unique<DualConnectionTest>(bed.probe(), bed.remote_addr(), kDiscardPort));
+  tests.push_back(std::make_unique<SynTest>(bed.probe(), bed.remote_addr(), kDiscardPort));
+  session.add_target("host", std::move(tests));
+
+  TestRunConfig run;
+  run.samples = 10;
+  session.run(run, 2, Duration::millis(100));
+  EXPECT_TRUE(session.rate_series("host", "dual-connection", true).empty())
+      << "inadmissible measurements must not produce rates";
+  EXPECT_EQ(session.rate_series("host", "syn", true).size(), 2u)
+      << "other tests keep working against the same host";
+}
+
+}  // namespace
+}  // namespace reorder::core

@@ -1,0 +1,176 @@
+// Cross-module integration tests: the §IV-A validation property (every
+// unambiguous verdict matches trace ground truth), whole-experiment
+// determinism, and cross-test consistency on a shared path.
+#include <gtest/gtest.h>
+
+#include "core/dual_connection_test.hpp"
+#include "core/single_connection_test.hpp"
+#include "core/syn_test.hpp"
+#include "core/testbed.hpp"
+#include "trace/analyzer.hpp"
+
+namespace reorder::core {
+namespace {
+
+using util::Duration;
+
+// ---------- the validation property, parameterized over swap rates ----------
+
+struct ValidationCase {
+  const char* test;
+  double fwd_p;
+  double rev_p;
+};
+
+class VerdictsMatchTruth : public ::testing::TestWithParam<ValidationCase> {};
+
+std::unique_ptr<ReorderTest> make_test(const std::string& name, Testbed& bed) {
+  if (name == "single") {
+    return std::make_unique<SingleConnectionTest>(bed.probe(), bed.remote_addr(), kDiscardPort);
+  }
+  if (name == "dual") {
+    return std::make_unique<DualConnectionTest>(bed.probe(), bed.remote_addr(), kDiscardPort);
+  }
+  return std::make_unique<SynTest>(bed.probe(), bed.remote_addr(), kDiscardPort);
+}
+
+TEST_P(VerdictsMatchTruth, NoDiscrepancies) {
+  const auto& param = GetParam();
+  TestbedConfig cfg;
+  cfg.seed = 1000 + static_cast<std::uint64_t>(param.fwd_p * 100) * 7 +
+             static_cast<std::uint64_t>(param.rev_p * 100);
+  cfg.forward.swap_probability = param.fwd_p;
+  cfg.reverse.swap_probability = param.rev_p;
+  Testbed bed{cfg};
+  auto test = make_test(param.test, bed);
+  TestRunConfig run;
+  run.samples = 40;
+  const auto result = bed.run_sync(*test, run);
+  ASSERT_TRUE(result.admissible) << result.note;
+
+  int fwd_discrepancies = 0;
+  int rev_discrepancies = 0;
+  int verified = 0;
+  for (const auto& s : result.samples) {
+    if (s.forward == Ordering::kInOrder || s.forward == Ordering::kReordered) {
+      const auto truth =
+          trace::pair_ground_truth(bed.remote_ingress_trace(), s.fwd_uid_first, s.fwd_uid_second);
+      if (truth != trace::PairGroundTruth::kIncomplete) {
+        if ((s.forward == Ordering::kReordered) != (truth == trace::PairGroundTruth::kReordered)) {
+          ++fwd_discrepancies;
+        }
+        ++verified;
+      }
+    }
+    if ((s.reverse == Ordering::kInOrder || s.reverse == Ordering::kReordered) &&
+        s.rev_uid_first != 0 && s.rev_uid_second != 0) {
+      const auto truth =
+          trace::pair_ground_truth(bed.remote_egress_trace(), s.rev_uid_first, s.rev_uid_second);
+      if (truth != trace::PairGroundTruth::kIncomplete) {
+        if ((s.reverse == Ordering::kReordered) != (truth == trace::PairGroundTruth::kReordered)) {
+          ++rev_discrepancies;
+        }
+        ++verified;
+      }
+    }
+  }
+  EXPECT_EQ(fwd_discrepancies, 0);
+  EXPECT_EQ(rev_discrepancies, 0);
+  EXPECT_GT(verified, 30);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    PaperRates, VerdictsMatchTruth,
+    ::testing::Values(ValidationCase{"single", 0.01, 0.01}, ValidationCase{"single", 0.05, 0.15},
+                      ValidationCase{"single", 0.40, 0.40}, ValidationCase{"dual", 0.01, 0.40},
+                      ValidationCase{"dual", 0.10, 0.10}, ValidationCase{"dual", 0.40, 0.03},
+                      ValidationCase{"syn", 0.03, 0.05}, ValidationCase{"syn", 0.15, 0.15},
+                      ValidationCase{"syn", 0.40, 0.40}));
+
+// ---------- determinism ----------
+
+TEST(Determinism, SameSeedSameVerdicts) {
+  auto run_once = [](std::uint64_t seed) {
+    TestbedConfig cfg;
+    cfg.seed = seed;
+    cfg.forward.swap_probability = 0.2;
+    cfg.reverse.swap_probability = 0.1;
+    Testbed bed{cfg};
+    SingleConnectionTest test{bed.probe(), bed.remote_addr(), kDiscardPort};
+    TestRunConfig run;
+    run.samples = 25;
+    return bed.run_sync(test, run);
+  };
+  const auto a = run_once(777);
+  const auto b = run_once(777);
+  ASSERT_EQ(a.samples.size(), b.samples.size());
+  for (std::size_t i = 0; i < a.samples.size(); ++i) {
+    EXPECT_EQ(a.samples[i].forward, b.samples[i].forward) << i;
+    EXPECT_EQ(a.samples[i].reverse, b.samples[i].reverse) << i;
+    EXPECT_EQ(a.samples[i].completed.ns(), b.samples[i].completed.ns()) << i;
+  }
+}
+
+TEST(Determinism, DifferentSeedsDiffer) {
+  auto verdicts = [](std::uint64_t seed) {
+    TestbedConfig cfg;
+    cfg.seed = seed;
+    cfg.forward.swap_probability = 0.5;
+    Testbed bed{cfg};
+    SynTest test{bed.probe(), bed.remote_addr(), kDiscardPort};
+    TestRunConfig run;
+    run.samples = 20;
+    std::string out;
+    for (const auto& s : bed.run_sync(test, run).samples) {
+      out += s.forward == Ordering::kReordered ? 'R' : 'I';
+    }
+    return out;
+  };
+  EXPECT_NE(verdicts(1), verdicts(2)) << "distinct seeds must explore distinct outcomes";
+}
+
+// ---------- cross-test consistency (mini §IV-B) ----------
+
+TEST(Consistency, TestsAgreeOnTheSamePath) {
+  // All techniques measure the same underlying swap process; with enough
+  // samples their forward rates must be close to p and to each other.
+  const double p = 0.2;
+  double rates[3] = {};
+  const char* names[3] = {"single", "dual", "syn"};
+  for (int t = 0; t < 3; ++t) {
+    TestbedConfig cfg;
+    cfg.seed = 4000 + static_cast<std::uint64_t>(t);
+    cfg.forward.swap_probability = p;
+    Testbed bed{cfg};
+    auto test = make_test(names[t], bed);
+    TestRunConfig run;
+    run.samples = 150;
+    const auto result = bed.run_sync(*test, run);
+    ASSERT_TRUE(result.admissible) << names[t] << ": " << result.note;
+    ASSERT_GT(result.forward.usable(), 100) << names[t];
+    rates[t] = result.forward.rate();
+    EXPECT_NEAR(rates[t], p, 0.12) << names[t];
+  }
+  EXPECT_NEAR(rates[0], rates[1], 0.15);
+  EXPECT_NEAR(rates[1], rates[2], 0.15);
+}
+
+// ---------- paper's asymmetry observation ----------
+
+TEST(Consistency, AsymmetricPathsMeasureAsymmetrically) {
+  TestbedConfig cfg;
+  cfg.seed = 4100;
+  cfg.forward.swap_probability = 0.3;
+  cfg.reverse.swap_probability = 0.02;
+  Testbed bed{cfg};
+  DualConnectionTest test{bed.probe(), bed.remote_addr(), kDiscardPort};
+  TestRunConfig run;
+  run.samples = 200;
+  const auto result = bed.run_sync(test, run);
+  ASSERT_TRUE(result.admissible) << result.note;
+  EXPECT_GT(result.forward.rate(), result.reverse.rate() + 0.1)
+      << "one-way measurement must expose the asymmetry (paper §II)";
+}
+
+}  // namespace
+}  // namespace reorder::core

@@ -1,0 +1,87 @@
+// Tests for the IPID generation policies the dual-connection test depends
+// on (and is defeated by).
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "tcpip/ipid.hpp"
+#include "tcpip/seq.hpp"
+
+namespace reorder::tcpip {
+namespace {
+
+const Ipv4Address kDstA = Ipv4Address::from_octets(10, 0, 0, 2);
+const Ipv4Address kDstB = Ipv4Address::from_octets(10, 0, 0, 3);
+
+TEST(Ipid, GlobalCounterIncrementsByOne) {
+  auto gen = make_ipid_generator(IpidPolicy::kGlobalCounter, 1, 100);
+  EXPECT_EQ(gen->next(kDstA), 100);
+  EXPECT_EQ(gen->next(kDstB), 101);  // shared across destinations
+  EXPECT_EQ(gen->next(kDstA), 102);
+  EXPECT_EQ(gen->policy(), IpidPolicy::kGlobalCounter);
+}
+
+TEST(Ipid, GlobalCounterWraps) {
+  auto gen = make_ipid_generator(IpidPolicy::kGlobalCounter, 1, 65535);
+  EXPECT_EQ(gen->next(kDstA), 65535);
+  EXPECT_EQ(gen->next(kDstA), 0);
+  EXPECT_EQ(gen->next(kDstA), 1);
+}
+
+TEST(Ipid, PerDestinationIndependentCounters) {
+  auto gen = make_ipid_generator(IpidPolicy::kPerDestination, 1, 50);
+  EXPECT_EQ(gen->next(kDstA), 50);
+  EXPECT_EQ(gen->next(kDstB), 50);  // each destination starts fresh
+  EXPECT_EQ(gen->next(kDstA), 51);
+  EXPECT_EQ(gen->next(kDstB), 51);
+}
+
+TEST(Ipid, RandomSpreadsAcrossSpace) {
+  auto gen = make_ipid_generator(IpidPolicy::kRandom, 77);
+  std::set<std::uint16_t> seen;
+  int monotonic_steps = 0;
+  std::uint16_t prev = gen->next(kDstA);
+  seen.insert(prev);
+  for (int i = 0; i < 500; ++i) {
+    const auto v = gen->next(kDstA);
+    if (ipid_gt(v, prev) && ipid_diff(v, prev) < 512) ++monotonic_steps;
+    prev = v;
+    seen.insert(v);
+  }
+  EXPECT_GT(seen.size(), 450u) << "random IPIDs should rarely collide";
+  EXPECT_LT(monotonic_steps, 50) << "random IPIDs must not look like a counter";
+}
+
+TEST(Ipid, RandomIsDeterministicPerSeed) {
+  auto a = make_ipid_generator(IpidPolicy::kRandom, 42);
+  auto b = make_ipid_generator(IpidPolicy::kRandom, 42);
+  for (int i = 0; i < 50; ++i) EXPECT_EQ(a->next(kDstA), b->next(kDstA));
+}
+
+TEST(Ipid, ConstantZero) {
+  auto gen = make_ipid_generator(IpidPolicy::kConstantZero, 1);
+  for (int i = 0; i < 20; ++i) EXPECT_EQ(gen->next(kDstA), 0);
+}
+
+TEST(Ipid, RandomIncrementIsMonotonicSmallSteps) {
+  auto gen = make_ipid_generator(IpidPolicy::kRandomIncrement, 5, 10);
+  std::uint16_t prev = gen->next(kDstA);
+  for (int i = 0; i < 300; ++i) {
+    const auto v = gen->next(kDstA);
+    const auto d = ipid_diff(v, prev);
+    EXPECT_GT(d, 0);
+    EXPECT_LE(d, 7);
+    prev = v;
+  }
+}
+
+TEST(Ipid, PolicyNames) {
+  EXPECT_EQ(to_string(IpidPolicy::kGlobalCounter), "global-counter");
+  EXPECT_EQ(to_string(IpidPolicy::kPerDestination), "per-destination");
+  EXPECT_EQ(to_string(IpidPolicy::kRandom), "random");
+  EXPECT_EQ(to_string(IpidPolicy::kConstantZero), "constant-zero");
+  EXPECT_EQ(to_string(IpidPolicy::kRandomIncrement), "random-increment");
+}
+
+}  // namespace
+}  // namespace reorder::tcpip

@@ -1,0 +1,93 @@
+// Tests for the dual-connection test's IPID admissibility analysis.
+#include <gtest/gtest.h>
+
+#include "core/ipid_validator.hpp"
+#include "util/random.hpp"
+
+namespace reorder::core {
+namespace {
+
+std::vector<IpidObservation> alternating(std::size_t pairs,
+                                         const std::function<std::uint16_t(int conn)>& next) {
+  std::vector<IpidObservation> obs;
+  for (std::size_t i = 0; i < pairs; ++i) {
+    obs.push_back(IpidObservation{next(0), 0});
+    obs.push_back(IpidObservation{next(1), 1});
+  }
+  return obs;
+}
+
+TEST(IpidValidator, SharedCounterIsAdmissible) {
+  std::uint16_t counter = 100;
+  const auto obs = alternating(8, [&](int) { return counter++; });
+  const auto a = analyze_ipid_sequence(obs);
+  EXPECT_EQ(a.verdict, IpidVerdict::kSharedMonotonic);
+  EXPECT_GT(a.between_increase_fraction, 0.95);
+  EXPECT_GT(a.within_increase_fraction, 0.95);
+  EXPECT_GT(a.domination_fraction, 0.95);
+}
+
+TEST(IpidValidator, SharedCounterWithCrossTrafficGaps) {
+  // A busy host: other traffic consumes a few IPIDs between our probes.
+  std::uint16_t counter = 5;
+  util::Rng rng{7};
+  const auto obs = alternating(8, [&](int) {
+    counter = static_cast<std::uint16_t>(counter + 1 + rng.below(5));
+    return counter;
+  });
+  EXPECT_EQ(analyze_ipid_sequence(obs).verdict, IpidVerdict::kSharedMonotonic);
+}
+
+TEST(IpidValidator, SharedCounterSurvivesWrap) {
+  std::uint16_t counter = 65530;
+  const auto obs = alternating(8, [&](int) { return counter++; });
+  EXPECT_EQ(analyze_ipid_sequence(obs).verdict, IpidVerdict::kSharedMonotonic);
+}
+
+TEST(IpidValidator, ConstantZeroDetected) {
+  const auto obs = alternating(8, [](int) { return std::uint16_t{0}; });
+  const auto a = analyze_ipid_sequence(obs);
+  EXPECT_EQ(a.verdict, IpidVerdict::kConstantZero);
+  EXPECT_DOUBLE_EQ(a.zero_fraction, 1.0);
+}
+
+TEST(IpidValidator, RandomDetected) {
+  util::Rng rng{13};
+  const auto obs = alternating(8, [&](int) { return static_cast<std::uint16_t>(rng.below(65536)); });
+  EXPECT_EQ(analyze_ipid_sequence(obs).verdict, IpidVerdict::kRandom);
+}
+
+TEST(IpidValidator, LoadBalancerDisjointCountersDetected) {
+  // Two backends with independent counters far apart: within-connection
+  // steps are clean, between-connection steps are garbage.
+  std::uint16_t c0 = 100;
+  std::uint16_t c1 = 40'000;
+  const auto obs = alternating(8, [&](int conn) { return conn == 0 ? c0++ : c1++; });
+  const auto a = analyze_ipid_sequence(obs);
+  EXPECT_EQ(a.verdict, IpidVerdict::kDisjoint);
+  EXPECT_GT(a.within_increase_fraction, 0.95);
+  EXPECT_LT(a.between_increase_fraction, 0.6);
+}
+
+TEST(IpidValidator, TooFewObservations) {
+  std::uint16_t counter = 1;
+  const auto obs = alternating(2, [&](int) { return counter++; });
+  EXPECT_EQ(analyze_ipid_sequence(obs).verdict, IpidVerdict::kInsufficient);
+}
+
+TEST(IpidValidator, ObservationCountRecorded) {
+  std::uint16_t counter = 1;
+  const auto obs = alternating(8, [&](int) { return counter++; });
+  EXPECT_EQ(analyze_ipid_sequence(obs).observations, 16u);
+}
+
+TEST(IpidValidator, VerdictNames) {
+  EXPECT_EQ(to_string(IpidVerdict::kSharedMonotonic), "shared-monotonic");
+  EXPECT_EQ(to_string(IpidVerdict::kConstantZero), "constant-zero");
+  EXPECT_EQ(to_string(IpidVerdict::kRandom), "random");
+  EXPECT_EQ(to_string(IpidVerdict::kDisjoint), "disjoint (load balancer)");
+  EXPECT_EQ(to_string(IpidVerdict::kInsufficient), "insufficient data");
+}
+
+}  // namespace
+}  // namespace reorder::core

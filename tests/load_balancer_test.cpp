@@ -1,0 +1,121 @@
+// Tests for the transparent per-flow load balancer (paper Fig. 3).
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "netsim/event_loop.hpp"
+#include "netsim/load_balancer.hpp"
+
+namespace reorder::sim {
+namespace {
+
+const tcpip::Ipv4Address kVip = tcpip::Ipv4Address::from_octets(10, 0, 0, 2);
+const tcpip::Ipv4Address kClient = tcpip::Ipv4Address::from_octets(10, 0, 0, 1);
+
+struct Harness {
+  sim::EventLoop loop;
+  std::vector<std::unique_ptr<tcpip::Host>> hosts;
+  std::vector<int> received_by;
+
+  explicit Harness(std::size_t backends) {
+    for (std::size_t i = 0; i < backends; ++i) {
+      tcpip::HostConfig cfg;
+      cfg.address = kVip;
+      cfg.seed = i + 1;
+      cfg.listeners[9] = tcpip::ListenerConfig{tcpip::AppKind::kDiscard, 0};
+      hosts.push_back(std::make_unique<tcpip::Host>(loop, std::move(cfg)));
+    }
+  }
+
+  std::vector<tcpip::Host*> raw() {
+    std::vector<tcpip::Host*> out;
+    for (auto& h : hosts) out.push_back(h.get());
+    return out;
+  }
+};
+
+tcpip::Packet make_syn(std::uint16_t sport, std::uint16_t dport = 9) {
+  tcpip::Packet pkt;
+  pkt.ip.src = kClient;
+  pkt.ip.dst = kVip;
+  pkt.tcp.src_port = sport;
+  pkt.tcp.dst_port = dport;
+  pkt.tcp.flags = tcpip::kSyn;
+  pkt.tcp.seq = 100;
+  return pkt;
+}
+
+TEST(LoadBalancer, RequiresBackends) {
+  EXPECT_THROW(LoadBalancer({}), std::invalid_argument);
+}
+
+TEST(LoadBalancer, SameFlowAlwaysSameBackend) {
+  Harness h{4};
+  LoadBalancer lb{h.raw()};
+  const auto pkt = make_syn(40000);
+  const auto idx = lb.backend_index(pkt);
+  for (int i = 0; i < 50; ++i) EXPECT_EQ(lb.backend_index(pkt), idx);
+}
+
+TEST(LoadBalancer, DifferentPortsSpreadAcrossBackends) {
+  Harness h{4};
+  LoadBalancer lb{h.raw()};
+  std::set<std::size_t> used;
+  for (std::uint16_t port = 40000; port < 40064; ++port) {
+    used.insert(lb.backend_index(make_syn(port)));
+  }
+  EXPECT_GE(used.size(), 3u) << "64 flows must hit at least 3 of 4 backends";
+}
+
+TEST(LoadBalancer, ForwardsAndCounts) {
+  Harness h{2};
+  LoadBalancer lb{h.raw()};
+  const auto pkt = make_syn(41000);
+  const auto idx = lb.backend_index(pkt);
+  lb.receive(pkt);
+  lb.receive(pkt);
+  EXPECT_EQ(lb.forwarded_to(idx), 2u);
+  EXPECT_EQ(lb.forwarded_to(1 - idx), 0u);
+  EXPECT_EQ(h.hosts[idx]->counters().packets_in, 2u);
+  EXPECT_EQ(h.hosts[1 - idx]->counters().packets_in, 0u);
+}
+
+TEST(LoadBalancer, EntireConnectionSticksThroughHandshake) {
+  Harness h{4};
+  LoadBalancer lb{h.raw()};
+  // SYN, then data/ack packets of the same flow: all reach the one backend.
+  auto syn = make_syn(42000);
+  const auto idx = lb.backend_index(syn);
+  lb.receive(syn);
+  tcpip::Packet ack = syn;
+  ack.tcp.flags = tcpip::kAck;
+  ack.tcp.seq = 101;
+  lb.receive(ack);
+  EXPECT_EQ(lb.forwarded_to(idx), 2u);
+  EXPECT_EQ(h.hosts[idx]->active_connections(), 1u);
+  for (std::size_t i = 0; i < 4; ++i) {
+    if (i != idx) {
+      EXPECT_EQ(h.hosts[i]->active_connections(), 0u);
+    }
+  }
+}
+
+TEST(LoadBalancer, SaltChangesAssignment) {
+  Harness h{8};
+  LoadBalancer lb1{h.raw(), 1};
+  LoadBalancer lb2{h.raw(), 2};
+  int differing = 0;
+  for (std::uint16_t port = 40000; port < 40032; ++port) {
+    if (lb1.backend_index(make_syn(port)) != lb2.backend_index(make_syn(port))) ++differing;
+  }
+  EXPECT_GT(differing, 8) << "different salts must shuffle flow placement";
+}
+
+TEST(LoadBalancer, BackendCount) {
+  Harness h{3};
+  LoadBalancer lb{h.raw()};
+  EXPECT_EQ(lb.backend_count(), 3u);
+}
+
+}  // namespace
+}  // namespace reorder::sim

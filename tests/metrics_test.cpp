@@ -1,0 +1,171 @@
+// Tests for the reordering metrics: verdict aggregation, RFC 4737-style
+// sequence statistics, and the time-domain profile.
+#include <gtest/gtest.h>
+
+#include "core/metrics.hpp"
+#include "trace/analyzer.hpp"
+
+namespace reorder::core {
+namespace {
+
+using util::Duration;
+
+// ---------- ReorderEstimate ----------
+
+TEST(ReorderEstimate, RateOverUsableSamplesOnly) {
+  ReorderEstimate e;
+  e.add(Ordering::kInOrder);
+  e.add(Ordering::kInOrder);
+  e.add(Ordering::kReordered);
+  e.add(Ordering::kAmbiguous);
+  e.add(Ordering::kLost);
+  EXPECT_EQ(e.usable(), 3);
+  EXPECT_EQ(e.total(), 5);
+  EXPECT_NEAR(e.rate(), 1.0 / 3.0, 1e-12);
+}
+
+TEST(ReorderEstimate, EmptyRateIsZero) {
+  const ReorderEstimate e;
+  EXPECT_DOUBLE_EQ(e.rate(), 0.0);
+  EXPECT_EQ(e.proportion().trials, 0);
+}
+
+TEST(ReorderEstimate, ProportionMatchesWilson) {
+  ReorderEstimate e;
+  for (int i = 0; i < 90; ++i) e.add(Ordering::kInOrder);
+  for (int i = 0; i < 10; ++i) e.add(Ordering::kReordered);
+  const auto p = e.proportion();
+  EXPECT_DOUBLE_EQ(p.estimate, 0.1);
+  EXPECT_LT(p.lower, 0.1);
+  EXPECT_GT(p.upper, 0.1);
+}
+
+TEST(TestRunResult, AggregateRecomputes) {
+  TestRunResult r;
+  SampleResult s;
+  s.forward = Ordering::kReordered;
+  s.reverse = Ordering::kInOrder;
+  r.samples.assign(4, s);
+  r.aggregate();
+  EXPECT_EQ(r.forward.reordered, 4);
+  EXPECT_EQ(r.reverse.in_order, 4);
+}
+
+TEST(Ordering, Names) {
+  EXPECT_EQ(to_string(Ordering::kInOrder), "in-order");
+  EXPECT_EQ(to_string(Ordering::kReordered), "reordered");
+  EXPECT_EQ(to_string(Ordering::kAmbiguous), "ambiguous");
+  EXPECT_EQ(to_string(Ordering::kLost), "lost");
+}
+
+// ---------- analyze_sequence (RFC 4737 style) ----------
+
+TEST(SequenceStats, InOrderSequence) {
+  const auto s = analyze_sequence({0, 1, 2, 3, 4});
+  EXPECT_EQ(s.packets, 5u);
+  EXPECT_EQ(s.reordered, 0u);
+  EXPECT_DOUBLE_EQ(s.ratio, 0.0);
+  EXPECT_EQ(s.max_extent, 0u);
+  EXPECT_EQ(s.adjacent_swaps, 0u);
+}
+
+TEST(SequenceStats, SingleAdjacentSwap) {
+  const auto s = analyze_sequence({1, 0, 2, 3});
+  EXPECT_EQ(s.reordered, 1u);  // packet 0 arrived after packet 1
+  EXPECT_DOUBLE_EQ(s.ratio, 0.25);
+  EXPECT_EQ(s.max_extent, 1u);
+  EXPECT_DOUBLE_EQ(s.mean_extent, 1.0);
+  EXPECT_EQ(s.adjacent_swaps, 1u);
+}
+
+TEST(SequenceStats, LatePacketHasLargeExtent) {
+  // Packet 0 arrives after 3 later packets: extent 3.
+  const auto s = analyze_sequence({1, 2, 3, 0});
+  EXPECT_EQ(s.reordered, 1u);
+  EXPECT_EQ(s.max_extent, 3u);
+  EXPECT_EQ(s.adjacent_swaps, 3u);
+}
+
+TEST(SequenceStats, ExtentMeasuresToEarliestOvertaker) {
+  // arrival: 2 0 1 -> packet 0 extent 1, packet 1 extent 2.
+  const auto s = analyze_sequence({2, 0, 1});
+  EXPECT_EQ(s.reordered, 2u);
+  EXPECT_EQ(s.max_extent, 2u);
+  EXPECT_DOUBLE_EQ(s.mean_extent, 1.5);
+}
+
+TEST(SequenceStats, EmptyAndSingleton) {
+  EXPECT_EQ(analyze_sequence({}).packets, 0u);
+  const auto s = analyze_sequence({0});
+  EXPECT_EQ(s.packets, 1u);
+  EXPECT_EQ(s.reordered, 0u);
+}
+
+TEST(SequenceStats, AdjacentSwapsMatchesInversionCount) {
+  // Property: adjacent_swaps must equal the analyzer's inversion count.
+  const std::vector<std::vector<std::uint32_t>> cases{
+      {0, 1, 2, 3}, {3, 2, 1, 0}, {1, 0, 3, 2}, {2, 0, 3, 1}, {4, 1, 3, 0, 2}};
+  for (const auto& c : cases) {
+    EXPECT_EQ(analyze_sequence(c).adjacent_swaps, trace::count_inversions(c));
+  }
+}
+
+// ---------- TimeDomainProfile ----------
+
+TEST(TimeDomain, AccumulatesPerGap) {
+  TimeDomainProfile profile;
+  profile.add(Duration::micros(10), Ordering::kReordered);
+  profile.add(Duration::micros(10), Ordering::kInOrder);
+  profile.add(Duration::micros(20), Ordering::kInOrder);
+  EXPECT_EQ(profile.distinct_gaps(), 2u);
+  const auto at10 = profile.at(Duration::micros(10));
+  ASSERT_TRUE(at10.has_value());
+  EXPECT_EQ(at10->reordered, 1);
+  EXPECT_EQ(at10->in_order, 1);
+  EXPECT_FALSE(profile.at(Duration::micros(15)).has_value());
+}
+
+TEST(TimeDomain, PointsSortedByGap) {
+  TimeDomainProfile profile;
+  profile.add(Duration::micros(30), Ordering::kInOrder);
+  profile.add(Duration::micros(10), Ordering::kInOrder);
+  profile.add(Duration::micros(20), Ordering::kInOrder);
+  const auto pts = profile.points();
+  ASSERT_EQ(pts.size(), 3u);
+  EXPECT_EQ(pts[0].gap.ns(), Duration::micros(10).ns());
+  EXPECT_EQ(pts[2].gap.ns(), Duration::micros(30).ns());
+}
+
+TEST(TimeDomain, InterpolationIsLinearAndClamped) {
+  TimeDomainProfile profile;
+  // 50% at 0us, 10% at 100us.
+  for (int i = 0; i < 5; ++i) profile.add(Duration::nanos(0), Ordering::kReordered);
+  for (int i = 0; i < 5; ++i) profile.add(Duration::nanos(0), Ordering::kInOrder);
+  for (int i = 0; i < 1; ++i) profile.add(Duration::micros(100), Ordering::kReordered);
+  for (int i = 0; i < 9; ++i) profile.add(Duration::micros(100), Ordering::kInOrder);
+
+  EXPECT_NEAR(*profile.interpolate_rate(Duration::micros(50)), 0.3, 1e-9);
+  EXPECT_NEAR(*profile.interpolate_rate(Duration::micros(25)), 0.4, 1e-9);
+  // Clamping beyond the measured range.
+  EXPECT_NEAR(*profile.interpolate_rate(Duration::micros(500)), 0.1, 1e-9);
+  EXPECT_NEAR(*profile.interpolate_rate(Duration::nanos(0)), 0.5, 1e-9);
+}
+
+TEST(TimeDomain, EmptyProfileInterpolatesToNothing) {
+  const TimeDomainProfile profile;
+  EXPECT_FALSE(profile.interpolate_rate(Duration::micros(1)).has_value());
+}
+
+TEST(TimeDomain, AmbiguousAndLostExcludedFromRate) {
+  TimeDomainProfile profile;
+  profile.add(Duration::nanos(0), Ordering::kReordered);
+  profile.add(Duration::nanos(0), Ordering::kAmbiguous);
+  profile.add(Duration::nanos(0), Ordering::kLost);
+  const auto est = profile.at(Duration::nanos(0));
+  ASSERT_TRUE(est.has_value());
+  EXPECT_DOUBLE_EQ(est->rate(), 1.0);
+  EXPECT_EQ(est->usable(), 1);
+}
+
+}  // namespace
+}  // namespace reorder::core

@@ -1,0 +1,221 @@
+// Tests for the probe substrate: packet factory, flow demux, and the
+// user-level TCP connection (handshake, retransmission, close, abort).
+#include <gtest/gtest.h>
+
+#include "core/testbed.hpp"
+#include "probe/packet_factory.hpp"
+#include "probe/probe_host.hpp"
+#include "probe/prober.hpp"
+
+namespace reorder::probe {
+namespace {
+
+using util::Duration;
+
+const FlowAddr kFlow{
+    tcpip::Ipv4Address::from_octets(10, 0, 0, 1), 40000,
+    tcpip::Ipv4Address::from_octets(10, 0, 0, 2), 80};
+
+// ---------- PacketFactory ----------
+
+TEST(PacketFactory, SynFields) {
+  PacketFactory f{kFlow};
+  const auto pkt = f.syn(1234, 536, 4096);
+  EXPECT_TRUE(pkt.tcp.is_syn());
+  EXPECT_FALSE(pkt.tcp.is_ack());
+  EXPECT_EQ(pkt.tcp.seq, 1234u);
+  ASSERT_TRUE(pkt.tcp.mss.has_value());
+  EXPECT_EQ(*pkt.tcp.mss, 536);
+  EXPECT_EQ(pkt.tcp.window, 4096);
+  EXPECT_EQ(pkt.ip.src, kFlow.local);
+  EXPECT_EQ(pkt.ip.dst, kFlow.remote);
+  EXPECT_EQ(pkt.tcp.src_port, 40000);
+  EXPECT_EQ(pkt.tcp.dst_port, 80);
+}
+
+TEST(PacketFactory, EveryShapeSerializesWithValidChecksums) {
+  PacketFactory f{kFlow};
+  const std::vector<std::uint8_t> payload{1, 2, 3};
+  for (const auto& pkt :
+       {f.syn(1, 1460, 65535), f.ack(2, 3, 100), f.data(4, 5, 200, payload), f.fin(6, 7, 300),
+        f.rst(8)}) {
+    const auto back = tcpip::Packet::from_wire(pkt.to_wire());
+    EXPECT_TRUE(back.checksums_ok) << pkt.describe();
+    EXPECT_EQ(back.packet.tcp.seq, pkt.tcp.seq);
+  }
+}
+
+TEST(PacketFactory, FlagShapes) {
+  PacketFactory f{kFlow};
+  EXPECT_EQ(f.ack(0, 0, 0).tcp.flags, tcpip::kAck);
+  EXPECT_EQ(f.data(0, 0, 0, {}).tcp.flags, tcpip::kAck | tcpip::kPsh);
+  EXPECT_EQ(f.fin(0, 0, 0).tcp.flags, tcpip::kFin | tcpip::kAck);
+  EXPECT_EQ(f.rst(0).tcp.flags, tcpip::kRst);
+}
+
+TEST(FlowAddr, MatchesIncomingDirection) {
+  PacketFactory f{kFlow};
+  auto reply = f.ack(1, 2, 3);
+  std::swap(reply.ip.src, reply.ip.dst);
+  std::swap(reply.tcp.src_port, reply.tcp.dst_port);
+  EXPECT_TRUE(kFlow.matches_incoming(reply));
+  EXPECT_FALSE(kFlow.matches_incoming(f.ack(1, 2, 3)));  // outgoing shape
+}
+
+// ---------- ProbeHost demux ----------
+
+TEST(ProbeHost, AllocatesDistinctPorts) {
+  core::Testbed bed{core::TestbedConfig{}};
+  const auto f1 = bed.probe().make_flow(bed.remote_addr(), 80);
+  const auto f2 = bed.probe().make_flow(bed.remote_addr(), 80);
+  EXPECT_NE(f1.local_port, f2.local_port);
+  EXPECT_EQ(f1.local, bed.probe().address());
+}
+
+TEST(ProbeHost, RoutesToRegisteredFlowAndUnmatched) {
+  core::Testbed bed{core::TestbedConfig{}};
+  auto& probe = bed.probe();
+  const auto flow = probe.make_flow(bed.remote_addr(), 12345);  // closed port
+
+  int flow_hits = 0;
+  int unmatched_hits = 0;
+  probe.register_flow(flow, [&](const tcpip::Packet&) { ++flow_hits; });
+  probe.unmatched_handler = [&](const tcpip::Packet&) { ++unmatched_hits; };
+
+  // A SYN to a closed port draws an RST back to the registered flow.
+  PacketFactory f{flow};
+  probe.send(f.syn(100, 1460, 65535));
+  bed.loop().run();
+  EXPECT_EQ(flow_hits, 1);
+  EXPECT_EQ(unmatched_hits, 0);
+
+  // After unregistering, the same exchange lands in unmatched.
+  probe.unregister_flow(flow);
+  probe.send(f.syn(200, 1460, 65535));
+  bed.loop().run();
+  EXPECT_EQ(flow_hits, 1);
+  EXPECT_EQ(unmatched_hits, 1);
+  EXPECT_EQ(probe.registered_flows(), 0u);
+}
+
+// ---------- ProbeConnection ----------
+
+TEST(ProbeConnection, HandshakeAgainstRealHost) {
+  core::Testbed bed{core::TestbedConfig{}};
+  ProbeConnection conn{bed.probe(), bed.probe().make_flow(bed.remote_addr(), core::kDiscardPort),
+                       ProbeConnectionOptions{}};
+  bool ok = false;
+  bool called = false;
+  conn.connect([&](bool success) {
+    called = true;
+    ok = success;
+  });
+  bed.loop().run_while(bed.loop().now() + Duration::seconds(10), [&] { return !called; });
+  ASSERT_TRUE(called);
+  EXPECT_TRUE(ok);
+  EXPECT_TRUE(conn.established());
+  EXPECT_EQ(conn.snd_base(), conn.iss() + 1);
+  EXPECT_EQ(bed.remote().active_connections(), 1u);
+}
+
+TEST(ProbeConnection, ConnectToClosedPortFails) {
+  core::Testbed bed{core::TestbedConfig{}};
+  ProbeConnection conn{bed.probe(), bed.probe().make_flow(bed.remote_addr(), 4444),
+                       ProbeConnectionOptions{}};
+  bool ok = true;
+  bool called = false;
+  conn.connect([&](bool success) {
+    called = true;
+    ok = success;
+  });
+  bed.loop().run_while(bed.loop().now() + Duration::seconds(10), [&] { return !called; });
+  ASSERT_TRUE(called);
+  EXPECT_FALSE(ok);
+}
+
+TEST(ProbeConnection, SynRetransmitsThroughLoss) {
+  core::TestbedConfig cfg;
+  cfg.seed = 1234;
+  cfg.forward.loss_probability = 0.5;
+  cfg.reverse.loss_probability = 0.5;
+  core::Testbed bed{cfg};
+  ProbeConnection conn{bed.probe(), bed.probe().make_flow(bed.remote_addr(), core::kDiscardPort),
+                       ProbeConnectionOptions{}};
+  bool ok = false;
+  bool called = false;
+  conn.connect([&](bool success) {
+    called = true;
+    ok = success;
+  });
+  bed.loop().run_while(bed.loop().now() + Duration::seconds(60), [&] { return !called; });
+  ASSERT_TRUE(called);
+  EXPECT_TRUE(ok) << "six SYN retries at 50% loss virtually always get through";
+}
+
+TEST(ProbeConnection, SynGivesUpWhenBlackholed) {
+  core::TestbedConfig cfg;
+  cfg.forward.loss_probability = 1.0;
+  core::Testbed bed{cfg};
+  ProbeConnectionOptions opts;
+  opts.max_syn_retries = 2;
+  ProbeConnection conn{bed.probe(), bed.probe().make_flow(bed.remote_addr(), core::kDiscardPort),
+                       opts};
+  bool ok = true;
+  bool called = false;
+  conn.connect([&](bool success) {
+    called = true;
+    ok = success;
+  });
+  bed.loop().run_while(bed.loop().now() + Duration::seconds(60), [&] { return !called; });
+  ASSERT_TRUE(called);
+  EXPECT_FALSE(ok);
+}
+
+TEST(ProbeConnection, GracefulCloseCompletes) {
+  core::Testbed bed{core::TestbedConfig{}};
+  ProbeConnection conn{bed.probe(), bed.probe().make_flow(bed.remote_addr(), core::kDiscardPort),
+                       ProbeConnectionOptions{}};
+  bool connected = false;
+  conn.connect([&](bool ok) { connected = ok; });
+  bed.loop().run_while(bed.loop().now() + Duration::seconds(10), [&] { return !connected; });
+  ASSERT_TRUE(connected);
+
+  bool closed = false;
+  conn.close(0, [&] { closed = true; });
+  bed.loop().run_while(bed.loop().now() + Duration::seconds(10), [&] { return !closed; });
+  EXPECT_TRUE(closed);
+  bed.loop().run();
+  EXPECT_EQ(bed.remote().active_connections(), 0u) << "remote side fully torn down";
+}
+
+TEST(ProbeConnection, AbortSendsRst) {
+  core::Testbed bed{core::TestbedConfig{}};
+  ProbeConnection conn{bed.probe(), bed.probe().make_flow(bed.remote_addr(), core::kDiscardPort),
+                       ProbeConnectionOptions{}};
+  bool connected = false;
+  conn.connect([&](bool ok) { connected = ok; });
+  bed.loop().run_while(bed.loop().now() + Duration::seconds(10), [&] { return !connected; });
+  ASSERT_TRUE(connected);
+  conn.abort();
+  bed.loop().run();
+  EXPECT_EQ(bed.remote().active_connections(), 0u);
+}
+
+TEST(ProbeConnection, BuildDataRelUsesAbsoluteSequence) {
+  core::Testbed bed{core::TestbedConfig{}};
+  ProbeConnectionOptions opts;
+  opts.iss = 777'000;
+  ProbeConnection conn{bed.probe(), bed.probe().make_flow(bed.remote_addr(), core::kDiscardPort),
+                       opts};
+  bool connected = false;
+  conn.connect([&](bool ok) { connected = ok; });
+  bed.loop().run_while(bed.loop().now() + Duration::seconds(10), [&] { return !connected; });
+  ASSERT_TRUE(connected);
+  const std::vector<std::uint8_t> b{0x55};
+  const auto pkt = conn.build_data_rel(7, b);
+  EXPECT_EQ(pkt.tcp.seq, 777'001u + 7u);
+  EXPECT_EQ(pkt.tcp.ack, conn.rcv_base());
+}
+
+}  // namespace
+}  // namespace reorder::probe

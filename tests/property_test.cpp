@@ -1,0 +1,190 @@
+// Property-style tests: randomized topologies and adversarial inputs
+// against the library's core invariants.
+//
+//  * Whatever the path does (random combinations of links, jitter, swap
+//    shapers, striping, mild loss), every unambiguous verdict any test
+//    reports must match trace ground truth — the §IV-A property, but over
+//    a randomized space instead of the fixed dummynet grid.
+//  * The TCP endpoint must survive arbitrary segment soup without
+//    violating its receive-sequence invariants.
+//  * Fragmentation round-trips across random sizes and MTUs.
+#include <gtest/gtest.h>
+
+#include "core/dual_connection_test.hpp"
+#include "core/single_connection_test.hpp"
+#include "core/syn_test.hpp"
+#include "core/testbed.hpp"
+#include "netsim/link.hpp"
+#include "tcpip/fragment.hpp"
+#include "tcpip/seq.hpp"
+#include "tcpip/tcp_endpoint.hpp"
+#include "trace/analyzer.hpp"
+
+namespace reorder {
+namespace {
+
+using util::Duration;
+
+// ---------- randomized-topology ground-truth property ----------
+
+core::TestbedConfig random_config(std::uint64_t seed) {
+  util::Rng rng{seed * 2654435761u + 17};
+  core::TestbedConfig cfg;
+  cfg.seed = seed;
+  cfg.forward.swap_probability = rng.bernoulli(0.7) ? rng.uniform(0.0, 0.45) : 0.0;
+  cfg.reverse.swap_probability = rng.bernoulli(0.7) ? rng.uniform(0.0, 0.45) : 0.0;
+  cfg.forward.swap_max_hold = Duration::millis(rng.between(5, 80));
+  if (rng.bernoulli(0.3)) cfg.forward.striped = sim::StripedLinkConfig{};
+  if (rng.bernoulli(0.3)) {
+    cfg.forward.loss_probability = rng.uniform(0.0, 0.15);
+    cfg.reverse.loss_probability = rng.uniform(0.0, 0.15);
+  }
+  cfg.forward.ingress_link.bandwidth_bps = rng.bernoulli(0.5) ? 10'000'000 : 100'000'000;
+  cfg.forward.ingress_link.propagation = Duration::millis(rng.between(1, 30));
+  cfg.reverse.ingress_link.propagation = Duration::millis(rng.between(1, 30));
+  cfg.remote = core::default_remote_config();
+  cfg.remote.behavior.immediate_ack_on_hole_fill = rng.bernoulli(0.5);
+  cfg.remote.behavior.second_syn = static_cast<tcpip::SecondSynBehavior>(rng.below(3));
+  return cfg;
+}
+
+class RandomTopology : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(RandomTopology, VerdictsNeverContradictGroundTruth) {
+  const std::uint64_t seed = GetParam();
+  for (const char* test_name : {"single", "dual", "syn"}) {
+    core::Testbed bed{random_config(seed)};
+    std::unique_ptr<core::ReorderTest> test;
+    if (std::string{test_name} == "single") {
+      test = std::make_unique<core::SingleConnectionTest>(bed.probe(), bed.remote_addr(),
+                                                          core::kDiscardPort);
+    } else if (std::string{test_name} == "dual") {
+      test = std::make_unique<core::DualConnectionTest>(bed.probe(), bed.remote_addr(),
+                                                        core::kDiscardPort);
+    } else {
+      test =
+          std::make_unique<core::SynTest>(bed.probe(), bed.remote_addr(), core::kDiscardPort);
+    }
+    core::TestRunConfig run;
+    run.samples = 25;
+    const auto result = bed.run_sync(*test, run, 3000);
+    if (!result.admissible) continue;  // e.g. unlucky loss draw during connect
+
+    for (const auto& s : result.samples) {
+      // The single-connection reversed variant interprets a lone final ACK
+      // as forward reordering even though a lost duplicate ACK produces
+      // the same evidence (the paper's documented loss aliasing). Those
+      // samples carry no second reply uid; exclude them from exact
+      // matching — they are approximate by design.
+      const bool lone_ack_alias =
+          std::string{test_name} == "single" && s.rev_uid_second == 0;
+      if (!lone_ack_alias &&
+          (s.forward == core::Ordering::kInOrder || s.forward == core::Ordering::kReordered)) {
+        const auto truth = trace::pair_ground_truth(bed.remote_ingress_trace(), s.fwd_uid_first,
+                                                    s.fwd_uid_second);
+        if (truth != trace::PairGroundTruth::kIncomplete) {
+          EXPECT_EQ(s.forward == core::Ordering::kReordered,
+                    truth == trace::PairGroundTruth::kReordered)
+              << test_name << " fwd, seed " << seed;
+        }
+      }
+      if ((s.reverse == core::Ordering::kInOrder || s.reverse == core::Ordering::kReordered) &&
+          s.rev_uid_first != 0 && s.rev_uid_second != 0) {
+        const auto truth = trace::pair_ground_truth(bed.remote_egress_trace(), s.rev_uid_first,
+                                                    s.rev_uid_second);
+        if (truth != trace::PairGroundTruth::kIncomplete) {
+          EXPECT_EQ(s.reverse == core::Ordering::kReordered,
+                    truth == trace::PairGroundTruth::kReordered)
+              << test_name << " rev, seed " << seed;
+        }
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RandomTopology,
+                         ::testing::Values(1u, 2u, 3u, 5u, 8u, 13u, 21u, 34u, 55u, 89u));
+
+// ---------- endpoint segment-soup fuzz ----------
+
+class EndpointFuzz : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(EndpointFuzz, SurvivesArbitrarySegmentsWithMonotoneRcvNxt) {
+  sim::EventLoop loop;
+  tcpip::TcpBehavior behavior;
+  const tcpip::ConnKey key{80, tcpip::Ipv4Address::from_octets(10, 0, 0, 1), 40000};
+  int sends = 0;
+  tcpip::TcpEndpoint ep{loop, behavior, key, 1000,
+                        [&](tcpip::TcpHeader, std::vector<std::uint8_t>) { ++sends; }};
+  util::Rng rng{GetParam()};
+
+  // Establish first so the interesting code paths are reachable.
+  tcpip::Packet syn;
+  syn.ip.src = key.remote_addr;
+  syn.tcp.src_port = 40000;
+  syn.tcp.dst_port = 80;
+  syn.tcp.flags = tcpip::kSyn;
+  syn.tcp.seq = 777;
+  ep.on_segment(syn);
+  tcpip::Packet ack = syn;
+  ack.tcp.flags = tcpip::kAck;
+  ack.tcp.seq = 778;
+  ack.tcp.ack = 1001;
+  ep.on_segment(ack);
+  ASSERT_EQ(ep.state(), tcpip::TcpState::kEstablished);
+
+  std::uint32_t prev_rcv_nxt = ep.rcv_nxt();
+  for (int i = 0; i < 2000 && ep.state() != tcpip::TcpState::kClosed; ++i) {
+    tcpip::Packet pkt = syn;
+    // Random flags, avoiding RST (which simply closes) most of the time.
+    pkt.tcp.flags = static_cast<std::uint8_t>(rng.below(64));
+    if (rng.bernoulli(0.95)) pkt.tcp.flags &= static_cast<std::uint8_t>(~tcpip::kRst);
+    pkt.tcp.seq = 778 + static_cast<std::uint32_t>(rng.between(-50, 200));
+    pkt.tcp.ack = 1001 + static_cast<std::uint32_t>(rng.between(-50, 200));
+    pkt.tcp.window = static_cast<std::uint16_t>(rng.below(65536));
+    pkt.payload.assign(rng.below(64), 0xcd);
+    ep.on_segment(pkt);
+    // Receive point must never move backwards.
+    EXPECT_GE(tcpip::seq_diff(ep.rcv_nxt(), prev_rcv_nxt), 0);
+    prev_rcv_nxt = ep.rcv_nxt();
+    if (rng.bernoulli(0.05)) loop.run_until(loop.now() + Duration::millis(50));
+  }
+  loop.run();
+  EXPECT_GT(sends, 0);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, EndpointFuzz, ::testing::Values(11u, 22u, 33u, 44u));
+
+// ---------- fragmentation round-trip sweep ----------
+
+class FragmentRoundTrip : public ::testing::TestWithParam<std::tuple<int, int>> {};
+
+TEST_P(FragmentRoundTrip, AnySizeAnyMtu) {
+  const auto [payload_size, mtu] = GetParam();
+  tcpip::Packet pkt;
+  pkt.ip.src = tcpip::Ipv4Address::from_octets(1, 2, 3, 4);
+  pkt.ip.dst = tcpip::Ipv4Address::from_octets(5, 6, 7, 8);
+  pkt.ip.identification = static_cast<std::uint16_t>(payload_size * 31 + mtu);
+  pkt.tcp.src_port = 1;
+  pkt.tcp.dst_port = 2;
+  pkt.payload.resize(static_cast<std::size_t>(payload_size));
+  for (int i = 0; i < payload_size; ++i) {
+    pkt.payload[static_cast<std::size_t>(i)] = static_cast<std::uint8_t>(i * 7);
+  }
+  const auto wire = pkt.to_wire();
+  auto frags = tcpip::fragment_datagram(wire, static_cast<std::size_t>(mtu));
+  ASSERT_FALSE(frags.empty());
+  for (const auto& f : frags) ASSERT_LE(f.size(), static_cast<std::size_t>(mtu));
+  // Reverse arrival order: reassembly must not care.
+  std::reverse(frags.begin(), frags.end());
+  const auto whole = tcpip::reassemble_datagram(frags);
+  ASSERT_TRUE(whole.has_value());
+  EXPECT_EQ(*whole, wire);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, FragmentRoundTrip,
+                         ::testing::Combine(::testing::Values(8, 100, 576, 1480, 4000),
+                                            ::testing::Values(68, 280, 576, 1500)));
+
+}  // namespace
+}  // namespace reorder

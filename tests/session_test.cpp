@@ -1,0 +1,96 @@
+// Tests for the MeasurementSession driver and its statistics helpers.
+#include <gtest/gtest.h>
+
+#include "core/measurement_session.hpp"
+#include "core/single_connection_test.hpp"
+#include "core/syn_test.hpp"
+#include "core/testbed.hpp"
+
+namespace reorder::core {
+namespace {
+
+using util::Duration;
+
+TEST(Session, RoundRobinProducesAllMeasurements) {
+  TestbedConfig cfg;
+  cfg.seed = 501;
+  cfg.forward.swap_probability = 0.1;
+  Testbed bed{cfg};
+
+  MeasurementSession session{bed.loop()};
+  std::vector<std::unique_ptr<ReorderTest>> tests;
+  tests.push_back(
+      std::make_unique<SingleConnectionTest>(bed.probe(), bed.remote_addr(), kDiscardPort));
+  tests.push_back(std::make_unique<SynTest>(bed.probe(), bed.remote_addr(), kDiscardPort));
+  session.add_target("remote", std::move(tests));
+
+  TestRunConfig run;
+  run.samples = 10;
+  const auto& ms = session.run(run, /*rounds=*/3, Duration::millis(100));
+  ASSERT_EQ(ms.size(), 6u);  // 2 tests x 3 rounds
+  EXPECT_EQ(ms[0].test, "single-connection");
+  EXPECT_EQ(ms[1].test, "syn");
+  EXPECT_LT(ms[0].at, ms[1].at);
+  for (const auto& m : ms) {
+    EXPECT_TRUE(m.result.admissible);
+    EXPECT_EQ(static_cast<int>(m.result.samples.size()), 10);
+  }
+}
+
+TEST(Session, SeriesAndAggregate) {
+  TestbedConfig cfg;
+  cfg.seed = 502;
+  cfg.forward.swap_probability = 0.25;
+  Testbed bed{cfg};
+
+  MeasurementSession session{bed.loop()};
+  std::vector<std::unique_ptr<ReorderTest>> tests;
+  tests.push_back(std::make_unique<SynTest>(bed.probe(), bed.remote_addr(), kDiscardPort));
+  session.add_target("remote", std::move(tests));
+
+  TestRunConfig run;
+  run.samples = 20;
+  session.run(run, 5, Duration::millis(50));
+
+  const auto series = session.rate_series("remote", "syn", /*forward=*/true);
+  ASSERT_EQ(series.size(), 5u);
+  const auto agg = session.aggregate("remote", "syn", true);
+  EXPECT_EQ(agg.total(), 100);
+  EXPECT_NEAR(agg.rate(), 0.25, 0.15);
+  // Aggregate equals the sample-weighted union of the series measurements.
+  EXPECT_EQ(agg.usable(), agg.in_order + agg.reordered);
+}
+
+TEST(Session, CompareEquivalentTestsSupportsNull) {
+  TestbedConfig cfg;
+  cfg.seed = 503;
+  cfg.forward.swap_probability = 0.15;
+  Testbed bed{cfg};
+
+  MeasurementSession session{bed.loop()};
+  std::vector<std::unique_ptr<ReorderTest>> tests;
+  tests.push_back(
+      std::make_unique<SingleConnectionTest>(bed.probe(), bed.remote_addr(), kDiscardPort));
+  tests.push_back(std::make_unique<SynTest>(bed.probe(), bed.remote_addr(), kDiscardPort));
+  session.add_target("remote", std::move(tests));
+
+  TestRunConfig run;
+  run.samples = 25;
+  session.run(run, 8, Duration::millis(50));
+
+  const auto cmp = session.compare("remote", "single-connection", "syn", true);
+  EXPECT_EQ(cmp.n, 8u);
+  EXPECT_TRUE(cmp.null_supported)
+      << "two unbiased tests of the same stationary process must agree at 99.9%; mean diff = "
+      << cmp.mean_difference;
+}
+
+TEST(Session, UnknownTargetYieldsEmptySeries) {
+  sim::EventLoop loop;
+  MeasurementSession session{loop};
+  EXPECT_TRUE(session.rate_series("nope", "syn", true).empty());
+  EXPECT_EQ(session.aggregate("nope", "syn", true).total(), 0);
+}
+
+}  // namespace
+}  // namespace reorder::core

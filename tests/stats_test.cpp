@@ -1,0 +1,292 @@
+// Unit tests for stats: summaries, ECDF, histogram, special functions,
+// Student-t, and the paired-difference test.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "stats/ecdf.hpp"
+#include "stats/histogram.hpp"
+#include "stats/pair_difference.hpp"
+#include "stats/special.hpp"
+#include "stats/students_t.hpp"
+#include "stats/summary.hpp"
+#include "util/random.hpp"
+
+namespace reorder::stats {
+namespace {
+
+// ---------- RunningStats ----------
+
+TEST(RunningStats, KnownValues) {
+  RunningStats s;
+  for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.add(x);
+  EXPECT_EQ(s.count(), 8);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_NEAR(s.variance(), 32.0 / 7.0, 1e-12);  // sample variance
+  EXPECT_DOUBLE_EQ(s.min(), 2.0);
+  EXPECT_DOUBLE_EQ(s.max(), 9.0);
+}
+
+TEST(RunningStats, EmptyAndSingle) {
+  RunningStats s;
+  EXPECT_EQ(s.count(), 0);
+  EXPECT_DOUBLE_EQ(s.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+  s.add(3.5);
+  EXPECT_DOUBLE_EQ(s.mean(), 3.5);
+  EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+  EXPECT_DOUBLE_EQ(s.stderr_mean(), 0.0);
+}
+
+TEST(RunningStats, MergeEqualsSequential) {
+  util::Rng rng{5};
+  RunningStats whole;
+  RunningStats a;
+  RunningStats b;
+  for (int i = 0; i < 1000; ++i) {
+    const double x = rng.normal(2.0, 3.0);
+    whole.add(x);
+    (i % 3 == 0 ? a : b).add(x);
+  }
+  a.merge(b);
+  EXPECT_EQ(a.count(), whole.count());
+  EXPECT_NEAR(a.mean(), whole.mean(), 1e-9);
+  EXPECT_NEAR(a.variance(), whole.variance(), 1e-6);
+  EXPECT_DOUBLE_EQ(a.min(), whole.min());
+  EXPECT_DOUBLE_EQ(a.max(), whole.max());
+}
+
+TEST(RunningStats, MergeWithEmpty) {
+  RunningStats a;
+  a.add(1.0);
+  a.add(2.0);
+  RunningStats empty;
+  a.merge(empty);
+  EXPECT_EQ(a.count(), 2);
+  empty.merge(a);
+  EXPECT_EQ(empty.count(), 2);
+  EXPECT_DOUBLE_EQ(empty.mean(), 1.5);
+}
+
+// ---------- Wilson interval ----------
+
+TEST(Wilson, ContainsPointEstimate) {
+  const auto p = wilson_interval(30, 100);
+  EXPECT_DOUBLE_EQ(p.estimate, 0.3);
+  EXPECT_LT(p.lower, 0.3);
+  EXPECT_GT(p.upper, 0.3);
+}
+
+TEST(Wilson, EdgeCases) {
+  const auto zero = wilson_interval(0, 50);
+  EXPECT_DOUBLE_EQ(zero.estimate, 0.0);
+  EXPECT_DOUBLE_EQ(zero.lower, 0.0);
+  EXPECT_GT(zero.upper, 0.0);
+  const auto full = wilson_interval(50, 50);
+  EXPECT_DOUBLE_EQ(full.estimate, 1.0);
+  EXPECT_LT(full.lower, 1.0);
+  EXPECT_DOUBLE_EQ(full.upper, 1.0);
+  const auto none = wilson_interval(0, 0);
+  EXPECT_EQ(none.trials, 0);
+}
+
+TEST(Wilson, WiderAtHigherConfidence) {
+  const auto narrow = wilson_interval(20, 100, 1.96);
+  const auto wide = wilson_interval(20, 100, 3.29);
+  EXPECT_LT(wide.lower, narrow.lower);
+  EXPECT_GT(wide.upper, narrow.upper);
+}
+
+// ---------- Ecdf ----------
+
+TEST(Ecdf, CdfAndQuantile) {
+  Ecdf e;
+  for (double x : {1.0, 2.0, 3.0, 4.0, 5.0}) e.add(x);
+  EXPECT_DOUBLE_EQ(e.cdf(0.5), 0.0);
+  EXPECT_DOUBLE_EQ(e.cdf(1.0), 0.2);
+  EXPECT_DOUBLE_EQ(e.cdf(3.0), 0.6);
+  EXPECT_DOUBLE_EQ(e.cdf(10.0), 1.0);
+  EXPECT_DOUBLE_EQ(e.quantile(0.0), 1.0);
+  EXPECT_DOUBLE_EQ(e.quantile(0.5), 3.0);
+  EXPECT_DOUBLE_EQ(e.quantile(1.0), 5.0);
+}
+
+TEST(Ecdf, EmptySafe) {
+  const Ecdf e;
+  EXPECT_DOUBLE_EQ(e.cdf(1.0), 0.0);
+  EXPECT_DOUBLE_EQ(e.quantile(0.5), 0.0);
+  EXPECT_TRUE(e.curve().empty());
+}
+
+TEST(Ecdf, CurveEndsAtOne) {
+  Ecdf e;
+  for (int i = 0; i < 1000; ++i) e.add(static_cast<double>(i));
+  const auto curve = e.curve(50);
+  ASSERT_FALSE(curve.empty());
+  EXPECT_LE(curve.size(), 52u);
+  EXPECT_DOUBLE_EQ(curve.back().second, 1.0);
+  EXPECT_DOUBLE_EQ(curve.back().first, 999.0);
+  for (std::size_t i = 1; i < curve.size(); ++i) {
+    EXPECT_LE(curve[i - 1].first, curve[i].first);
+    EXPECT_LE(curve[i - 1].second, curve[i].second);
+  }
+}
+
+TEST(Ecdf, InterleavedAddAndQuery) {
+  Ecdf e;
+  e.add(5.0);
+  EXPECT_DOUBLE_EQ(e.cdf(5.0), 1.0);
+  e.add(1.0);
+  EXPECT_DOUBLE_EQ(e.cdf(1.0), 0.5);
+  EXPECT_DOUBLE_EQ(e.min(), 1.0);
+  EXPECT_DOUBLE_EQ(e.max(), 5.0);
+}
+
+// ---------- Histogram ----------
+
+TEST(Histogram, BinningAndOverflow) {
+  Histogram h{0.0, 10.0, 10};
+  h.add(-1.0);
+  h.add(0.0);
+  h.add(9.999);
+  h.add(10.0);
+  h.add(5.5);
+  EXPECT_EQ(h.count(), 5);
+  EXPECT_EQ(h.underflow(), 1);
+  EXPECT_EQ(h.overflow(), 1);
+  EXPECT_EQ(h.bin_count(0), 1);
+  EXPECT_EQ(h.bin_count(9), 1);
+  EXPECT_EQ(h.bin_count(5), 1);
+  EXPECT_DOUBLE_EQ(h.bin_lo(5), 5.0);
+  EXPECT_DOUBLE_EQ(h.bin_hi(5), 6.0);
+}
+
+TEST(Histogram, RejectsBadRange) {
+  EXPECT_THROW(Histogram(1.0, 1.0, 4), std::invalid_argument);
+  EXPECT_THROW(Histogram(0.0, 1.0, 0), std::invalid_argument);
+}
+
+TEST(Histogram, RenderShowsNonEmptyBins) {
+  Histogram h{0.0, 4.0, 4};
+  h.add(0.5);
+  h.add(2.5);
+  h.add(2.6);
+  const auto s = h.render(10);
+  EXPECT_NE(s.find('#'), std::string::npos);
+  // Two non-empty bins -> two lines.
+  EXPECT_EQ(std::count(s.begin(), s.end(), '\n'), 2);
+}
+
+// ---------- special functions ----------
+
+TEST(Special, IncompleteBetaIdentities) {
+  // I_x(1,1) = x.
+  for (double x : {0.1, 0.25, 0.5, 0.9}) {
+    EXPECT_NEAR(incomplete_beta(1, 1, x), x, 1e-12);
+  }
+  // Symmetry: I_x(a,b) = 1 - I_{1-x}(b,a).
+  EXPECT_NEAR(incomplete_beta(2.5, 4.0, 0.3), 1.0 - incomplete_beta(4.0, 2.5, 0.7), 1e-12);
+  // At the symmetric midpoint, I_{1/2}(a,a) = 1/2.
+  EXPECT_NEAR(incomplete_beta(3.0, 3.0, 0.5), 0.5, 1e-12);
+  // Bounds.
+  EXPECT_DOUBLE_EQ(incomplete_beta(2, 3, 0.0), 0.0);
+  EXPECT_DOUBLE_EQ(incomplete_beta(2, 3, 1.0), 1.0);
+  EXPECT_THROW(incomplete_beta(0.0, 1.0, 0.5), std::invalid_argument);
+}
+
+// ---------- Student-t ----------
+
+TEST(StudentT, Df1IsCauchy) {
+  // For df=1 the CDF is 1/2 + atan(t)/pi.
+  for (double t : {-2.0, -1.0, 0.0, 1.0, 2.0}) {
+    EXPECT_NEAR(student_t_cdf(t, 1), 0.5 + std::atan(t) / M_PI, 1e-10);
+  }
+}
+
+TEST(StudentT, KnownCriticalValues) {
+  // Classic table values.
+  EXPECT_NEAR(student_t_critical(0.95, 10), 2.228, 2e-3);
+  EXPECT_NEAR(student_t_critical(0.99, 5), 4.032, 2e-3);
+  EXPECT_NEAR(student_t_critical(0.999, 30), 3.646, 2e-3);
+  EXPECT_NEAR(student_t_critical(0.95, 1), 12.706, 2e-2);
+}
+
+TEST(StudentT, LargeDfApproachesNormal) {
+  EXPECT_NEAR(student_t_critical(0.95, 100000), 1.960, 2e-3);
+}
+
+class StudentTQuantileRoundTrip : public ::testing::TestWithParam<std::tuple<double, double>> {};
+
+TEST_P(StudentTQuantileRoundTrip, CdfOfQuantileIsP) {
+  const auto [p, df] = GetParam();
+  const double t = student_t_quantile(p, df);
+  EXPECT_NEAR(student_t_cdf(t, df), p, 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, StudentTQuantileRoundTrip,
+    ::testing::Combine(::testing::Values(0.001, 0.01, 0.1, 0.5, 0.9, 0.99, 0.9995),
+                       ::testing::Values(1.0, 2.0, 5.0, 14.0, 29.0, 120.0)));
+
+TEST(StudentT, InvalidArguments) {
+  EXPECT_THROW(student_t_cdf(0.0, 0.5), std::invalid_argument);
+  EXPECT_THROW(student_t_quantile(0.0, 5), std::invalid_argument);
+  EXPECT_THROW(student_t_quantile(1.0, 5), std::invalid_argument);
+  EXPECT_THROW(student_t_critical(1.5, 5), std::invalid_argument);
+}
+
+// ---------- pair difference ----------
+
+TEST(PairDifference, IdenticalSeriesSupportsNull) {
+  const std::vector<double> a{0.1, 0.2, 0.15, 0.12, 0.18};
+  const auto r = pair_difference_test(a, a);
+  EXPECT_TRUE(r.null_supported);
+  EXPECT_DOUBLE_EQ(r.mean_difference, 0.0);
+}
+
+TEST(PairDifference, LargeShiftRejectsNull) {
+  std::vector<double> a;
+  std::vector<double> b;
+  util::Rng rng{3};
+  for (int i = 0; i < 30; ++i) {
+    const double base = rng.uniform(0.0, 0.05);
+    a.push_back(base + 0.5);  // a is uniformly half a unit higher
+    b.push_back(base);
+  }
+  const auto r = pair_difference_test(a, b, 0.999);
+  EXPECT_FALSE(r.null_supported);
+  EXPECT_NEAR(r.mean_difference, 0.5, 1e-9);
+  EXPECT_GT(r.ci_lower, 0.0);
+}
+
+TEST(PairDifference, NoisyEqualProcessesSupportNull) {
+  std::vector<double> a;
+  std::vector<double> b;
+  util::Rng rng{7};
+  for (int i = 0; i < 50; ++i) {
+    const double common = rng.uniform(0.0, 0.2);
+    a.push_back(common + rng.normal(0.0, 0.01));
+    b.push_back(common + rng.normal(0.0, 0.01));
+  }
+  const auto r = pair_difference_test(a, b, 0.999);
+  EXPECT_TRUE(r.null_supported);
+}
+
+TEST(PairDifference, Validation) {
+  const std::vector<double> a{1.0, 2.0};
+  const std::vector<double> b{1.0};
+  EXPECT_THROW(pair_difference_test(a, b), std::invalid_argument);
+  const std::vector<double> one{1.0};
+  EXPECT_THROW(pair_difference_test(one, one), std::invalid_argument);
+}
+
+TEST(PairDifference, ConfidenceRecorded) {
+  const std::vector<double> a{0.1, 0.2, 0.3};
+  const auto r = pair_difference_test(a, a, 0.99);
+  EXPECT_DOUBLE_EQ(r.confidence, 0.99);
+  EXPECT_EQ(r.n, 3u);
+}
+
+}  // namespace
+}  // namespace reorder::stats

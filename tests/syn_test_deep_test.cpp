@@ -1,0 +1,211 @@
+// Deep tests for the SYN Test: second-SYN implementation variants, load
+// balancer immunity, both directions, politeness.
+#include <gtest/gtest.h>
+
+#include "core/syn_test.hpp"
+#include "core/testbed.hpp"
+#include "trace/analyzer.hpp"
+
+namespace reorder::core {
+namespace {
+
+using tcpip::SecondSynBehavior;
+using util::Duration;
+
+TestbedConfig with_second_syn(SecondSynBehavior b, std::uint64_t seed) {
+  TestbedConfig cfg;
+  cfg.seed = seed;
+  cfg.remote = default_remote_config();
+  cfg.remote.behavior.second_syn = b;
+  return cfg;
+}
+
+class SynBehaviorMatrix : public ::testing::TestWithParam<SecondSynBehavior> {};
+
+TEST_P(SynBehaviorMatrix, CleanPathAllInOrder) {
+  Testbed bed{with_second_syn(GetParam(), 301)};
+  SynTest test{bed.probe(), bed.remote_addr(), kDiscardPort};
+  TestRunConfig run;
+  run.samples = 12;
+  const auto result = bed.run_sync(test, run);
+  ASSERT_TRUE(result.admissible);
+  EXPECT_EQ(result.forward.in_order, 12)
+      << "forward verdict comes from the SYN/ACK and works for every variant";
+  if (GetParam() == SecondSynBehavior::kIgnore) {
+    EXPECT_EQ(result.reverse.ambiguous, 12)
+        << "a host that ignores the second SYN reveals nothing about the reverse path";
+  } else {
+    EXPECT_EQ(result.reverse.in_order, 12);
+  }
+}
+
+TEST_P(SynBehaviorMatrix, ForwardSwapsDetected) {
+  auto cfg = with_second_syn(GetParam(), 302);
+  cfg.forward.swap_probability = 1.0;
+  Testbed bed{cfg};
+  SynTest test{bed.probe(), bed.remote_addr(), kDiscardPort};
+  TestRunConfig run;
+  run.samples = 12;
+  // At p=1 the shaper holds every odd packet; space samples beyond the
+  // hold timeout so polite-close traffic cannot pair with the next SYN.
+  run.sample_spacing = Duration::millis(120);
+  const auto result = bed.run_sync(test, run);
+  ASSERT_TRUE(result.admissible);
+  EXPECT_EQ(result.forward.reordered, 12)
+      << "the SYN/ACK acknowledges the offset ISS when SYN2 arrives first";
+}
+
+INSTANTIATE_TEST_SUITE_P(Variants, SynBehaviorMatrix,
+                         ::testing::Values(SecondSynBehavior::kSpecCompliant,
+                                           SecondSynBehavior::kAlwaysRst,
+                                           SecondSynBehavior::kDualRst,
+                                           SecondSynBehavior::kIgnore));
+
+TEST(SynDeep, SpecCompliantRepliesDifferByOrdering) {
+  // Strict RFC 793: in-window second SYN -> RST; out-of-window -> pure ACK.
+  // Either way the test classifies; this checks the remote's behaviour is
+  // actually exercised end to end.
+  auto cfg = with_second_syn(SecondSynBehavior::kSpecCompliant, 303);
+  cfg.forward.swap_probability = 1.0;
+  Testbed bed{cfg};
+  SynTest test{bed.probe(), bed.remote_addr(), kDiscardPort};
+  TestRunConfig run;
+  run.samples = 6;
+  run.sample_spacing = Duration::millis(120);
+  const auto result = bed.run_sync(test, run);
+  EXPECT_EQ(result.forward.reordered, 6);
+  EXPECT_EQ(result.reverse.in_order, 6);
+}
+
+TEST(SynDeep, ReverseSwapsDetected) {
+  auto cfg = with_second_syn(SecondSynBehavior::kAlwaysRst, 304);
+  cfg.reverse.swap_probability = 1.0;
+  Testbed bed{cfg};
+  SynTest test{bed.probe(), bed.remote_addr(), kDiscardPort};
+  TestRunConfig run;
+  run.samples = 12;
+  const auto result = bed.run_sync(test, run);
+  ASSERT_TRUE(result.admissible);
+  EXPECT_EQ(result.reverse.reordered, 12) << "the RST overtakes the SYN/ACK on the way back";
+  EXPECT_EQ(result.forward.in_order, 12);
+}
+
+TEST(SynDeep, WorksThroughLoadBalancer) {
+  // The whole point of the SYN test (paper §III-D): identical four-tuples
+  // reach the same backend, so verdicts stay clean behind a balancer.
+  TestbedConfig cfg;
+  cfg.seed = 305;
+  cfg.backends = 4;
+  Testbed bed{cfg};
+  SynTest test{bed.probe(), bed.remote_addr(), kDiscardPort};
+  TestRunConfig run;
+  run.samples = 16;
+  const auto result = bed.run_sync(test, run);
+  ASSERT_TRUE(result.admissible);
+  EXPECT_EQ(result.forward.in_order, 16);
+  EXPECT_EQ(result.reverse.in_order, 16);
+}
+
+TEST(SynDeep, ReplyLossDegradesReverseNotForward) {
+  auto cfg = with_second_syn(SecondSynBehavior::kAlwaysRst, 306);
+  cfg.reverse.loss_probability = 0.5;
+  Testbed bed{cfg};
+  SynTest test{bed.probe(), bed.remote_addr(), kDiscardPort};
+  TestRunConfig run;
+  run.samples = 20;
+  const auto result = bed.run_sync(test, run);
+  ASSERT_TRUE(result.admissible);
+  // The remote retransmits its SYN/ACK, so the forward verdict (read from
+  // the SYN/ACK's ack number) survives heavy reply loss...
+  EXPECT_GE(result.forward.in_order, 15);
+  // ...while the RST is never retransmitted: reverse verdicts degrade to
+  // ambiguous whenever it (or the original SYN/ACK) is lost.
+  EXPECT_GT(result.reverse.ambiguous, 3);
+  EXPECT_EQ(result.reverse.reordered, 0)
+      << "the retransmission guard must not fake reverse reorderings";
+}
+
+TEST(SynDeep, VerdictsMatchGroundTruth) {
+  auto cfg = with_second_syn(SecondSynBehavior::kAlwaysRst, 307);
+  cfg.forward.swap_probability = 0.3;
+  cfg.reverse.swap_probability = 0.3;
+  Testbed bed{cfg};
+  SynTest test{bed.probe(), bed.remote_addr(), kDiscardPort};
+  TestRunConfig run;
+  run.samples = 50;
+  const auto result = bed.run_sync(test, run);
+  ASSERT_TRUE(result.admissible);
+  int checked = 0;
+  for (const auto& s : result.samples) {
+    if (s.forward == Ordering::kInOrder || s.forward == Ordering::kReordered) {
+      const auto truth =
+          trace::pair_ground_truth(bed.remote_ingress_trace(), s.fwd_uid_first, s.fwd_uid_second);
+      if (truth != trace::PairGroundTruth::kIncomplete) {
+        EXPECT_EQ(s.forward == Ordering::kReordered,
+                  truth == trace::PairGroundTruth::kReordered);
+        ++checked;
+      }
+    }
+    if ((s.reverse == Ordering::kInOrder || s.reverse == Ordering::kReordered) &&
+        s.rev_uid_first != 0) {
+      const auto truth =
+          trace::pair_ground_truth(bed.remote_egress_trace(), s.rev_uid_first, s.rev_uid_second);
+      if (truth != trace::PairGroundTruth::kIncomplete) {
+        EXPECT_EQ(s.reverse == Ordering::kReordered,
+                  truth == trace::PairGroundTruth::kReordered);
+        ++checked;
+      }
+    }
+  }
+  EXPECT_GT(checked, 60);
+}
+
+TEST(SynDeep, GapParameterHonored) {
+  Testbed bed{with_second_syn(SecondSynBehavior::kAlwaysRst, 308)};
+  SynTest test{bed.probe(), bed.remote_addr(), kDiscardPort};
+  TestRunConfig run;
+  run.samples = 4;
+  run.inter_packet_gap = Duration::micros(500);
+  const auto result = bed.run_sync(test, run);
+  ASSERT_TRUE(result.admissible);
+  for (const auto& s : result.samples) {
+    util::TimePoint first_at;
+    util::TimePoint second_at;
+    for (const auto& rec : bed.remote_ingress_trace().records()) {
+      if (rec.packet.uid == s.fwd_uid_first) first_at = rec.at;
+      if (rec.packet.uid == s.fwd_uid_second) second_at = rec.at;
+    }
+    EXPECT_GE((second_at - first_at).ns(), Duration::micros(500).ns());
+  }
+}
+
+TEST(SynDeep, PoliteCloseLeavesNoRemoteState) {
+  Testbed bed{with_second_syn(SecondSynBehavior::kAlwaysRst, 309)};
+  SynTest test{bed.probe(), bed.remote_addr(), kDiscardPort};
+  TestRunConfig run;
+  run.samples = 6;
+  const auto result = bed.run_sync(test, run);
+  ASSERT_TRUE(result.admissible);
+  bed.loop().advance(Duration::seconds(10));
+  EXPECT_EQ(bed.remote().active_connections(), 0u)
+      << "every sampled connection must be fully closed (no SYN-flood residue)";
+  EXPECT_EQ(bed.probe().registered_flows(), 0u);
+}
+
+TEST(SynDeep, EachSampleUsesFreshPorts) {
+  Testbed bed{with_second_syn(SecondSynBehavior::kAlwaysRst, 310)};
+  SynTest test{bed.probe(), bed.remote_addr(), kDiscardPort};
+  TestRunConfig run;
+  run.samples = 5;
+  const auto result = bed.run_sync(test, run);
+  ASSERT_TRUE(result.admissible);
+  // Count distinct source ports among captured SYNs.
+  std::set<std::uint16_t> ports;
+  for (const auto& rec : bed.remote_ingress_trace().records()) {
+    if (rec.packet.tcp.is_syn()) ports.insert(rec.packet.tcp.src_port);
+  }
+  EXPECT_EQ(ports.size(), 5u);
+}
+
+}  // namespace
+}  // namespace reorder::core

@@ -1,0 +1,470 @@
+// State-machine tests for tcpip::TcpEndpoint, driven with crafted segments
+// through a real event loop. These behaviours are exactly what the
+// measurement techniques exploit, so the expectations here mirror the
+// paper's §II-A review: immediate duplicate ACKs for out-of-order data,
+// the delayed acknowledgment algorithm, and second-SYN handling.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "netsim/event_loop.hpp"
+#include "tcpip/tcp_endpoint.hpp"
+
+namespace reorder::tcpip {
+namespace {
+
+using util::Duration;
+
+constexpr std::uint32_t kIss = 5000;   // server's initial sequence number
+constexpr std::uint32_t kCiss = 9000;  // client's (crafted) ISS
+
+struct Sent {
+  TcpHeader tcp;
+  std::vector<std::uint8_t> payload;
+};
+
+/// Endpoint + captured output + helpers for crafting client segments.
+struct Harness {
+  sim::EventLoop loop;
+  std::vector<Sent> sent;
+  TcpBehavior behavior;
+  std::unique_ptr<TcpEndpoint> ep;
+  std::vector<std::uint8_t> delivered;
+
+  explicit Harness(TcpBehavior b = {}) : behavior{b} {
+    const ConnKey key{80, Ipv4Address::from_octets(10, 0, 0, 1), 40000};
+    ep = std::make_unique<TcpEndpoint>(loop, behavior, key, kIss,
+                                       [this](TcpHeader h, std::vector<std::uint8_t> p) {
+                                         sent.push_back(Sent{h, std::move(p)});
+                                       });
+    ep->on_data = [this](std::span<const std::uint8_t> d) {
+      delivered.insert(delivered.end(), d.begin(), d.end());
+    };
+  }
+
+  Packet make(std::uint8_t flags, std::uint32_t seq, std::uint32_t ack,
+              std::vector<std::uint8_t> payload = {}, std::uint16_t window = 65535) {
+    Packet pkt;
+    pkt.ip.src = Ipv4Address::from_octets(10, 0, 0, 1);
+    pkt.ip.dst = Ipv4Address::from_octets(10, 0, 0, 2);
+    pkt.tcp.src_port = 40000;
+    pkt.tcp.dst_port = 80;
+    pkt.tcp.flags = flags;
+    pkt.tcp.seq = seq;
+    pkt.tcp.ack = ack;
+    pkt.tcp.window = window;
+    pkt.payload = std::move(payload);
+    return pkt;
+  }
+
+  /// SYN -> (SYN/ACK) -> ACK. Returns with the endpoint ESTABLISHED.
+  void establish(std::uint16_t mss = 1460) {
+    auto syn = make(kSyn, kCiss, 0);
+    syn.tcp.mss = mss;
+    ep->on_segment(syn);
+    ASSERT_EQ(ep->state(), TcpState::kSynRcvd);
+    ASSERT_EQ(sent.size(), 1u);
+    ASSERT_EQ(sent[0].tcp.flags & (kSyn | kAck), kSyn | kAck);
+    ep->on_segment(make(kAck, kCiss + 1, kIss + 1));
+    ASSERT_EQ(ep->state(), TcpState::kEstablished);
+    sent.clear();
+  }
+
+  /// Runs the loop until idle (all timers fired).
+  void settle() { loop.run(); }
+};
+
+// ---------- handshake ----------
+
+TEST(Endpoint, HandshakeFieldsAreCorrect) {
+  Harness h;
+  auto syn = h.make(kSyn, kCiss, 0);
+  syn.tcp.mss = 536;
+  h.ep->on_segment(syn);
+  ASSERT_EQ(h.sent.size(), 1u);
+  const auto& synack = h.sent[0].tcp;
+  EXPECT_EQ(synack.seq, kIss);
+  EXPECT_EQ(synack.ack, kCiss + 1);
+  ASSERT_TRUE(synack.mss.has_value());
+  EXPECT_EQ(*synack.mss, 1460);
+  EXPECT_EQ(h.ep->rcv_nxt(), kCiss + 1);
+}
+
+TEST(Endpoint, ListenIgnoresNonSyn) {
+  Harness h;
+  h.ep->on_segment(h.make(kAck, kCiss, kIss));
+  h.ep->on_segment(h.make(kRst, kCiss, 0));
+  EXPECT_EQ(h.ep->state(), TcpState::kListen);
+  EXPECT_TRUE(h.sent.empty());
+}
+
+TEST(Endpoint, SynAckRetransmitsUntilAcked) {
+  Harness h;
+  h.ep->on_segment(h.make(kSyn, kCiss, 0));
+  EXPECT_EQ(h.sent.size(), 1u);
+  h.loop.run_until(h.loop.now() + Duration::millis(600));
+  EXPECT_GE(h.sent.size(), 2u) << "SYN/ACK must be retransmitted on RTO";
+  EXPECT_TRUE(h.sent.back().tcp.is_syn());
+}
+
+TEST(Endpoint, HandshakeCompletionFiresCallback) {
+  Harness h;
+  bool established = false;
+  h.ep->on_established = [&] { established = true; };
+  h.ep->on_segment(h.make(kSyn, kCiss, 0));
+  h.ep->on_segment(h.make(kAck, kCiss + 1, kIss + 1));
+  EXPECT_TRUE(established);
+}
+
+TEST(Endpoint, WrongAckDoesNotEstablish) {
+  Harness h;
+  h.ep->on_segment(h.make(kSyn, kCiss, 0));
+  h.ep->on_segment(h.make(kAck, kCiss + 1, kIss + 999));
+  EXPECT_EQ(h.ep->state(), TcpState::kSynRcvd);
+}
+
+// ---------- second SYN behaviours (the SYN test's dependency) ----------
+
+struct SecondSynCase {
+  SecondSynBehavior behavior;
+  bool second_syn_in_window;
+  int expect_rsts;
+  int expect_acks;
+};
+
+class EndpointSecondSyn : public ::testing::TestWithParam<SecondSynCase> {};
+
+TEST_P(EndpointSecondSyn, RespondsPerPolicy) {
+  const auto& param = GetParam();
+  TcpBehavior b;
+  b.second_syn = param.behavior;
+  Harness h{b};
+  h.ep->on_segment(h.make(kSyn, kCiss, 0));
+  h.sent.clear();
+
+  // In-window: a later ISS (the usual in-order arrival of the offset SYN).
+  // Out-of-window: an ISS below rcv_nxt (the reordered arrival).
+  const std::uint32_t seq = param.second_syn_in_window ? kCiss + 64 : kCiss - 64;
+  h.ep->on_segment(h.make(kSyn, seq, 0));
+
+  int rsts = 0;
+  int acks = 0;
+  for (const auto& s : h.sent) {
+    if (s.tcp.is_rst()) {
+      ++rsts;
+    } else if (s.tcp.is_ack() && !s.tcp.is_syn()) {
+      ++acks;
+    }
+  }
+  EXPECT_EQ(rsts, param.expect_rsts);
+  EXPECT_EQ(acks, param.expect_acks);
+  EXPECT_EQ(h.ep->counters().second_syns_seen, 1u);
+  // The original connection must survive to complete its handshake.
+  h.ep->on_segment(h.make(kAck, kCiss + 1, kIss + 1));
+  EXPECT_EQ(h.ep->state(), TcpState::kEstablished);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Policies, EndpointSecondSyn,
+    ::testing::Values(
+        SecondSynCase{SecondSynBehavior::kSpecCompliant, true, 1, 0},
+        SecondSynCase{SecondSynBehavior::kSpecCompliant, false, 0, 1},
+        SecondSynCase{SecondSynBehavior::kAlwaysRst, true, 1, 0},
+        SecondSynCase{SecondSynBehavior::kAlwaysRst, false, 1, 0},
+        SecondSynCase{SecondSynBehavior::kDualRst, true, 2, 0},
+        SecondSynCase{SecondSynBehavior::kIgnore, true, 0, 0}));
+
+// ---------- in-order data & delayed ACKs ----------
+
+TEST(Endpoint, SingleInOrderSegmentIsDelayed) {
+  Harness h;
+  h.establish();
+  h.ep->on_segment(h.make(kAck | kPsh, kCiss + 1, kIss + 1, {1, 2, 3}));
+  EXPECT_TRUE(h.sent.empty()) << "first in-order segment must not be ACKed immediately";
+  h.loop.run_until(h.loop.now() + Duration::millis(250));
+  ASSERT_EQ(h.sent.size(), 1u) << "delayed ACK timer must fire";
+  EXPECT_EQ(h.sent[0].tcp.ack, kCiss + 4);
+  EXPECT_EQ(h.ep->counters().delayed_acks_sent, 1u);
+  EXPECT_EQ(h.delivered, (std::vector<std::uint8_t>{1, 2, 3}));
+}
+
+TEST(Endpoint, SecondSegmentForcesImmediateAck) {
+  Harness h;
+  h.establish();
+  h.ep->on_segment(h.make(kAck | kPsh, kCiss + 1, kIss + 1, {1}));
+  h.ep->on_segment(h.make(kAck | kPsh, kCiss + 2, kIss + 1, {2}));
+  ASSERT_EQ(h.sent.size(), 1u) << "every second segment is ACKed at once";
+  EXPECT_EQ(h.sent[0].tcp.ack, kCiss + 3);
+  // No stale delayed-ACK may fire afterwards.
+  h.settle();
+  EXPECT_EQ(h.sent.size(), 1u);
+}
+
+TEST(Endpoint, AckEveryPolicyNoneAcksEverySegment) {
+  TcpBehavior b;
+  b.delayed_ack = DelayedAckPolicy::kNone;
+  Harness h{b};
+  h.establish();
+  h.ep->on_segment(h.make(kAck | kPsh, kCiss + 1, kIss + 1, {1}));
+  EXPECT_EQ(h.sent.size(), 1u);
+}
+
+// ---------- out-of-order data: the crucial immediate dup-ACK ----------
+
+TEST(Endpoint, OutOfOrderDataGetsImmediateDupAck) {
+  Harness h;
+  h.establish();
+  h.ep->on_segment(h.make(kAck | kPsh, kCiss + 2, kIss + 1, {0x22}));  // hole at kCiss+1
+  ASSERT_EQ(h.sent.size(), 1u) << "OOO data must be acknowledged immediately";
+  EXPECT_EQ(h.sent[0].tcp.ack, kCiss + 1) << "dup ACK names the hole";
+  EXPECT_EQ(h.ep->counters().dup_acks_sent, 1u);
+  EXPECT_EQ(h.ep->counters().ooo_segments_queued, 1u);
+  EXPECT_TRUE(h.delivered.empty());
+}
+
+TEST(Endpoint, DuplicateOooSegmentStillDupAcks) {
+  Harness h;
+  h.establish();
+  h.ep->on_segment(h.make(kAck | kPsh, kCiss + 2, kIss + 1, {0x22}));
+  h.ep->on_segment(h.make(kAck | kPsh, kCiss + 2, kIss + 1, {0x22}));
+  EXPECT_EQ(h.sent.size(), 2u);
+  EXPECT_EQ(h.ep->counters().ooo_segments_queued, 1u) << "queued once";
+}
+
+TEST(Endpoint, HoleFillDefaultIsDelayed) {
+  Harness h;  // default: immediate_ack_on_hole_fill = false
+  h.establish();
+  h.ep->on_segment(h.make(kAck | kPsh, kCiss + 2, kIss + 1, {0x22}));
+  h.sent.clear();
+  h.ep->on_segment(h.make(kAck | kPsh, kCiss + 1, kIss + 1, {0x11}));
+  EXPECT_TRUE(h.sent.empty())
+      << "paper §III-B: hole-filling data may be treated as ordinary in-order data";
+  h.loop.run_until(h.loop.now() + Duration::millis(250));
+  ASSERT_EQ(h.sent.size(), 1u);
+  EXPECT_EQ(h.sent[0].tcp.ack, kCiss + 3) << "cumulative ACK covers the queued byte";
+  EXPECT_EQ(h.delivered, (std::vector<std::uint8_t>{0x11, 0x22}));
+  EXPECT_EQ(h.ep->counters().hole_fills, 1u);
+}
+
+TEST(Endpoint, HoleFillImmediatePolicy) {
+  TcpBehavior b;
+  b.immediate_ack_on_hole_fill = true;  // RFC 5681 SHOULD
+  Harness h{b};
+  h.establish();
+  h.ep->on_segment(h.make(kAck | kPsh, kCiss + 2, kIss + 1, {0x22}));
+  h.sent.clear();
+  h.ep->on_segment(h.make(kAck | kPsh, kCiss + 1, kIss + 1, {0x11}));
+  ASSERT_EQ(h.sent.size(), 1u) << "hole fill ACKed at once under RFC 5681 policy";
+  EXPECT_EQ(h.sent[0].tcp.ack, kCiss + 3);
+}
+
+TEST(Endpoint, PartialHoleFillStillSignalsRemainingHole) {
+  Harness h;
+  h.establish();
+  h.ep->on_segment(h.make(kAck | kPsh, kCiss + 4, kIss + 1, {0x44}));  // far hole
+  h.sent.clear();
+  h.ep->on_segment(h.make(kAck | kPsh, kCiss + 1, kIss + 1, {0x11}));  // fills only byte 1
+  ASSERT_EQ(h.sent.size(), 1u) << "a remaining hole forces an immediate ACK";
+  EXPECT_EQ(h.sent[0].tcp.ack, kCiss + 2);
+}
+
+TEST(Endpoint, OldDuplicateDataAckedImmediately) {
+  Harness h;
+  h.establish();
+  h.ep->on_segment(h.make(kAck | kPsh, kCiss + 1, kIss + 1, {1}));
+  h.ep->on_segment(h.make(kAck | kPsh, kCiss + 2, kIss + 1, {2}));
+  h.sent.clear();
+  h.ep->on_segment(h.make(kAck | kPsh, kCiss + 1, kIss + 1, {1}));  // stale retransmit
+  ASSERT_EQ(h.sent.size(), 1u);
+  EXPECT_EQ(h.sent[0].tcp.ack, kCiss + 3);
+  EXPECT_EQ(h.delivered.size(), 2u) << "duplicate payload must not be re-delivered";
+}
+
+TEST(Endpoint, OverlappingSegmentDeliversOnlyNewBytes) {
+  Harness h;
+  h.establish();
+  h.ep->on_segment(h.make(kAck | kPsh, kCiss + 1, kIss + 1, {1, 2}));
+  h.ep->on_segment(h.make(kAck | kPsh, kCiss + 2, kIss + 1, {2, 3}));  // overlaps byte 2
+  EXPECT_EQ(h.delivered, (std::vector<std::uint8_t>{1, 2, 3}));
+  EXPECT_EQ(h.ep->rcv_nxt(), kCiss + 4);
+}
+
+TEST(Endpoint, DataBeyondWindowIsNotQueued) {
+  TcpBehavior b;
+  b.receive_window = 8;
+  Harness h{b};
+  h.establish();
+  h.ep->on_segment(h.make(kAck | kPsh, kCiss + 100, kIss + 1, {9}));
+  EXPECT_EQ(h.ep->counters().ooo_segments_queued, 0u);
+  ASSERT_EQ(h.sent.size(), 1u) << "still dup-ACKed so the sender learns rcv_nxt";
+  EXPECT_EQ(h.sent[0].tcp.ack, kCiss + 1);
+}
+
+// ---------- server data transmission ----------
+
+TEST(Endpoint, SendDataSegmentsByPeerMss) {
+  Harness h;
+  h.establish(/*mss=*/4);
+  const std::vector<std::uint8_t> data{1, 2, 3, 4, 5, 6, 7, 8, 9, 10};
+  h.ep->send_data(data);
+  ASSERT_EQ(h.sent.size(), 3u);
+  EXPECT_EQ(h.sent[0].payload.size(), 4u);
+  EXPECT_EQ(h.sent[1].payload.size(), 4u);
+  EXPECT_EQ(h.sent[2].payload.size(), 2u);
+  EXPECT_EQ(h.sent[0].tcp.seq, kIss + 1);
+  EXPECT_EQ(h.sent[1].tcp.seq, kIss + 5);
+  EXPECT_EQ(h.sent[2].tcp.seq, kIss + 9);
+}
+
+TEST(Endpoint, SendRespectsPeerWindow) {
+  Harness h;
+  // Client's SYN advertised window is captured at accept time.
+  auto syn = h.make(kSyn, kCiss, 0);
+  syn.tcp.mss = 4;
+  syn.tcp.window = 8;
+  h.ep->on_segment(syn);
+  h.ep->on_segment(h.make(kAck, kCiss + 1, kIss + 1, {}, 8));
+  h.sent.clear();
+
+  const std::vector<std::uint8_t> data(20, 0xaa);
+  h.ep->send_data(data);
+  ASSERT_EQ(h.sent.size(), 2u) << "only one window (2 segments of 4) may be in flight";
+  // ACK of the first window opens the next.
+  h.ep->on_segment(h.make(kAck, kCiss + 1, kIss + 9, {}, 8));
+  EXPECT_EQ(h.sent.size(), 4u);
+}
+
+TEST(Endpoint, RetransmitsOnRtoAndBacksOff) {
+  Harness h;
+  h.establish(/*mss=*/100);
+  h.ep->send_data(std::vector<std::uint8_t>(10, 1));
+  ASSERT_EQ(h.sent.size(), 1u);
+  h.loop.run_until(h.loop.now() + Duration::millis(300));
+  EXPECT_EQ(h.sent.size(), 2u) << "one retransmission after the initial RTO";
+  EXPECT_EQ(h.sent[1].tcp.seq, kIss + 1);
+  h.loop.run_until(h.loop.now() + Duration::millis(350));
+  EXPECT_EQ(h.sent.size(), 2u) << "backoff doubles the next RTO";
+  h.loop.run_until(h.loop.now() + Duration::millis(300));
+  EXPECT_EQ(h.sent.size(), 3u);
+  EXPECT_EQ(h.ep->counters().retransmissions, 2u);
+}
+
+TEST(Endpoint, AckStopsRetransmission) {
+  Harness h;
+  h.establish(/*mss=*/100);
+  h.ep->send_data(std::vector<std::uint8_t>(10, 1));
+  h.ep->on_segment(h.make(kAck, kCiss + 1, kIss + 11));
+  h.sent.clear();
+  h.settle();
+  EXPECT_TRUE(h.sent.empty());
+}
+
+TEST(Endpoint, GivesUpAfterMaxRetransmits) {
+  TcpBehavior b;
+  b.max_retransmits = 2;
+  Harness h{b};
+  h.establish(/*mss=*/100);
+  h.ep->send_data(std::vector<std::uint8_t>(10, 1));
+  bool closed = false;
+  h.ep->on_closed = [&] { closed = true; };
+  h.settle();
+  EXPECT_TRUE(closed);
+  EXPECT_EQ(h.ep->state(), TcpState::kClosed);
+}
+
+// ---------- FIN / close / RST ----------
+
+TEST(Endpoint, RemoteFinMovesToCloseWait) {
+  Harness h;
+  h.establish();
+  bool remote_closed = false;
+  h.ep->on_remote_close = [&] { remote_closed = true; };
+  h.ep->on_segment(h.make(kFin | kAck, kCiss + 1, kIss + 1));
+  EXPECT_TRUE(remote_closed);
+  EXPECT_EQ(h.ep->state(), TcpState::kCloseWait);
+  ASSERT_EQ(h.sent.size(), 1u) << "FIN is ACKed immediately";
+  EXPECT_EQ(h.sent[0].tcp.ack, kCiss + 2);
+}
+
+TEST(Endpoint, FullCloseSequence) {
+  Harness h;
+  h.establish();
+  h.ep->on_segment(h.make(kFin | kAck, kCiss + 1, kIss + 1));
+  h.sent.clear();
+  h.ep->close();
+  ASSERT_EQ(h.sent.size(), 1u);
+  EXPECT_TRUE(h.sent[0].tcp.is_fin());
+  EXPECT_EQ(h.ep->state(), TcpState::kLastAck);
+  h.ep->on_segment(h.make(kAck, kCiss + 2, kIss + 2));
+  EXPECT_EQ(h.ep->state(), TcpState::kClosed);
+}
+
+TEST(Endpoint, ActiveCloseFinWaitPath) {
+  Harness h;
+  h.establish();
+  h.ep->close();
+  EXPECT_EQ(h.ep->state(), TcpState::kFinWait1);
+  h.ep->on_segment(h.make(kAck, kCiss + 1, kIss + 2));
+  EXPECT_EQ(h.ep->state(), TcpState::kFinWait2);
+  h.ep->on_segment(h.make(kFin | kAck, kCiss + 1, kIss + 2));
+  EXPECT_EQ(h.ep->state(), TcpState::kClosed);
+}
+
+TEST(Endpoint, CloseAfterDataDrainsFirst) {
+  Harness h;
+  h.establish(/*mss=*/4);
+  h.ep->send_data(std::vector<std::uint8_t>{1, 2, 3, 4, 5});
+  h.ep->close();
+  // FIN must come after the last data segment.
+  ASSERT_GE(h.sent.size(), 3u);
+  EXPECT_TRUE(h.sent.back().tcp.is_fin());
+  EXPECT_EQ(h.sent.back().tcp.seq, kIss + 6);
+}
+
+TEST(Endpoint, RstTearsDown) {
+  Harness h;
+  h.establish();
+  bool closed = false;
+  h.ep->on_closed = [&] { closed = true; };
+  h.ep->on_segment(h.make(kRst, kCiss + 1, 0));
+  EXPECT_TRUE(closed);
+  EXPECT_EQ(h.ep->state(), TcpState::kClosed);
+}
+
+TEST(Endpoint, AbortSendsRst) {
+  Harness h;
+  h.establish();
+  h.ep->abort();
+  ASSERT_EQ(h.sent.size(), 1u);
+  EXPECT_TRUE(h.sent[0].tcp.is_rst());
+  EXPECT_EQ(h.ep->state(), TcpState::kClosed);
+}
+
+TEST(Endpoint, SynOnEstablishedGetsChallengeAck) {
+  Harness h;
+  h.establish();
+  h.ep->on_segment(h.make(kSyn, kCiss + 500, 0));
+  ASSERT_EQ(h.sent.size(), 1u);
+  EXPECT_TRUE(h.sent[0].tcp.is_ack());
+  EXPECT_FALSE(h.sent[0].tcp.is_syn());
+  EXPECT_EQ(h.ep->state(), TcpState::kEstablished);
+}
+
+TEST(Endpoint, OooFinIsDupAcked) {
+  Harness h;
+  h.establish();
+  h.ep->on_segment(h.make(kFin | kAck, kCiss + 5, kIss + 1));  // FIN beyond a hole
+  ASSERT_EQ(h.sent.size(), 1u);
+  EXPECT_EQ(h.sent[0].tcp.ack, kCiss + 1);
+  EXPECT_EQ(h.ep->state(), TcpState::kEstablished);
+  EXPECT_FALSE(h.ep->fin_received());
+}
+
+TEST(Endpoint, StateNames) {
+  EXPECT_EQ(to_string(TcpState::kListen), "LISTEN");
+  EXPECT_EQ(to_string(TcpState::kEstablished), "ESTABLISHED");
+  EXPECT_EQ(to_string(SecondSynBehavior::kAlwaysRst), "always-rst");
+}
+
+}  // namespace
+}  // namespace reorder::tcpip

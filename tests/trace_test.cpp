@@ -1,0 +1,199 @@
+// Tests for trace capture, ground-truth analysis, and pcap output.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "trace/analyzer.hpp"
+#include "trace/pcap_writer.hpp"
+#include "trace/trace.hpp"
+
+namespace reorder::trace {
+namespace {
+
+using util::Duration;
+using util::TimePoint;
+
+tcpip::Packet make_packet(std::uint64_t uid, std::uint32_t seq = 0,
+                          std::vector<std::uint8_t> payload = {}) {
+  tcpip::Packet pkt;
+  pkt.ip.src = tcpip::Ipv4Address::from_octets(10, 0, 0, 2);
+  pkt.ip.dst = tcpip::Ipv4Address::from_octets(10, 0, 0, 1);
+  pkt.tcp.src_port = 80;
+  pkt.tcp.dst_port = 40000;
+  pkt.tcp.seq = seq;
+  pkt.tcp.flags = tcpip::kAck | (payload.empty() ? 0 : tcpip::kPsh);
+  pkt.payload = std::move(payload);
+  pkt.uid = uid;
+  return pkt;
+}
+
+// ---------- permutation metrics ----------
+
+TEST(Analyzer, InversionsOfSortedIsZero) {
+  EXPECT_EQ(count_inversions({0, 1, 2, 3, 4}), 0u);
+  EXPECT_FALSE(any_reordering({0, 1, 2, 3}));
+}
+
+TEST(Analyzer, InversionCounts) {
+  EXPECT_EQ(count_inversions({1, 0}), 1u);
+  EXPECT_EQ(count_inversions({2, 1, 0}), 3u);
+  EXPECT_EQ(count_inversions({0, 2, 1, 3}), 1u);
+  EXPECT_EQ(count_inversions({4, 3, 2, 1, 0}), 10u);
+  EXPECT_TRUE(any_reordering({0, 2, 1}));
+}
+
+TEST(Analyzer, PairExchanges) {
+  // Pairs are (0,1), (2,3), ...
+  EXPECT_EQ(count_pair_exchanges({0, 1, 2, 3}), 0u);
+  EXPECT_EQ(count_pair_exchanges({1, 0, 2, 3}), 1u);
+  EXPECT_EQ(count_pair_exchanges({1, 0, 3, 2}), 2u);
+  // A cross-pair inversion is not a pair exchange.
+  EXPECT_EQ(count_pair_exchanges({2, 0, 1, 3}), 0u);
+  // Missing partner: no exchange counted.
+  EXPECT_EQ(count_pair_exchanges({1, 2, 3}), 0u);
+}
+
+// ---------- trace buffer + arrival order ----------
+
+TEST(TraceBuffer, RecordsAndFilters) {
+  TraceBuffer buf;
+  buf.record(TimePoint::epoch(), make_packet(10));
+  buf.record(TimePoint::epoch() + Duration::micros(1), make_packet(11));
+  buf.record(TimePoint::epoch() + Duration::micros(2), make_packet(12));
+  EXPECT_EQ(buf.size(), 3u);
+  const auto picked = buf.filter_uids({12, 10});
+  ASSERT_EQ(picked.size(), 2u);
+  EXPECT_EQ(picked[0].packet.uid, 10u);
+  EXPECT_EQ(picked[1].packet.uid, 12u);
+  buf.clear();
+  EXPECT_TRUE(buf.empty());
+}
+
+TEST(Analyzer, ArrivalOrderRecoversPermutation) {
+  TraceBuffer buf;
+  // Sent 100, 101, 102; arrived 101, 100, 102.
+  buf.record(TimePoint::epoch(), make_packet(101));
+  buf.record(TimePoint::epoch(), make_packet(100));
+  buf.record(TimePoint::epoch(), make_packet(102));
+  const auto order = arrival_order(buf, {100, 101, 102});
+  EXPECT_TRUE(order.complete());
+  EXPECT_EQ(order.arrival, (std::vector<std::uint32_t>{1, 0, 2}));
+}
+
+TEST(Analyzer, ArrivalOrderHandlesMissingAndDuplicates) {
+  TraceBuffer buf;
+  buf.record(TimePoint::epoch(), make_packet(100));
+  buf.record(TimePoint::epoch(), make_packet(100));  // retransmit capture
+  buf.record(TimePoint::epoch(), make_packet(102));
+  const auto order = arrival_order(buf, {100, 101, 102});
+  EXPECT_FALSE(order.complete());
+  EXPECT_EQ(order.arrival, (std::vector<std::uint32_t>{0, 2}));
+  EXPECT_EQ(order.missing, (std::vector<std::uint32_t>{1}));
+}
+
+TEST(Analyzer, PairGroundTruth) {
+  TraceBuffer buf;
+  buf.record(TimePoint::epoch(), make_packet(2));
+  buf.record(TimePoint::epoch(), make_packet(1));
+  EXPECT_EQ(pair_ground_truth(buf, 1, 2), PairGroundTruth::kReordered);
+  EXPECT_EQ(pair_ground_truth(buf, 2, 1), PairGroundTruth::kInOrder);
+  EXPECT_EQ(pair_ground_truth(buf, 1, 99), PairGroundTruth::kIncomplete);
+}
+
+// ---------- TCP stream analysis (Paxson-style) ----------
+
+TEST(Analyzer, TcpStreamInOrder) {
+  TraceBuffer buf;
+  buf.record(TimePoint::epoch(), make_packet(1, 1000, {1, 1}));
+  buf.record(TimePoint::epoch(), make_packet(2, 1002, {2, 2}));
+  buf.record(TimePoint::epoch(), make_packet(3, 1004, {3, 3}));
+  const auto stats = analyze_tcp_stream(buf, 80, 40000);
+  EXPECT_EQ(stats.data_segments, 3u);
+  EXPECT_EQ(stats.out_of_order, 0u);
+  EXPECT_EQ(stats.retransmissions, 0u);
+}
+
+TEST(Analyzer, TcpStreamDetectsReordering) {
+  TraceBuffer buf;
+  buf.record(TimePoint::epoch(), make_packet(1, 1000, {1, 1}));
+  buf.record(TimePoint::epoch(), make_packet(3, 1004, {3, 3}));  // jumped ahead
+  buf.record(TimePoint::epoch(), make_packet(2, 1002, {2, 2}));  // late
+  const auto stats = analyze_tcp_stream(buf, 80, 40000);
+  EXPECT_EQ(stats.out_of_order, 1u);
+  EXPECT_EQ(stats.max_advance_jumps, 1u);
+}
+
+TEST(Analyzer, TcpStreamSeparatesRetransmissions) {
+  TraceBuffer buf;
+  buf.record(TimePoint::epoch(), make_packet(1, 1000, {1, 1}));
+  buf.record(TimePoint::epoch(), make_packet(2, 1002, {2, 2}));
+  buf.record(TimePoint::epoch(), make_packet(3, 1000, {1, 1}));  // same seq again
+  const auto stats = analyze_tcp_stream(buf, 80, 40000);
+  EXPECT_EQ(stats.retransmissions, 1u);
+  EXPECT_EQ(stats.out_of_order, 0u);
+}
+
+TEST(Analyzer, TcpStreamFiltersByPorts) {
+  TraceBuffer buf;
+  buf.record(TimePoint::epoch(), make_packet(1, 1000, {1}));
+  auto other = make_packet(2, 2000, {2});
+  other.tcp.src_port = 12345;
+  buf.record(TimePoint::epoch(), other);
+  const auto stats = analyze_tcp_stream(buf, 80, 40000);
+  EXPECT_EQ(stats.data_segments, 1u);
+}
+
+// ---------- pcap ----------
+
+TEST(Pcap, GlobalHeaderAndRecord) {
+  TraceBuffer buf;
+  buf.record(TimePoint::epoch() + Duration::seconds(3) + Duration::micros(250),
+             make_packet(1, 77, {0xde, 0xad}));
+  std::ostringstream os;
+  PcapWriter w{os};
+  for (const auto& r : buf.records()) w.write(r);
+  EXPECT_EQ(w.packets_written(), 1u);
+
+  const std::string data = os.str();
+  ASSERT_GE(data.size(), 24u + 16u);
+  // Magic, little-endian.
+  EXPECT_EQ(static_cast<unsigned char>(data[0]), 0xd4);
+  EXPECT_EQ(static_cast<unsigned char>(data[1]), 0xc3);
+  EXPECT_EQ(static_cast<unsigned char>(data[2]), 0xb2);
+  EXPECT_EQ(static_cast<unsigned char>(data[3]), 0xa1);
+  // Linktype 101 (raw IP) at offset 20.
+  EXPECT_EQ(static_cast<unsigned char>(data[20]), 101);
+  // Record header: ts_sec = 3, ts_usec = 250.
+  EXPECT_EQ(static_cast<unsigned char>(data[24]), 3);
+  EXPECT_EQ(static_cast<unsigned char>(data[28]), 250);
+  // incl_len == orig_len == 42 (20 IP + 20 TCP + 2 payload).
+  EXPECT_EQ(static_cast<unsigned char>(data[32]), 42);
+  EXPECT_EQ(static_cast<unsigned char>(data[36]), 42);
+  // The embedded packet must itself be parseable.
+  std::vector<std::uint8_t> wire(data.begin() + 40, data.end());
+  const auto back = tcpip::Packet::from_wire(wire);
+  EXPECT_TRUE(back.checksums_ok);
+  EXPECT_EQ(back.packet.tcp.seq, 77u);
+}
+
+TEST(Pcap, WriteFile) {
+  TraceBuffer buf;
+  buf.record(TimePoint::epoch(), make_packet(1));
+  buf.record(TimePoint::epoch(), make_packet(2));
+  const std::string path = "/tmp/reorder_pcap_test.pcap";
+  ASSERT_TRUE(write_pcap_file(path, buf));
+  std::ifstream f{path, std::ios::binary | std::ios::ate};
+  ASSERT_TRUE(f.good());
+  EXPECT_EQ(static_cast<std::size_t>(f.tellg()), 24u + 2 * (16u + 40u));
+  std::remove(path.c_str());
+}
+
+TEST(Pcap, WriteFileFailsOnBadPath) {
+  TraceBuffer buf;
+  EXPECT_FALSE(write_pcap_file("/nonexistent-dir/x.pcap", buf));
+}
+
+}  // namespace
+}  // namespace reorder::trace

@@ -1,0 +1,110 @@
+// Byte-exact wire layout tests: field offsets and values as they appear
+// on the wire, so the codecs interoperate with real captures (RFC 791 /
+// RFC 793 layouts), independent of the round-trip tests.
+#include <gtest/gtest.h>
+
+#include "tcpip/packet.hpp"
+
+namespace reorder::tcpip {
+namespace {
+
+Packet reference_packet() {
+  Packet pkt;
+  pkt.ip.tos = 0x00;
+  pkt.ip.identification = 0xabcd;
+  pkt.ip.dont_fragment = true;
+  pkt.ip.ttl = 64;
+  pkt.ip.protocol = IpProto::kTcp;
+  pkt.ip.src = Ipv4Address::from_octets(192, 168, 1, 10);
+  pkt.ip.dst = Ipv4Address::from_octets(10, 20, 30, 40);
+  pkt.tcp.src_port = 0x1234;
+  pkt.tcp.dst_port = 80;
+  pkt.tcp.seq = 0x11223344;
+  pkt.tcp.ack = 0x55667788;
+  pkt.tcp.flags = kAck | kPsh;
+  pkt.tcp.window = 0x2000;
+  pkt.payload = {0xde, 0xad};
+  return pkt;
+}
+
+TEST(WireLayout, Ipv4FieldOffsets) {
+  const auto w = reference_packet().to_wire();
+  ASSERT_EQ(w.size(), 42u);
+  EXPECT_EQ(w[0], 0x45);            // version/IHL
+  EXPECT_EQ(w[2], 0x00);            // total length hi
+  EXPECT_EQ(w[3], 42);              // total length lo
+  EXPECT_EQ(w[4], 0xab);            // identification
+  EXPECT_EQ(w[5], 0xcd);
+  EXPECT_EQ(w[6] & 0x40, 0x40);     // DF bit
+  EXPECT_EQ(w[8], 64);              // TTL
+  EXPECT_EQ(w[9], 6);               // protocol TCP
+  EXPECT_EQ(w[12], 192);            // src address
+  EXPECT_EQ(w[13], 168);
+  EXPECT_EQ(w[14], 1);
+  EXPECT_EQ(w[15], 10);
+  EXPECT_EQ(w[16], 10);             // dst address
+  EXPECT_EQ(w[19], 40);
+}
+
+TEST(WireLayout, TcpFieldOffsets) {
+  const auto w = reference_packet().to_wire();
+  EXPECT_EQ(w[20], 0x12);  // src port
+  EXPECT_EQ(w[21], 0x34);
+  EXPECT_EQ(w[22], 0x00);  // dst port 80
+  EXPECT_EQ(w[23], 80);
+  EXPECT_EQ(w[24], 0x11);  // sequence number
+  EXPECT_EQ(w[27], 0x44);
+  EXPECT_EQ(w[28], 0x55);  // ack number
+  EXPECT_EQ(w[31], 0x88);
+  EXPECT_EQ(w[32], 0x50);  // data offset: 5 words, no options
+  EXPECT_EQ(w[33], kAck | kPsh);
+  EXPECT_EQ(w[34], 0x20);  // window
+  EXPECT_EQ(w[35], 0x00);
+  EXPECT_EQ(w[40], 0xde);  // payload
+  EXPECT_EQ(w[41], 0xad);
+}
+
+TEST(WireLayout, MssOptionEncoding) {
+  Packet pkt = reference_packet();
+  pkt.payload.clear();
+  pkt.tcp.flags = kSyn;
+  pkt.tcp.mss = 1460;
+  const auto w = pkt.to_wire();
+  ASSERT_EQ(w.size(), 44u);
+  EXPECT_EQ(w[32], 0x60);  // data offset: 6 words with the MSS option
+  EXPECT_EQ(w[40], 2);     // option kind: MSS
+  EXPECT_EQ(w[41], 4);     // option length
+  EXPECT_EQ(w[42], 1460 >> 8);
+  EXPECT_EQ(w[43], 1460 & 0xff);
+}
+
+TEST(WireLayout, IcmpEchoLayout) {
+  Packet pkt;
+  pkt.ip.protocol = IpProto::kIcmp;
+  pkt.ip.src = Ipv4Address::from_octets(1, 1, 1, 1);
+  pkt.ip.dst = Ipv4Address::from_octets(2, 2, 2, 2);
+  pkt.icmp = IcmpEcho{IcmpType::kEchoRequest, 0x0102, 0x0304};
+  const auto w = pkt.to_wire();
+  ASSERT_EQ(w.size(), 28u);
+  EXPECT_EQ(w[9], 1);      // protocol ICMP
+  EXPECT_EQ(w[20], 8);     // type: echo request
+  EXPECT_EQ(w[21], 0);     // code
+  EXPECT_EQ(w[24], 0x01);  // identifier
+  EXPECT_EQ(w[25], 0x02);
+  EXPECT_EQ(w[26], 0x03);  // sequence
+  EXPECT_EQ(w[27], 0x04);
+}
+
+TEST(WireLayout, HeaderChecksumsVerifyToZero) {
+  // RFC 1071: summing a correct header including its checksum gives 0.
+  const auto w = reference_packet().to_wire();
+  std::uint32_t sum = 0;
+  for (std::size_t i = 0; i < 20; i += 2) {
+    sum += static_cast<std::uint32_t>((w[i] << 8) | w[i + 1]);
+  }
+  while (sum >> 16) sum = (sum & 0xffff) + (sum >> 16);
+  EXPECT_EQ(static_cast<std::uint16_t>(~sum & 0xffff), 0);
+}
+
+}  // namespace
+}  // namespace reorder::tcpip
