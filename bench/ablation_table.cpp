@@ -32,11 +32,11 @@ void study_a() {
       cfg.forward.swap_probability = 0.15;
       cfg.forward.swap_max_hold = Duration::millis(hold_ms);
       core::Testbed bed{cfg};
-      core::SynTest test{bed.probe(), bed.remote_addr(), core::kDiscardPort};
+      auto test = make_test("syn", bed);
       core::TestRunConfig run;
       run.samples = 2000;  // +-1.6% at 2 sigma; the bias signal is ~2.3%
       run.sample_spacing = Duration::millis(pacing_ms);
-      const auto result = bed.run_sync(test, run, 3000);
+      const auto result = bed.run_sync(*test, run, 3000);
       std::printf("%-14d %-14d %10.3f %+10.3f\n", hold_ms, pacing_ms, result.forward.rate(),
                   result.forward.rate() - 0.15);
     }
@@ -60,10 +60,11 @@ void study_b() {
       core::Testbed bed{cfg};
       core::SingleConnectionOptions opts;
       opts.reversed_order = reversed;
-      core::SingleConnectionTest test{bed.probe(), bed.remote_addr(), core::kDiscardPort, opts};
+      auto test = core::make_registered_test(bed.probe(), bed.remote_addr(),
+                                             core::TestSpec{"single-connection", 0, opts});
       core::TestRunConfig run;
       run.samples = 60;
-      const auto result = bed.run_sync(test, run, 3000);
+      const auto result = bed.run_sync(*test, run, 3000);
       std::printf("%-22s %-18s %8d %10d %10d\n", reversed ? "reversed (paper)" : "in-order",
                   immediate ? "immediate (5681)" : "delayed", result.forward.usable(),
                   result.forward.ambiguous, result.forward.reordered);
@@ -84,12 +85,12 @@ double striped_rate(sim::BacklogModel model, std::size_t lanes, int gap_us, std:
   cfg.forward.ingress_link.bandwidth_bps = 1'000'000'000;
   cfg.forward.egress_link.bandwidth_bps = 1'000'000'000;
   core::Testbed bed{cfg};
-  core::DualConnectionTest test{bed.probe(), bed.remote_addr(), core::kDiscardPort};
+  auto test = make_test("dual", bed);
   core::TestRunConfig run;
   run.samples = 600;
   run.inter_packet_gap = Duration::micros(gap_us);
   run.sample_spacing = Duration::millis(2);
-  const auto result = bed.run_sync(test, run, 3000);
+  const auto result = bed.run_sync(*test, run, 3000);
   return result.forward.rate();
 }
 

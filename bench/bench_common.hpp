@@ -7,10 +7,7 @@
 #include <memory>
 #include <string>
 
-#include "core/data_transfer_test.hpp"
-#include "core/dual_connection_test.hpp"
-#include "core/single_connection_test.hpp"
-#include "core/syn_test.hpp"
+#include "core/test_registry.hpp"
 #include "core/testbed.hpp"
 #include "trace/analyzer.hpp"
 
@@ -22,19 +19,13 @@ inline void heading(const std::string& title, const std::string& paper_ref) {
               paper_ref.c_str());
 }
 
-/// Builds one of the three two-way tests by name ("single", "dual", "syn").
+/// Builds a technique against the testbed's remote by registry name
+/// (canonical names or aliases — "single", "dual", "syn", "data-transfer",
+/// "ping-burst", ...). Port 0 selects the technique's conventional port.
+/// Unknown names are a hard error (std::invalid_argument), not a fallback.
 inline std::unique_ptr<core::ReorderTest> make_test(const std::string& name, core::Testbed& bed,
-                                                    std::uint16_t port = core::kDiscardPort) {
-  if (name == "single") {
-    return std::make_unique<core::SingleConnectionTest>(bed.probe(), bed.remote_addr(), port);
-  }
-  if (name == "dual") {
-    return std::make_unique<core::DualConnectionTest>(bed.probe(), bed.remote_addr(), port);
-  }
-  if (name == "syn") {
-    return std::make_unique<core::SynTest>(bed.probe(), bed.remote_addr(), port);
-  }
-  return std::make_unique<core::DataTransferTest>(bed.probe(), bed.remote_addr(), core::kHttpPort);
+                                                    std::uint16_t port = 0) {
+  return core::make_registered_test(bed.probe(), bed.remote_addr(), core::TestSpec{name, port});
 }
 
 /// Ground-truth comparison for one run (the §IV-A methodology): counts

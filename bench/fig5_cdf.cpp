@@ -65,10 +65,8 @@ int main() {
       run.samples = kSamplesPerMeasurement;
       const auto result = bed.run_sync(*test, run);
       if (!result.admissible) continue;
-      fwd.in_order += result.forward.in_order;
-      fwd.reordered += result.forward.reordered;
-      rev.in_order += result.reverse.in_order;
-      rev.reordered += result.reverse.reordered;
+      fwd += result.forward;
+      rev += result.reverse;
       bed.loop().advance(util::Duration::seconds(2));
     }
     fwd_rates.add(fwd.rate());

@@ -42,8 +42,8 @@ int main() {
   cfg.remote.behavior.immediate_ack_on_hole_fill = true;
   core::Testbed bed{cfg};
 
-  core::SingleConnectionTest single{bed.probe(), bed.remote_addr(), core::kDiscardPort};
-  core::SynTest syn{bed.probe(), bed.remote_addr(), core::kDiscardPort};
+  auto single = make_test("single", bed);
+  auto syn = make_test("syn", bed);
 
   std::printf("%-8s %10s %14s %10s\n", "t(min)", "process", "single-conn", "syn");
   std::printf("---------------------------------------------\n");
@@ -54,8 +54,8 @@ int main() {
 
     core::TestRunConfig run;
     run.samples = kSamplesPerMeasurement;
-    const auto single_result = bed.run_sync(single, run);
-    const auto syn_result = bed.run_sync(syn, run);
+    const auto single_result = bed.run_sync(*single, run);
+    const auto syn_result = bed.run_sync(*syn, run);
     const double t_min = bed.loop().now().seconds_f() / 60.0;
     std::printf("%-8.1f %10.3f %14.3f %10.3f\n", t_min, process_rate(step),
                 single_result.forward.rate(), syn_result.forward.rate());

@@ -15,6 +15,7 @@
 
 #include "bench_common.hpp"
 #include "core/metrics.hpp"
+#include "core/scenario.hpp"
 
 namespace {
 
@@ -34,36 +35,32 @@ constexpr int kPrintEveryUs = 4;
 int main() {
   heading("Reordering probability vs inter-packet spacing", "Figure 7");
 
-  core::TestbedConfig cfg;
-  cfg.seed = 707;
-  // Forward path: per-packet striping across two lanes (the §IV-C culprit).
-  cfg.forward.striped = sim::StripedLinkConfig{};
-  // Keep the enclosing links fast so their serialization does not mask the
-  // striped segment's time constant.
-  cfg.forward.ingress_link.bandwidth_bps = 1'000'000'000;
-  cfg.forward.egress_link.bandwidth_bps = 1'000'000'000;
-  core::Testbed bed{cfg};
-
-  core::DualConnectionTest test{bed.probe(), bed.remote_addr(), core::kDiscardPort};
-  core::TimeDomainProfile profile;
-
-  std::printf("%-10s %8s %10s %8s\n", "gap(us)", "samples", "reordered", "rate");
-  std::printf("----------------------------------------\n");
+  // The canonical striped-links scenario carries the topology (the §IV-C
+  // two-lane striping between fast enclosing links); this bench only
+  // overrides the sweep resolution to the paper's caption.
+  core::ScenarioSpec spec = core::scenarios::striped_links(/*seed=*/707);
+  spec.run.samples = kSamplesPerPoint;
+  spec.between_measurements = Duration::millis(1);
+  spec.stop_on_inadmissible = true;  // don't spend the grid on a dead setup
+  spec.gap_sweep.clear();
   for (int gap_us = 0; gap_us <= kMaxGapUs;
        gap_us += (gap_us < kFineLimitUs ? kFineStepUs : kCoarseStepUs)) {
-    core::TestRunConfig run;
-    run.samples = kSamplesPerPoint;
-    run.inter_packet_gap = Duration::micros(gap_us);
-    run.sample_spacing = Duration::millis(2);
-    const auto result = bed.run_sync(test, run, /*deadline_s=*/3000);
-    if (!result.admissible) {
-      std::printf("inadmissible: %s\n", result.note.c_str());
+    spec.gap_sweep.push_back(Duration::micros(gap_us));
+  }
+  const core::ScenarioResult sweep = core::run_scenario(spec);
+
+  core::TimeDomainProfile profile;
+  std::printf("%-10s %8s %10s %8s\n", "gap(us)", "samples", "reordered", "rate");
+  std::printf("----------------------------------------\n");
+  for (const auto& m : sweep.measurements) {
+    if (!m.result.admissible) {
+      std::printf("inadmissible: %s\n", m.result.note.c_str());
       return 1;
     }
-    for (const auto& s : result.samples) profile.add(s.gap, s.forward);
-    if (gap_us % kPrintEveryUs == 0) {
-      std::printf("%-10d %8d %10d %8.4f\n", gap_us, result.forward.usable(),
-                  result.forward.reordered, result.forward.rate());
+    for (const auto& s : m.result.samples) profile.add(s.gap, s.forward);
+    if (m.gap.us() % kPrintEveryUs == 0) {
+      std::printf("%-10lld %8d %10d %8.4f\n", static_cast<long long>(m.gap.us()),
+                  m.result.forward.usable(), m.result.forward.reordered, m.result.forward.rate());
     }
   }
 

@@ -54,11 +54,12 @@ int main() {
       cfg.remote.ipid_policy = spec.policy;
       core::Testbed bed{cfg};
 
-      core::DualConnectionTest test{bed.probe(), bed.remote_addr(), core::kDiscardPort};
+      auto test = core::TestRegistry::global().create_as<core::DualConnectionTest>(
+          bed.probe(), bed.remote_addr(), core::TestSpec{"dual-connection"});
       core::TestRunConfig run;
       run.samples = 5;
-      const auto result = bed.run_sync(test, run);
-      const auto verdict = test.last_validation().verdict;
+      const auto result = bed.run_sync(*test, run);
+      const auto verdict = test->last_validation().verdict;
       ++verdict_counts[core::to_string(verdict)];
       admissible += result.admissible ? 1 : 0;
       ++total;

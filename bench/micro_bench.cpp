@@ -3,7 +3,7 @@
 // the reordering stages, and a full end-to-end measurement sample.
 #include <benchmark/benchmark.h>
 
-#include "core/single_connection_test.hpp"
+#include "core/test_registry.hpp"
 #include "core/testbed.hpp"
 #include "netsim/event_loop.hpp"
 #include "netsim/swap_shaper.hpp"
@@ -144,10 +144,11 @@ void BM_FullMeasurementSample(benchmark::State& state) {
     cfg.seed = 42;
     cfg.forward.swap_probability = 0.1;
     core::Testbed bed{cfg};
-    core::SingleConnectionTest test{bed.probe(), bed.remote_addr(), core::kDiscardPort};
+    auto test = core::make_registered_test(bed.probe(), bed.remote_addr(),
+                                           core::TestSpec{"single-connection"});
     core::TestRunConfig run;
     run.samples = 20;
-    benchmark::DoNotOptimize(bed.run_sync(test, run));
+    benchmark::DoNotOptimize(bed.run_sync(*test, run));
   }
   state.SetItemsProcessed(state.iterations() * 20);
 }

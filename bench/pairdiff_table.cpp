@@ -16,7 +16,7 @@
 #include <map>
 
 #include "bench_common.hpp"
-#include "core/measurement_session.hpp"
+#include "core/survey_engine.hpp"
 
 namespace {
 
@@ -66,25 +66,22 @@ int main() {
     }
     core::Testbed bed{cfg};
 
-    core::MeasurementSession session{bed.loop()};
-    std::vector<std::unique_ptr<core::ReorderTest>> suite;
-    for (const auto& t : tests) suite.push_back(make_test(t, bed));
-    session.add_target("host", std::move(suite));
+    core::SurveyEngine session{bed.loop()};
+    std::vector<core::TestSpec> suite;
+    for (const auto& t : tests) suite.emplace_back(t);
+    session.add_target("host", bed.probe(), bed.remote_addr(), suite);
 
     core::TestRunConfig run;
     run.samples = kSamples;
     session.run(run, kRounds, Duration::seconds(1));
 
-    const std::map<std::string, std::string> name_of{{"single", "single-connection"},
-                                                     {"dual", "dual-connection"},
-                                                     {"syn", "syn"},
-                                                     {"data-transfer", "data-transfer"}};
+    const auto& registry = core::TestRegistry::global();
     for (std::size_t a = 0; a < tests.size(); ++a) {
       for (std::size_t b = a + 1; b < tests.size(); ++b) {
         for (const bool forward : {true, false}) {
           if (forward && (tests[a] == "data-transfer" || tests[b] == "data-transfer")) continue;
-          const auto sa = session.rate_series("host", name_of.at(tests[a]), forward);
-          const auto sb = session.rate_series("host", name_of.at(tests[b]), forward);
+          const auto sa = session.rate_series("host", registry.canonical_name(tests[a]), forward);
+          const auto sb = session.rate_series("host", registry.canonical_name(tests[b]), forward);
           const std::size_t n = std::min(sa.size(), sb.size());
           if (n < 2) continue;
           auto ta = sa;

@@ -16,7 +16,7 @@
 #include <cstdio>
 
 #include "bench_common.hpp"
-#include "core/ping_burst_test.hpp"
+#include "core/ping_burst_adapter.hpp"
 
 namespace {
 
@@ -27,11 +27,13 @@ using util::Duration;
 core::PingBurstResult run_pings(core::Testbed& bed, int burst_size, int bursts) {
   core::PingBurstOptions opts;
   opts.burst_size = burst_size;
-  core::PingBurstTest ping{bed.probe(), bed.remote_addr(), opts};
-  std::optional<core::PingBurstResult> out;
-  ping.run(bursts, Duration::millis(60), [&](core::PingBurstResult r) { out = r; });
-  bed.loop().run_while(bed.loop().now() + Duration::seconds(600), [&] { return !out; });
-  return out.value_or(core::PingBurstResult{});
+  auto ping = core::TestRegistry::global().create_as<core::PingBurstAdapter>(
+      bed.probe(), bed.remote_addr(), core::TestSpec{"ping-burst", 0, opts});
+  core::TestRunConfig run;
+  run.samples = bursts;
+  run.sample_spacing = Duration::millis(60);
+  (void)bed.run_sync(*ping, run, /*deadline_s=*/600);
+  return ping->last_burst_result();
 }
 
 }  // namespace
@@ -73,11 +75,11 @@ int main() {
     core::Testbed bed{cfg};
     const auto ping = run_pings(bed, 2, 400);  // pairs, like the paper's tests
 
-    core::DualConnectionTest dual{bed.probe(), bed.remote_addr(), core::kDiscardPort};
+    auto dual = make_test("dual", bed);
     core::TestRunConfig run;
     run.samples = 400;
     run.sample_spacing = Duration::millis(60);
-    const auto d = bed.run_sync(dual, run, 3000);
+    const auto d = bed.run_sync(*dual, run, 3000);
 
     char label[32];
     std::snprintf(label, sizeof label, "%.2f / %.2f", c.fwd, c.rev);

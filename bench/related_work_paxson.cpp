@@ -53,8 +53,9 @@ int main() {
     core::DataTransferOptions opts;
     opts.mss = 1460;
     opts.window = 65535;
-    core::DataTransferTest transfer{bed.probe(), bed.remote_addr(), core::kHttpPort, opts};
-    const auto result = bed.run_sync(transfer, core::TestRunConfig{}, 3000);
+    auto transfer = core::make_registered_test(bed.probe(), bed.remote_addr(),
+                                               core::TestSpec{"data-transfer", 0, opts});
+    const auto result = bed.run_sync(*transfer, core::TestRunConfig{}, 3000);
     if (!result.admissible) continue;
 
     const auto stats =
@@ -94,13 +95,14 @@ int main() {
     core::DataTransferOptions opts;
     opts.mss = 1460;
     opts.window = 65535;
-    core::DataTransferTest transfer{bed.probe(), bed.remote_addr(), core::kHttpPort, opts};
-    const auto passive = bed.run_sync(transfer, core::TestRunConfig{}, 3000);
+    auto transfer = core::make_registered_test(bed.probe(), bed.remote_addr(),
+                                               core::TestSpec{"data-transfer", 0, opts});
+    const auto passive = bed.run_sync(*transfer, core::TestRunConfig{}, 3000);
 
-    core::DualConnectionTest dual{bed.probe(), bed.remote_addr(), core::kDiscardPort};
+    auto dual = make_test("dual", bed);
     core::TestRunConfig run;
     run.samples = 300;
-    const auto active = bed.run_sync(dual, run, 3000);
+    const auto active = bed.run_sync(*dual, run, 3000);
 
     std::printf("\ntransport bias on a time-dependent path:\n");
     std::printf("  passive 1460-byte transfer estimate: %.3f\n", passive.reverse.rate());

@@ -10,8 +10,7 @@
 //   $ loadbalancer_demo [--backends=4] [--fwd-swap=0.15]
 #include <cstdio>
 
-#include "core/dual_connection_test.hpp"
-#include "core/syn_test.hpp"
+#include "core/test_registry.hpp"
 #include "core/testbed.hpp"
 #include "util/flags.hpp"
 
@@ -38,20 +37,22 @@ int main(int argc, char** argv) {
   std::printf("true forward swap probability: %.3f\n\n", fwd_swap);
 
   // 1. The dual-connection test validates IPIDs before trusting them.
-  core::DualConnectionTest dual{bed.probe(), bed.remote_addr(), core::kDiscardPort};
+  //    create_as<> keeps the concrete type for the validation detail.
+  auto dual = core::TestRegistry::global().create_as<core::DualConnectionTest>(
+      bed.probe(), bed.remote_addr(), core::TestSpec{"dual-connection"});
   core::TestRunConfig run;
   run.samples = 200;
   // Pace samples beyond the shaper's hold window so each pair sees the
   // undisturbed swap probability.
   run.sample_spacing = util::Duration::millis(120);
-  const auto dual_result = bed.run_sync(dual, run);
+  const auto dual_result = bed.run_sync(*dual, run);
   std::printf("[dual-connection]\n");
   if (dual_result.admissible) {
     std::printf("  both connections hashed to one backend (it happens!) — rate %.3f\n",
                 dual_result.forward.rate());
   } else {
     std::printf("  ruled out: %s\n", dual_result.note.c_str());
-    const auto& v = dual.last_validation();
+    const auto& v = dual->last_validation();
     std::printf("  validator detail: within-connection increments %.0f%%, "
                 "between-connection %.0f%%\n",
                 100 * v.within_increase_fraction, 100 * v.between_increase_fraction);
@@ -60,8 +61,8 @@ int main(int argc, char** argv) {
   }
 
   // 2. The SYN test is immune by construction.
-  core::SynTest syn{bed.probe(), bed.remote_addr(), core::kDiscardPort};
-  const auto syn_result = bed.run_sync(syn, run);
+  auto syn = core::make_registered_test(bed.probe(), bed.remote_addr(), core::TestSpec{"syn"});
+  const auto syn_result = bed.run_sync(*syn, run);
   std::printf("\n[syn]\n");
   std::printf("  forward rate: %.3f (true %.3f) from %d usable samples\n",
               syn_result.forward.rate(), fwd_swap, syn_result.forward.usable());

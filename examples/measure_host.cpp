@@ -10,10 +10,7 @@
 #include <cstdio>
 #include <sstream>
 
-#include "core/data_transfer_test.hpp"
-#include "core/dual_connection_test.hpp"
-#include "core/single_connection_test.hpp"
-#include "core/syn_test.hpp"
+#include "core/test_registry.hpp"
 #include "core/testbed.hpp"
 #include "trace/pcap_writer.hpp"
 #include "util/flags.hpp"
@@ -108,38 +105,29 @@ int main(int argc, char** argv) {
   core::TestRunConfig run;
   run.samples = static_cast<int>(samples);
 
+  const auto& registry = core::TestRegistry::global();
   std::stringstream list{tests};
   std::string name;
   while (std::getline(list, name, ',')) {
-    std::unique_ptr<core::ReorderTest> test;
-    if (name == "single") {
-      test = std::make_unique<core::SingleConnectionTest>(bed.probe(), bed.remote_addr(),
-                                                          core::kDiscardPort);
-    } else if (name == "single-inorder") {
-      core::SingleConnectionOptions opts;
-      opts.reversed_order = false;
-      test = std::make_unique<core::SingleConnectionTest>(bed.probe(), bed.remote_addr(),
-                                                          core::kDiscardPort, opts);
-    } else if (name == "dual") {
-      auto dual = std::make_unique<core::DualConnectionTest>(bed.probe(), bed.remote_addr(),
-                                                             core::kDiscardPort);
-      auto* raw = dual.get();
-      const auto result = bed.run_sync(*dual, run);
-      print_result(result);
-      const auto& v = raw->last_validation();
+    std::string canonical;
+    try {
+      canonical = registry.canonical_name(name);
+    } catch (const std::invalid_argument& e) {
+      std::fprintf(stderr, "%s\n", e.what());
+      return 1;
+    }
+    if (canonical == "dual-connection") {
+      // Keep the concrete type so the IPID validation detail is printable.
+      auto dual = registry.create_as<core::DualConnectionTest>(bed.probe(), bed.remote_addr(),
+                                                               core::TestSpec{canonical});
+      print_result(bed.run_sync(*dual, run));
+      const auto& v = dual->last_validation();
       std::printf("  ipid validation: %s (between+=%.2f within+=%.2f domination=%.2f)\n",
                   to_string(v.verdict).c_str(), v.between_increase_fraction,
                   v.within_increase_fraction, v.domination_fraction);
       continue;
-    } else if (name == "syn") {
-      test = std::make_unique<core::SynTest>(bed.probe(), bed.remote_addr(), core::kDiscardPort);
-    } else if (name == "data") {
-      test = std::make_unique<core::DataTransferTest>(bed.probe(), bed.remote_addr(),
-                                                      core::kHttpPort);
-    } else {
-      std::fprintf(stderr, "unknown test '%s'\n", name.c_str());
-      return 1;
     }
+    auto test = registry.create(bed.probe(), bed.remote_addr(), core::TestSpec{canonical});
     print_result(bed.run_sync(*test, run));
   }
 

@@ -8,7 +8,7 @@
 //   $ quickstart [--swap-prob=0.1] [--samples=50] [--seed=1]
 #include <cstdio>
 
-#include "core/single_connection_test.hpp"
+#include "core/test_registry.hpp"
 #include "core/testbed.hpp"
 #include "util/flags.hpp"
 
@@ -30,13 +30,15 @@ int main(int argc, char** argv) {
   cfg.forward.swap_probability = swap_prob;
   core::Testbed bed{cfg};
 
-  // 2. Point a measurement technique at the server's discard port.
-  core::SingleConnectionTest test{bed.probe(), bed.remote_addr(), core::kDiscardPort};
+  // 2. Point a measurement technique at the server (registry-driven; any
+  //    technique name works here — try "syn" or "dual-connection").
+  auto test = core::make_registered_test(bed.probe(), bed.remote_addr(),
+                                         core::TestSpec{"single-connection"});
 
   // 3. Run it.
   core::TestRunConfig run;
   run.samples = static_cast<int>(samples);
-  const core::TestRunResult result = bed.run_sync(test, run);
+  const core::TestRunResult result = bed.run_sync(*test, run);
   if (!result.admissible) {
     std::printf("measurement failed: %s\n", result.note.c_str());
     return 1;

@@ -5,9 +5,7 @@
 //   $ survey --hosts=20 --rounds=6 --samples=15 --reordering-fraction=0.44
 #include <cstdio>
 
-#include "core/measurement_session.hpp"
-#include "core/single_connection_test.hpp"
-#include "core/syn_test.hpp"
+#include "core/survey_engine.hpp"
 #include "core/testbed.hpp"
 #include "stats/ecdf.hpp"
 #include "util/flags.hpp"
@@ -56,13 +54,9 @@ int main(int argc, char** argv) {
     cfg.remote.behavior.immediate_ack_on_hole_fill = true;
     core::Testbed bed{cfg};
 
-    core::MeasurementSession session{bed.loop()};
-    std::vector<std::unique_ptr<core::ReorderTest>> tests;
-    tests.push_back(std::make_unique<core::SingleConnectionTest>(bed.probe(), bed.remote_addr(),
-                                                                 core::kDiscardPort));
-    tests.push_back(
-        std::make_unique<core::SynTest>(bed.probe(), bed.remote_addr(), core::kDiscardPort));
-    session.add_target("host", std::move(tests));
+    core::SurveyEngine session{bed.loop()};
+    session.add_target("host", bed.probe(), bed.remote_addr(),
+                       {core::TestSpec{"single-connection"}, core::TestSpec{"syn"}});
 
     core::TestRunConfig run;
     run.samples = static_cast<int>(samples);
@@ -72,12 +66,8 @@ int main(int argc, char** argv) {
     core::ReorderEstimate pooled_fwd;
     core::ReorderEstimate pooled_rev;
     for (const char* test : {"single-connection", "syn"}) {
-      const auto f = session.aggregate("host", test, true);
-      const auto r = session.aggregate("host", test, false);
-      pooled_fwd.in_order += f.in_order;
-      pooled_fwd.reordered += f.reordered;
-      pooled_rev.in_order += r.in_order;
-      pooled_rev.reordered += r.reordered;
+      pooled_fwd += session.aggregate("host", test, true);
+      pooled_rev += session.aggregate("host", test, false);
     }
     fwd.add(pooled_fwd.rate());
     rev.add(pooled_rev.rate());

@@ -1,0 +1,98 @@
+// survey_fleet: the paper's §IV-B continuous survey at fleet scale — many
+// target hosts, each behind its own emulated path, measured concurrently
+// on ONE event loop by the async SurveyEngine. Where `survey` builds a
+// fresh single-host world per path and measures them one after another,
+// this is the production shape: per-target state machines interleave
+// their measurement cycles in a single virtual timeline, so a slow or
+// lossy target never stalls the rest of the fleet.
+//
+//   $ survey_fleet --targets=8 --rounds=4 --samples=15 --seed=11
+#include <cstdio>
+
+#include "core/survey_testbed.hpp"
+#include "stats/ecdf.hpp"
+#include "util/flags.hpp"
+#include "util/random.hpp"
+
+int main(int argc, char** argv) {
+  using namespace reorder;
+  using util::Duration;
+
+  std::int64_t targets = 8;
+  std::int64_t rounds = 4;
+  std::int64_t samples = 15;
+  std::int64_t seed = 11;
+  double reordering_fraction = 0.5;
+
+  util::Flags flags{"survey_fleet", "concurrent multi-target reordering survey"};
+  flags.add_i64("targets", &targets, "number of hosts surveyed concurrently");
+  flags.add_i64("rounds", &rounds, "measurement cycles per host");
+  flags.add_i64("samples", &samples, "samples per measurement (paper: 15)");
+  flags.add_i64("seed", &seed, "population seed");
+  flags.add_double("reordering-fraction", &reordering_fraction,
+                   "fraction of paths that reorder at all");
+  if (!flags.parse(argc, argv)) return 1;
+
+  // Draw a host population: some clean paths, some reordering ones.
+  util::Rng population{static_cast<std::uint64_t>(seed)};
+  std::vector<double> true_fwd(static_cast<std::size_t>(targets), 0.0);
+  core::SurveyTestbedConfig cfg;
+  cfg.seed = static_cast<std::uint64_t>(seed);
+  for (std::int64_t i = 0; i < targets; ++i) {
+    core::SurveyTargetConfig target;
+    target.name = "host-" + std::to_string(i);
+    if (population.bernoulli(reordering_fraction)) {
+      true_fwd[static_cast<std::size_t>(i)] = std::min(0.35, population.exponential(0.08));
+      target.forward.swap_probability = true_fwd[static_cast<std::size_t>(i)];
+      target.reverse.swap_probability =
+          true_fwd[static_cast<std::size_t>(i)] * population.uniform(0.1, 0.6);
+    }
+    target.remote.behavior.immediate_ack_on_hole_fill = true;
+    target.tests = {core::TestSpec{"single-connection"}, core::TestSpec{"syn"}};
+    cfg.targets.push_back(std::move(target));
+  }
+  core::SurveyTestbed bed{std::move(cfg)};
+
+  core::SurveyEngine engine{bed.loop()};
+  bed.populate(engine);
+
+  core::TestRunConfig run;
+  run.samples = static_cast<int>(samples);
+  engine.run(run, static_cast<int>(rounds), Duration::seconds(1));
+
+  // The interleaving is visible in the measurement log: completion order
+  // mixes targets instead of finishing one host before starting the next.
+  std::printf("first completions (note the targets interleaving):\n");
+  const auto& ms = engine.measurements();
+  for (std::size_t i = 0; i < ms.size() && i < 2 * bed.target_count(); ++i) {
+    std::printf("  t=%8.3fs  %-8s %s\n", ms[i].at.seconds_f(), ms[i].target.c_str(),
+                ms[i].test.c_str());
+  }
+
+  std::printf("\n%-10s %10s %14s %10s\n", "target", "true fwd", "single-conn", "syn");
+  std::printf("-----------------------------------------------\n");
+  stats::Ecdf fwd_rates;
+  int reordering_paths = 0;
+  for (std::size_t i = 0; i < bed.target_count(); ++i) {
+    const std::string& name = bed.target_name(i);
+    const auto single = engine.aggregate(name, "single-connection", /*forward=*/true);
+    const auto syn = engine.aggregate(name, "syn", /*forward=*/true);
+    core::ReorderEstimate pooled;
+    pooled += single;
+    pooled += syn;
+    fwd_rates.add(pooled.rate());
+    if (pooled.reordered > 0) ++reordering_paths;
+    std::printf("%-10s %10.3f %14.3f %10.3f\n", name.c_str(), true_fwd[i], single.rate(),
+                syn.rate());
+  }
+
+  std::printf("\nmeasurements taken: %zu  (%lld targets x %lld rounds x 2 tests)\n", ms.size(),
+              static_cast<long long>(targets), static_cast<long long>(rounds));
+  std::printf("virtual survey duration: %.1fs  (one blocking pass would serialize %zu "
+              "measurements end to end)\n",
+              bed.loop().now().seconds_f(), ms.size());
+  std::printf("paths with observed reordering: %d / %lld\n", reordering_paths,
+              static_cast<long long>(targets));
+  std::printf("median measured forward rate: %.4f\n", fwd_rates.quantile(0.5));
+  return 0;
+}

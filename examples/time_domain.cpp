@@ -8,9 +8,8 @@
 //   $ time_domain --max-gap-us=300 --step-us=10 --samples=400
 #include <cstdio>
 
-#include "core/dual_connection_test.hpp"
 #include "core/metrics.hpp"
-#include "core/testbed.hpp"
+#include "core/scenario.hpp"
 #include "util/flags.hpp"
 
 int main(int argc, char** argv) {
@@ -29,31 +28,29 @@ int main(int argc, char** argv) {
   flags.add_i64("seed", &seed, "simulation seed");
   if (!flags.parse(argc, argv)) return 1;
 
-  core::TestbedConfig cfg;
-  cfg.seed = static_cast<std::uint64_t>(seed);
-  cfg.forward.striped = sim::StripedLinkConfig{};  // the time-dependent process
-  cfg.forward.ingress_link.bandwidth_bps = 1'000'000'000;
-  cfg.forward.egress_link.bandwidth_bps = 1'000'000'000;
-  core::Testbed bed{cfg};
-
-  core::DualConnectionTest test{bed.probe(), bed.remote_addr(), core::kDiscardPort};
-  core::TimeDomainProfile profile;
-
-  std::printf("%-10s %8s  %s\n", "gap(us)", "rate", "histogram");
+  // The canonical striped-links scenario (§IV-C's process), with the gap
+  // sweep and per-point sample count taken from the flags.
+  core::ScenarioSpec spec = core::scenarios::striped_links(static_cast<std::uint64_t>(seed));
+  spec.run.samples = static_cast<int>(samples);
+  spec.stop_on_inadmissible = true;
+  spec.gap_sweep.clear();
   for (std::int64_t gap = 0; gap <= max_gap_us; gap += step_us) {
-    core::TestRunConfig run;
-    run.samples = static_cast<int>(samples);
-    run.inter_packet_gap = Duration::micros(gap);
-    run.sample_spacing = Duration::millis(2);
-    const auto result = bed.run_sync(test, run, /*deadline_s=*/3000);
-    if (!result.admissible) {
-      std::printf("inadmissible: %s\n", result.note.c_str());
+    spec.gap_sweep.push_back(Duration::micros(gap));
+  }
+  spec.between_measurements = Duration::millis(1);
+  const core::ScenarioResult sweep = core::run_scenario(spec);
+
+  core::TimeDomainProfile profile;
+  std::printf("%-10s %8s  %s\n", "gap(us)", "rate", "histogram");
+  for (const auto& m : sweep.measurements) {
+    if (!m.result.admissible) {
+      std::printf("inadmissible: %s\n", m.result.note.c_str());
       return 1;
     }
-    for (const auto& s : result.samples) profile.add(s.gap, s.forward);
-    const double rate = result.forward.rate();
+    for (const auto& s : m.result.samples) profile.add(s.gap, s.forward);
+    const double rate = m.result.forward.rate();
     std::string bar(static_cast<std::size_t>(rate * 250), '#');
-    std::printf("%-10lld %8.4f  %s\n", static_cast<long long>(gap), rate, bar.c_str());
+    std::printf("%-10lld %8.4f  %s\n", static_cast<long long>(m.gap.us()), rate, bar.c_str());
   }
 
   // Prediction: leading-edge spacing added by serialization of different

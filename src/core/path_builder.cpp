@@ -1,0 +1,33 @@
+#include "core/path_builder.hpp"
+
+#include "util/random.hpp"
+
+namespace reorder::core {
+
+PathHandles build_measurement_path(sim::EventLoop& loop, sim::Path& path, const PathSpec& spec,
+                                   std::uint64_t seed, std::uint64_t seed_tag,
+                                   trace::TraceBuffer* pre_terminal_tap, const char* tap_label) {
+  PathHandles handles;
+  path.emplace<sim::LinkStage>(loop, spec.ingress_link);
+  if (spec.swap_probability > 0.0) {
+    sim::SwapShaperConfig shaper_cfg;
+    shaper_cfg.swap_probability = spec.swap_probability;
+    shaper_cfg.max_hold = spec.swap_max_hold;
+    handles.shaper =
+        &path.emplace<sim::SwapShaper>(loop, shaper_cfg, util::Rng{seed ^ (seed_tag * 7717)});
+  }
+  if (spec.striped.has_value()) {
+    handles.striped =
+        &path.emplace<sim::StripedLink>(loop, *spec.striped, util::Rng{seed ^ (seed_tag * 7919)});
+  }
+  if (spec.loss_probability > 0.0) {
+    path.emplace<sim::LossStage>(spec.loss_probability, util::Rng{seed ^ (seed_tag * 8111)});
+  }
+  path.emplace<sim::LinkStage>(loop, spec.egress_link);
+  if (pre_terminal_tap != nullptr) {
+    path.emplace<trace::TraceTap>(loop, *pre_terminal_tap, tap_label);
+  }
+  return handles;
+}
+
+}  // namespace reorder::core

@@ -1,0 +1,35 @@
+#include "core/ping_burst_adapter.hpp"
+
+#include <algorithm>
+
+namespace reorder::core {
+
+PingBurstAdapter::PingBurstAdapter(probe::ProbeHost& host, tcpip::Ipv4Address target,
+                                   PingBurstOptions options)
+    : burst_{host, target, options}, burst_size_{options.burst_size} {}
+
+void PingBurstAdapter::run(const TestRunConfig& config, std::function<void(TestRunResult)> done) {
+  burst_.run(config.samples, config.sample_spacing,
+             [this, done = std::move(done)](PingBurstResult r) {
+               last_ = r;
+               TestRunResult out;
+               out.test_name = name();
+               out.forward.in_order = static_cast<int>(r.adjacent_pairs - r.adjacent_exchanged);
+               out.forward.reordered = static_cast<int>(r.adjacent_exchanged);
+               // Same unit as the pair counts above: adjacent pairs a
+               // complete run would have produced but lost replies ate.
+               const std::int64_t expected_pairs =
+                   static_cast<std::int64_t>(r.bursts) * std::max(0, burst_size_ - 1);
+               out.forward.lost = static_cast<int>(
+                   std::max<std::int64_t>(0, expected_pairs -
+                                                 static_cast<std::int64_t>(r.adjacent_pairs)));
+               out.admissible = r.replies_received > 0;
+               out.note = out.admissible
+                              ? "round-trip verdicts: forward holds combined-path pair counts "
+                                "(direction-ambiguous)"
+                              : "no echo replies (ICMP filtered or rate-limited away)";
+               done(std::move(out));
+             });
+}
+
+}  // namespace reorder::core

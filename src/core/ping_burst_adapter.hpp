@@ -1,0 +1,39 @@
+// PingBurstTest exposed through the ReorderTest interface so the Bennett
+// et al. baseline can participate in registry-driven scenarios and
+// surveys next to the paper's techniques.
+//
+// The burst verdicts are round-trip by construction (the paper's §II
+// critique): the combined-path adjacent-pair counts land in `forward`,
+// `reverse` stays empty, and the caveat is recorded in the result note.
+#pragma once
+
+#include "core/ping_burst_test.hpp"
+#include "core/reorder_test.hpp"
+
+namespace reorder::core {
+
+class PingBurstAdapter final : public ReorderTest {
+ public:
+  PingBurstAdapter(probe::ProbeHost& host, tcpip::Ipv4Address target,
+                   PingBurstOptions options = {});
+
+  std::string name() const override { return "ping-burst"; }
+
+  /// config.samples is the number of bursts; sample_spacing paces them.
+  /// inter_packet_gap does not apply (the burst paces itself internally).
+  void run(const TestRunConfig& config, std::function<void(TestRunResult)> done) override;
+
+  /// The underlying burst prober, for callers that drive it directly.
+  PingBurstTest& raw() { return burst_; }
+
+  /// Burst-level statistics from the most recent completed run (the
+  /// Bennett metrics — burst fraction, reply rate — the benches report).
+  const PingBurstResult& last_burst_result() const { return last_; }
+
+ private:
+  PingBurstTest burst_;
+  int burst_size_;
+  PingBurstResult last_;
+};
+
+}  // namespace reorder::core

@@ -1,0 +1,184 @@
+#include "core/scenario.hpp"
+
+#include <stdexcept>
+
+namespace reorder::core {
+
+ReorderEstimate ScenarioResult::aggregate(const std::string& test, bool forward) const {
+  ReorderEstimate total;
+  for (const auto& m : measurements) {
+    if (m.test != test || !m.result.admissible) continue;
+    total += forward ? m.result.forward : m.result.reverse;
+  }
+  return total;
+}
+
+std::vector<double> ScenarioResult::rate_series(const std::string& test, bool forward) const {
+  std::vector<double> out;
+  for (const auto& m : measurements) {
+    if (m.test != test || !m.result.admissible) continue;
+    const ReorderEstimate& est = forward ? m.result.forward : m.result.reverse;
+    if (est.usable() == 0) continue;
+    out.push_back(est.rate());
+  }
+  return out;
+}
+
+const ScenarioMeasurement* ScenarioResult::first(const std::string& test) const {
+  for (const auto& m : measurements) {
+    if (m.test == test) return &m;
+  }
+  return nullptr;
+}
+
+ScenarioResult run_scenario(Testbed& bed, const ScenarioSpec& spec) {
+  if (spec.gap_sweep.empty()) {
+    throw std::invalid_argument{"run_scenario: '" + spec.name + "' has an empty gap_sweep"};
+  }
+  ScenarioResult out;
+  out.scenario = spec.name;
+
+  // One instance per technique, reused across the grid — connections and
+  // validation state persist the way the paper's continuous prober's do.
+  std::vector<std::unique_ptr<ReorderTest>> tests;
+  tests.reserve(spec.tests.size());
+  for (const auto& t : spec.tests) {
+    tests.push_back(TestRegistry::global().create(bed.probe(), bed.remote_addr(), t));
+  }
+
+  for (const util::Duration gap : spec.gap_sweep) {
+    for (int round = 0; round < spec.rounds; ++round) {
+      for (auto& test : tests) {
+        TestRunConfig run = spec.run;
+        run.inter_packet_gap = gap;
+        ScenarioMeasurement m;
+        m.test = test->name();
+        m.gap = gap;
+        m.round = round;
+        m.result = bed.run_sync(*test, run, spec.deadline_s);
+        out.measurements.push_back(std::move(m));
+        if (spec.stop_on_inadmissible && !out.measurements.back().result.admissible) {
+          return out;
+        }
+        bed.loop().advance(spec.between_measurements);
+      }
+    }
+  }
+  return out;
+}
+
+ScenarioResult run_scenario(const ScenarioSpec& spec) {
+  Testbed bed{spec.testbed};
+  return run_scenario(bed, spec);
+}
+
+namespace scenarios {
+
+namespace {
+
+std::vector<TestSpec> full_matrix() {
+  return {TestSpec{"single-connection"}, TestSpec{"dual-connection"}, TestSpec{"syn"},
+          TestSpec{"data-transfer"}, TestSpec{"ping-burst"}};
+}
+
+std::vector<TestSpec> two_way_matrix() {
+  return {TestSpec{"single-connection"}, TestSpec{"dual-connection"}, TestSpec{"syn"}};
+}
+
+}  // namespace
+
+ScenarioSpec clean_path(std::uint64_t seed) {
+  ScenarioSpec spec;
+  spec.name = "clean-path";
+  spec.summary = "no reordering process anywhere; every technique must report rate 0";
+  spec.testbed.seed = seed;
+  spec.testbed.remote = default_remote_config();
+  spec.tests = full_matrix();
+  return spec;
+}
+
+ScenarioSpec swap_shaper(double fwd_p, double rev_p, std::uint64_t seed) {
+  ScenarioSpec spec;
+  spec.name = "swap-shaper";
+  spec.summary = "dummynet-style adjacent swaps (the §IV-A validation apparatus)";
+  spec.testbed.seed = seed;
+  spec.testbed.forward.swap_probability = fwd_p;
+  spec.testbed.reverse.swap_probability = rev_p;
+  spec.testbed.remote = default_remote_config();
+  // BSD-style prompt hole-fill ACKs keep the single-connection reverse
+  // path observable (the validation benches always enable this).
+  spec.testbed.remote.behavior.immediate_ack_on_hole_fill = true;
+  spec.tests = full_matrix();
+  return spec;
+}
+
+ScenarioSpec striped_links(std::uint64_t seed) {
+  ScenarioSpec spec;
+  spec.name = "striped-links";
+  spec.summary = "per-packet striping across parallel lanes (§IV-C's time-dependent process)";
+  spec.testbed.seed = seed;
+  spec.testbed.forward.striped = sim::StripedLinkConfig{};
+  // Fast enclosing links so their serialization does not mask the striped
+  // segment's time constant.
+  spec.testbed.forward.ingress_link.bandwidth_bps = 1'000'000'000;
+  spec.testbed.forward.egress_link.bandwidth_bps = 1'000'000'000;
+  spec.tests = {TestSpec{"dual-connection"}};
+  spec.gap_sweep = {util::Duration::micros(0), util::Duration::micros(25),
+                    util::Duration::micros(50), util::Duration::micros(100),
+                    util::Duration::micros(200)};
+  spec.run.sample_spacing = util::Duration::millis(2);
+  return spec;
+}
+
+ScenarioSpec lossy(double loss_p, std::uint64_t seed) {
+  ScenarioSpec spec;
+  spec.name = "lossy";
+  spec.summary = "Bernoulli loss both ways on an otherwise clean path";
+  spec.testbed.seed = seed;
+  spec.testbed.forward.loss_probability = loss_p;
+  spec.testbed.reverse.loss_probability = loss_p;
+  spec.tests = two_way_matrix();
+  return spec;
+}
+
+ScenarioSpec load_balanced(std::size_t backends, std::uint64_t seed) {
+  ScenarioSpec spec;
+  spec.name = "load-balanced";
+  spec.summary = "per-flow load balancer: dual rules itself out, syn keeps working";
+  spec.testbed.seed = seed;
+  spec.testbed.backends = backends;
+  spec.tests = {TestSpec{"dual-connection"}, TestSpec{"syn"}, TestSpec{"ping-burst"}};
+  return spec;
+}
+
+ScenarioSpec random_ipid_remote(std::uint64_t seed) {
+  ScenarioSpec spec;
+  spec.name = "random-ipid";
+  spec.summary = "remote with randomized IPIDs: inadmissible for the dual test";
+  spec.testbed.seed = seed;
+  spec.testbed.remote = default_remote_config();
+  spec.testbed.remote.ipid_policy = tcpip::IpidPolicy::kRandom;
+  spec.tests = {TestSpec{"dual-connection"}, TestSpec{"syn"}};
+  return spec;
+}
+
+std::vector<std::string> names() {
+  return {"clean-path", "load-balanced", "lossy", "random-ipid", "striped-links", "swap-shaper"};
+}
+
+ScenarioSpec by_name(const std::string& name, std::uint64_t seed) {
+  if (name == "clean-path") return clean_path(seed);
+  if (name == "swap-shaper") return swap_shaper(0.15, 0.05, seed);
+  if (name == "striped-links") return striped_links(seed);
+  if (name == "lossy") return lossy(0.02, seed);
+  if (name == "load-balanced") return load_balanced(4, seed);
+  if (name == "random-ipid") return random_ipid_remote(seed);
+  std::string known;
+  for (const auto& n : names()) known += known.empty() ? n : ", " + n;
+  throw std::invalid_argument{"scenarios::by_name: unknown scenario '" + name +
+                              "' (known: " + known + ")"};
+}
+
+}  // namespace scenarios
+
+}  // namespace reorder::core

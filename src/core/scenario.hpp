@@ -1,0 +1,103 @@
+// Declarative experiment descriptions. A ScenarioSpec bundles a testbed
+// topology, a matrix of techniques (TestSpecs resolved through the
+// registry) and an inter-packet-gap sweep; run_scenario() executes every
+// (gap, round, test) cell so benches and examples stop hand-rolling the
+// same sweep loops. The scenarios namespace names the canonical
+// topologies the paper's evaluation keeps returning to.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/test_registry.hpp"
+#include "core/testbed.hpp"
+
+namespace reorder::core {
+
+/// A complete experiment description: topology + test matrix + sweep.
+struct ScenarioSpec {
+  std::string name{"scenario"};
+  std::string summary;
+  TestbedConfig testbed{};
+  /// The techniques to run (registry specs). Each is constructed once per
+  /// testbed and reused across gaps and rounds.
+  std::vector<TestSpec> tests;
+  /// Inter-packet gaps to sweep; each entry overrides run.inter_packet_gap
+  /// for one pass over the matrix. Must be non-empty.
+  std::vector<util::Duration> gap_sweep{util::Duration::nanos(0)};
+  /// Base run parameters (samples, pacing, timeout).
+  TestRunConfig run{};
+  /// Measurements of the full matrix per gap point.
+  int rounds{1};
+  util::Duration between_measurements{util::Duration::seconds(1)};
+  /// Virtual-time deadline per measurement.
+  std::int64_t deadline_s{3000};
+  /// Abort the sweep at the first inadmissible measurement (which is
+  /// still recorded) instead of spending the rest of the grid.
+  bool stop_on_inadmissible{false};
+};
+
+/// One completed cell of the scenario grid.
+struct ScenarioMeasurement {
+  std::string test;  ///< the technique's self-reported name
+  util::Duration gap;
+  int round{0};
+  TestRunResult result;
+};
+
+struct ScenarioResult {
+  std::string scenario;
+  std::vector<ScenarioMeasurement> measurements;
+
+  /// Pooled per-direction counts over every admissible measurement of
+  /// `test` (all gaps, all rounds).
+  ReorderEstimate aggregate(const std::string& test, bool forward) const;
+
+  /// Mean rate per admissible measurement of `test`, in run order.
+  std::vector<double> rate_series(const std::string& test, bool forward) const;
+
+  /// The first measurement of `test`, or nullptr.
+  const ScenarioMeasurement* first(const std::string& test) const;
+};
+
+/// Runs the scenario on a caller-owned testbed (which keeps trace buffers
+/// and runtime handles accessible). The spec's testbed config is ignored.
+ScenarioResult run_scenario(Testbed& bed, const ScenarioSpec& spec);
+
+/// Builds a fresh Testbed from spec.testbed and runs the scenario on it.
+ScenarioResult run_scenario(const ScenarioSpec& spec);
+
+/// The canonical topologies of the paper's evaluation. Each returns a full
+/// spec (topology + matrix) that callers may tweak before running.
+namespace scenarios {
+
+/// No reordering anywhere: every technique must report rate 0.
+ScenarioSpec clean_path(std::uint64_t seed = 1);
+
+/// Dummynet-style adjacent swaps at the given rates (§IV-A's apparatus).
+ScenarioSpec swap_shaper(double fwd_p, double rev_p, std::uint64_t seed = 1);
+
+/// Striped parallel links on the forward path (§IV-C's time-dependent
+/// process) with a preloaded gap sweep.
+ScenarioSpec striped_links(std::uint64_t seed = 1);
+
+/// Bernoulli loss both ways on an otherwise clean path.
+ScenarioSpec lossy(double loss_p, std::uint64_t seed = 1);
+
+/// Several backends behind a per-flow load balancer (§III-C/§III-D): the
+/// dual test must rule itself out, the SYN test keeps working.
+ScenarioSpec load_balanced(std::size_t backends, std::uint64_t seed = 1);
+
+/// A remote with randomized IPIDs: inadmissible for the dual test.
+ScenarioSpec random_ipid_remote(std::uint64_t seed = 1);
+
+/// Names accepted by by_name(), sorted.
+std::vector<std::string> names();
+
+/// Looks up a canonical scenario by name with representative defaults.
+/// Throws std::invalid_argument on unknown names.
+ScenarioSpec by_name(const std::string& name, std::uint64_t seed = 1);
+
+}  // namespace scenarios
+
+}  // namespace reorder::core

@@ -1,0 +1,167 @@
+#include "core/survey_engine.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace reorder::core {
+
+SurveyEngine::SurveyEngine(sim::EventLoop& loop, Options options)
+    : loop_{loop}, options_{options} {}
+
+void SurveyEngine::add_target(const std::string& name, probe::ProbeHost& probe,
+                              tcpip::Ipv4Address address, const std::vector<TestSpec>& tests) {
+  std::vector<std::unique_ptr<ReorderTest>> built;
+  built.reserve(tests.size());
+  for (const auto& spec : tests) {
+    built.push_back(TestRegistry::global().create(probe, address, spec));
+  }
+  add_target(name, std::move(built));
+}
+
+void SurveyEngine::add_target(std::string name, std::vector<std::unique_ptr<ReorderTest>> tests) {
+  if (running()) {
+    throw std::logic_error{"SurveyEngine: cannot add targets while a survey is running"};
+  }
+  auto target = std::make_unique<Target>();
+  target->name = std::move(name);
+  target->tests = std::move(tests);
+  targets_.push_back(std::move(target));
+}
+
+void SurveyEngine::start(const TestRunConfig& config, int rounds,
+                         util::Duration between_measurements, std::function<void()> on_complete) {
+  if (running()) {
+    throw std::logic_error{"SurveyEngine: survey already running"};
+  }
+  config_ = config;
+  rounds_ = rounds;
+  between_ = between_measurements;
+  on_complete_ = std::move(on_complete);
+
+  targets_in_flight_ = 0;
+  for (auto& target : targets_) {
+    target->next_test = 0;
+    target->rounds_done = 0;
+    if (rounds <= 0 || target->tests.empty()) continue;
+    ++targets_in_flight_;
+  }
+  if (targets_in_flight_ == 0) {
+    if (on_complete_) on_complete_();
+    return;
+  }
+  // Kick every state machine off at the same instant; from here on each
+  // target advances itself via completion callbacks.
+  for (auto& target : targets_) {
+    if (rounds <= 0 || target->tests.empty()) continue;
+    Target* t = target.get();
+    loop_.schedule(util::Duration::nanos(0), [this, t] { begin_next_measurement(*t); });
+  }
+}
+
+void SurveyEngine::begin_next_measurement(Target& target) {
+  if (target.rounds_done >= rounds_) {
+    if (--targets_in_flight_ == 0 && on_complete_) on_complete_();
+    return;
+  }
+  const std::uint64_t generation = ++target.generation;
+  target.measurement_open = true;
+  const util::TimePoint at = loop_.now();
+
+  target.watchdog_token =
+      loop_.schedule(options_.measurement_deadline, [this, &target, generation, at] {
+        TestRunResult timeout;
+        timeout.test_name = target.tests[target.next_test]->name();
+        timeout.admissible = false;
+        timeout.note = "measurement did not complete";
+        finish_measurement(target, generation, at, std::move(timeout));
+      });
+
+  target.tests[target.next_test]->run(
+      config_, [this, &target, generation, at](TestRunResult result) {
+        finish_measurement(target, generation, at, std::move(result));
+      });
+}
+
+void SurveyEngine::finish_measurement(Target& target, std::uint64_t generation,
+                                      util::TimePoint at, TestRunResult result) {
+  // A stale completion: the watchdog already gave up on this measurement
+  // (or vice versa — whichever arrives second is dropped).
+  if (!target.measurement_open || generation != target.generation) return;
+  target.measurement_open = false;
+  loop_.cancel(target.watchdog_token);
+
+  record(target, at, std::move(result));
+
+  if (++target.next_test == target.tests.size()) {
+    target.next_test = 0;
+    ++target.rounds_done;
+  }
+  loop_.schedule(between_, [this, &target] { begin_next_measurement(target); });
+}
+
+void SurveyEngine::record(Target& target, util::TimePoint at, TestRunResult result) {
+  Measurement m;
+  m.target = target.name;
+  m.test = target.tests[target.next_test]->name();
+  m.at = at;
+  m.result = std::move(result);
+  by_key_[{m.target, m.test}].push_back(measurements_.size());
+  measurements_.push_back(std::move(m));
+}
+
+const std::vector<Measurement>& SurveyEngine::run(const TestRunConfig& config, int rounds,
+                                                  util::Duration between_measurements) {
+  bool done = false;
+  start(config, rounds, between_measurements, [&done] { done = true; });
+  // Generous outer bound: every measurement gets its full deadline plus
+  // the pause, per target, per round.
+  std::size_t max_tests = 0;
+  for (const auto& t : targets_) max_tests = std::max(max_tests, t->tests.size());
+  const util::Duration bound = (options_.measurement_deadline + between_measurements) *
+                               static_cast<std::int64_t>(std::max(1, rounds) *
+                                                         std::max<std::size_t>(1, max_tests));
+  loop_.run_while(loop_.now() + bound + util::Duration::seconds(60), [&done] { return !done; });
+  return measurements_;
+}
+
+std::vector<double> SurveyEngine::rate_series(const std::string& target, const std::string& test,
+                                              bool forward) const {
+  std::vector<double> out;
+  const auto it = by_key_.find({target, test});
+  if (it == by_key_.end()) return out;
+  for (const std::size_t idx : it->second) {
+    const Measurement& m = measurements_[idx];
+    if (!m.result.admissible) continue;
+    const ReorderEstimate& est = forward ? m.result.forward : m.result.reverse;
+    if (est.usable() == 0) continue;
+    out.push_back(est.rate());
+  }
+  return out;
+}
+
+ReorderEstimate SurveyEngine::aggregate(const std::string& target, const std::string& test,
+                                        bool forward) const {
+  ReorderEstimate total;
+  const auto it = by_key_.find({target, test});
+  if (it == by_key_.end()) return total;
+  for (const std::size_t idx : it->second) {
+    const Measurement& m = measurements_[idx];
+    if (!m.result.admissible) continue;
+    total += forward ? m.result.forward : m.result.reverse;
+  }
+  return total;
+}
+
+stats::PairDifferenceResult SurveyEngine::compare(const std::string& target,
+                                                  const std::string& test_a,
+                                                  const std::string& test_b, bool forward,
+                                                  double confidence) const {
+  auto a = rate_series(target, test_a, forward);
+  auto b = rate_series(target, test_b, forward);
+  const std::size_t n = std::min(a.size(), b.size());
+  a.resize(n);
+  b.resize(n);
+  return stats::pair_difference_test(a, b, confidence);
+}
+
+}  // namespace reorder::core

@@ -1,0 +1,71 @@
+#include "core/survey_testbed.hpp"
+
+#include <stdexcept>
+
+#include "core/testbed.hpp"
+
+namespace reorder::core {
+
+SurveyTestbed::SurveyTestbed(SurveyTestbedConfig config) {
+  socket_ = std::make_unique<probe::SimRawSocket>(loop_, config.probe_addr);
+  probe_ = std::make_unique<probe::ProbeHost>(loop_, *socket_);
+
+  std::size_t index = 0;
+  for (SurveyTargetConfig& target_cfg : config.targets) {
+    auto net = std::make_unique<TargetNet>();
+    net->config = std::move(target_cfg);
+    if (net->config.name.empty()) net->config.name = "target-" + std::to_string(index);
+    if (net->config.address == tcpip::Ipv4Address{}) {
+      // Spread auto-assigned addresses across 10.1.x.y so fleets larger
+      // than one /24 don't wrap onto each other.
+      net->config.address =
+          tcpip::Ipv4Address::from_octets(10, 1, static_cast<std::uint8_t>(index / 254),
+                                          static_cast<std::uint8_t>(index % 254 + 1));
+    }
+
+    // Install only the standard listener set when none is configured —
+    // the target's behaviour/IPID knobs must survive.
+    tcpip::HostConfig host_cfg = net->config.remote;
+    if (host_cfg.listeners.empty()) host_cfg.listeners = default_remote_config().listeners;
+    host_cfg.address = net->config.address;
+    host_cfg.name = net->config.name;
+    // Per-target seed/IPID derivation mirrors Testbed's per-backend scheme
+    // so identical (seed, index) pairs reproduce identical hosts.
+    host_cfg.seed = config.seed * 1000 + index + 1;
+    host_cfg.ipid_initial = static_cast<std::uint16_t>(1 + 17'000 * index);
+    net->host = std::make_unique<tcpip::Host>(loop_, std::move(host_cfg));
+
+    // Distinct seed tags per target and direction keep every path's RNG
+    // stream independent of the others.
+    const std::uint64_t tag_base = 0x100 + index * 2;
+    build_measurement_path(loop_, net->forward, net->config.forward, config.seed, tag_base + 0);
+    build_measurement_path(loop_, net->reverse, net->config.reverse, config.seed, tag_base + 1);
+
+    tcpip::Host* host = net->host.get();
+    net->forward.terminate([host](tcpip::Packet pkt) { host->receive(std::move(pkt)); });
+    net->reverse.terminate([this](tcpip::Packet pkt) { socket_->deliver(std::move(pkt)); });
+    net->host->set_transmit(net->reverse.entry());
+
+    if (!routes_.emplace(net->config.address.value(), net.get()).second) {
+      throw std::invalid_argument{"SurveyTestbed: duplicate target address " +
+                                  net->config.address.to_string()};
+    }
+    targets_.push_back(std::move(net));
+    ++index;
+  }
+
+  socket_->set_transmit([this](tcpip::Packet pkt) {
+    const auto it = routes_.find(pkt.ip.dst.value());
+    if (it == routes_.end()) return;  // destination unreachable: drop
+    it->second->forward.entry()(std::move(pkt));
+  });
+}
+
+void SurveyTestbed::populate(SurveyEngine& engine) {
+  for (const auto& target : targets_) {
+    engine.add_target(target->config.name, *probe_, target->config.address,
+                      target->config.tests);
+  }
+}
+
+}  // namespace reorder::core

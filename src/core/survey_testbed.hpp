@@ -1,0 +1,79 @@
+// A multi-target duplex topology for survey experiments: one probe host
+// and N remote hosts at distinct addresses, each behind its own emulated
+// forward/reverse path, all sharing a single event loop. Probe egress is
+// routed to the right forward path by destination address, which is what
+// lets a SurveyEngine interleave measurement cycles against every target
+// concurrently in one virtual timeline.
+#pragma once
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/path_builder.hpp"
+#include "core/survey_engine.hpp"
+#include "core/test_registry.hpp"
+#include "netsim/event_loop.hpp"
+#include "netsim/path.hpp"
+#include "probe/probe_host.hpp"
+#include "probe/raw_socket.hpp"
+#include "tcpip/host.hpp"
+
+namespace reorder::core {
+
+/// One surveyed host: its address, behaviour, paths and test suite.
+struct SurveyTargetConfig {
+  std::string name;
+  /// Auto-assigned 10.1.0.(index+1) when left zero.
+  tcpip::Ipv4Address address{};
+  /// Behaviour/IPID/app configuration; the standard listener set is
+  /// installed when no listeners are configured.
+  tcpip::HostConfig remote{};
+  PathSpec forward{};
+  PathSpec reverse{};
+  /// The techniques to cycle against this target (registry specs).
+  std::vector<TestSpec> tests{TestSpec{"single-connection"}, TestSpec{"syn"}};
+};
+
+struct SurveyTestbedConfig {
+  std::uint64_t seed{1};
+  tcpip::Ipv4Address probe_addr{tcpip::Ipv4Address::from_octets(10, 0, 0, 1)};
+  std::vector<SurveyTargetConfig> targets;
+};
+
+class SurveyTestbed {
+ public:
+  explicit SurveyTestbed(SurveyTestbedConfig config);
+
+  sim::EventLoop& loop() { return loop_; }
+  probe::ProbeHost& probe() { return *probe_; }
+
+  std::size_t target_count() const { return targets_.size(); }
+  const std::string& target_name(std::size_t i) const { return targets_.at(i)->config.name; }
+  tcpip::Ipv4Address target_addr(std::size_t i) const { return targets_.at(i)->config.address; }
+  tcpip::Host& target_host(std::size_t i) { return *targets_.at(i)->host; }
+  const std::vector<TestSpec>& target_tests(std::size_t i) const {
+    return targets_.at(i)->config.tests;
+  }
+
+  /// Registers every target (with its configured test suite) on `engine`.
+  void populate(SurveyEngine& engine);
+
+ private:
+  struct TargetNet {
+    SurveyTargetConfig config;
+    std::unique_ptr<tcpip::Host> host;
+    sim::Path forward;
+    sim::Path reverse;
+  };
+
+  sim::EventLoop loop_;
+  std::unique_ptr<probe::SimRawSocket> socket_;
+  std::unique_ptr<probe::ProbeHost> probe_;
+  std::vector<std::unique_ptr<TargetNet>> targets_;
+  /// Destination address -> forward-path owner.
+  std::map<std::uint32_t, TargetNet*> routes_;
+};
+
+}  // namespace reorder::core

@@ -33,8 +33,10 @@ Testbed::Testbed(TestbedConfig config) : config_{std::move(config)} {
   }
 
   // Forward: probe -> (stages) -> ingress tap -> remote/balancer.
-  build_path(forward_, config_.forward, 0x11, &fwd_shaper_, &fwd_striped_, &remote_ingress_,
-             "remote-ingress");
+  const PathHandles fwd = build_measurement_path(loop_, forward_, config_.forward, config_.seed,
+                                                 0x11, &remote_ingress_, "remote-ingress");
+  fwd_shaper_ = fwd.shaper;
+  fwd_striped_ = fwd.striped;
   forward_.terminate([this](tcpip::Packet pkt) {
     if (balancer_) {
       balancer_->receive(pkt);
@@ -46,38 +48,13 @@ Testbed::Testbed(TestbedConfig config) : config_{std::move(config)} {
 
   // Reverse: remote -> egress tap -> (stages) -> probe ingress tap -> probe.
   reverse_.emplace<trace::TraceTap>(loop_, remote_egress_, "remote-egress");
-  build_path(reverse_, config_.reverse, 0x22, &rev_shaper_, &rev_striped_, &probe_ingress_,
-             "probe-ingress");
+  const PathHandles rev = build_measurement_path(loop_, reverse_, config_.reverse, config_.seed,
+                                                 0x22, &probe_ingress_, "probe-ingress");
+  rev_shaper_ = rev.shaper;
+  rev_striped_ = rev.striped;
   reverse_.terminate([this](tcpip::Packet pkt) { socket_->deliver(std::move(pkt)); });
   auto reverse_entry = reverse_.entry();
   for (auto& host : remotes_) host->set_transmit(reverse_entry);
-}
-
-void Testbed::build_path(sim::Path& path, const PathSpec& spec, std::uint64_t seed_tag,
-                         sim::SwapShaper** shaper_out, sim::StripedLink** striped_out,
-                         trace::TraceBuffer* pre_terminal_tap, const char* tap_label) {
-  path.emplace<sim::LinkStage>(loop_, spec.ingress_link);
-  if (spec.swap_probability > 0.0) {
-    sim::SwapShaperConfig shaper_cfg;
-    shaper_cfg.swap_probability = spec.swap_probability;
-    shaper_cfg.max_hold = spec.swap_max_hold;
-    auto& shaper = path.emplace<sim::SwapShaper>(loop_, shaper_cfg,
-                                                 util::Rng{config_.seed ^ (seed_tag * 7717)});
-    if (shaper_out) *shaper_out = &shaper;
-  }
-  if (spec.striped.has_value()) {
-    auto& striped = path.emplace<sim::StripedLink>(loop_, *spec.striped,
-                                                   util::Rng{config_.seed ^ (seed_tag * 7919)});
-    if (striped_out) *striped_out = &striped;
-  }
-  if (spec.loss_probability > 0.0) {
-    path.emplace<sim::LossStage>(spec.loss_probability,
-                                 util::Rng{config_.seed ^ (seed_tag * 8111)});
-  }
-  path.emplace<sim::LinkStage>(loop_, spec.egress_link);
-  if (pre_terminal_tap != nullptr) {
-    path.emplace<trace::TraceTap>(loop_, *pre_terminal_tap, tap_label);
-  }
 }
 
 TestRunResult Testbed::run_sync(ReorderTest& test, const TestRunConfig& config,

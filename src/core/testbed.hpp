@@ -9,6 +9,7 @@
 #include <optional>
 #include <vector>
 
+#include "core/path_builder.hpp"
 #include "core/reorder_test.hpp"
 #include "netsim/event_loop.hpp"
 #include "netsim/link.hpp"
@@ -22,19 +23,6 @@
 #include "trace/trace.hpp"
 
 namespace reorder::core {
-
-/// One direction of the emulated path.
-struct PathSpec {
-  sim::LinkParams ingress_link{};   ///< first hop
-  sim::LinkParams egress_link{};    ///< last hop
-  /// Adjacent-swap probability (dummynet-style shaper); 0 disables.
-  double swap_probability{0.0};
-  util::Duration swap_max_hold{util::Duration::millis(50)};
-  /// Optional striped multi-link segment (time-dependent reordering).
-  std::optional<sim::StripedLinkConfig> striped{};
-  /// Bernoulli loss probability; 0 disables.
-  double loss_probability{0.0};
-};
 
 struct TestbedConfig {
   std::uint64_t seed{1};
@@ -86,10 +74,6 @@ class Testbed {
                          std::int64_t deadline_s = 600);
 
  private:
-  void build_path(sim::Path& path, const PathSpec& spec, std::uint64_t seed_tag,
-                  sim::SwapShaper** shaper_out, sim::StripedLink** striped_out,
-                  trace::TraceBuffer* pre_terminal_tap, const char* tap_label);
-
   TestbedConfig config_;
   sim::EventLoop loop_;
 

@@ -47,6 +47,14 @@ struct ReorderEstimate {
   int lost{0};
 
   void add(Ordering o);
+  /// Accumulates another estimate's counts (pooling across measurements).
+  ReorderEstimate& operator+=(const ReorderEstimate& o) {
+    in_order += o.in_order;
+    reordered += o.reordered;
+    ambiguous += o.ambiguous;
+    lost += o.lost;
+    return *this;
+  }
   int usable() const { return in_order + reordered; }
   int total() const { return usable() + ambiguous + lost; }
   /// Reordering rate over usable samples (the paper's reported quantity).

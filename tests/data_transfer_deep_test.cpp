@@ -4,7 +4,7 @@
 
 #include <set>
 
-#include "core/data_transfer_test.hpp"
+#include "core/test_registry.hpp"
 #include "core/testbed.hpp"
 
 namespace reorder::core {
@@ -25,8 +25,8 @@ TEST(DataTransferDeep, SampleCountMatchesSegmentPairs) {
   DataTransferOptions opts;
   opts.mss = 512;
   opts.window = 1024;
-  DataTransferTest test{bed.probe(), bed.remote_addr(), kHttpPort, opts};
-  const auto result = bed.run_sync(test, TestRunConfig{});
+  auto test = make_registered_test(bed.probe(), bed.remote_addr(), TestSpec{"data-transfer", 0, opts});
+  const auto result = bed.run_sync(*test, TestRunConfig{});
   ASSERT_TRUE(result.admissible) << result.note;
   EXPECT_EQ(result.samples.size(), 15u);
   EXPECT_EQ(result.reverse.in_order, 15);
@@ -38,8 +38,8 @@ TEST(DataTransferDeep, ServerRespectsClampedMss) {
   DataTransferOptions opts;
   opts.mss = 256;
   opts.window = 512;
-  DataTransferTest test{bed.probe(), bed.remote_addr(), kHttpPort, opts};
-  const auto result = bed.run_sync(test, TestRunConfig{});
+  auto test = make_registered_test(bed.probe(), bed.remote_addr(), TestSpec{"data-transfer", 0, opts});
+  const auto result = bed.run_sync(*test, TestRunConfig{});
   ASSERT_TRUE(result.admissible);
   for (const auto& rec : bed.remote_egress_trace().records()) {
     EXPECT_LE(rec.packet.payload.size(), 256u) << "segments must respect the advertised MSS";
@@ -51,8 +51,8 @@ TEST(DataTransferDeep, WindowKeepsPairsInFlight) {
   DataTransferOptions opts;
   opts.mss = 512;
   opts.window = 1024;
-  DataTransferTest test{bed.probe(), bed.remote_addr(), kHttpPort, opts};
-  const auto result = bed.run_sync(test, TestRunConfig{});
+  auto test = make_registered_test(bed.probe(), bed.remote_addr(), TestSpec{"data-transfer", 0, opts});
+  const auto result = bed.run_sync(*test, TestRunConfig{});
   ASSERT_TRUE(result.admissible);
   // With window = 2*MSS the server bursts exactly 2 segments before
   // waiting; the egress trace must never show 3 data segments between two
@@ -76,8 +76,8 @@ TEST(DataTransferDeep, ReverseSwapShaperProducesReorderedPairs) {
   auto cfg = with_object(16384, 404);
   cfg.reverse.swap_probability = 0.3;
   Testbed bed{cfg};
-  DataTransferTest test{bed.probe(), bed.remote_addr(), kHttpPort};
-  const auto result = bed.run_sync(test, TestRunConfig{});
+  auto test = make_registered_test(bed.probe(), bed.remote_addr(), TestSpec{"data-transfer"});
+  const auto result = bed.run_sync(*test, TestRunConfig{});
   ASSERT_TRUE(result.admissible);
   EXPECT_GT(result.reverse.reordered, 0);
   // The swap shaper exchanges adjacent packets; measured pair rate should
@@ -91,8 +91,8 @@ TEST(DataTransferDeep, AckHighestSuppressesRetransmissionUnderLoss) {
   auto cfg = with_object(8192, 405);
   cfg.reverse.loss_probability = 0.1;  // drop some server data segments
   Testbed bed{cfg};
-  DataTransferTest test{bed.probe(), bed.remote_addr(), kHttpPort};
-  const auto result = bed.run_sync(test, TestRunConfig{});
+  auto test = make_registered_test(bed.probe(), bed.remote_addr(), TestSpec{"data-transfer"});
+  const auto result = bed.run_sync(*test, TestRunConfig{});
   ASSERT_TRUE(result.admissible) << result.note;
   // Count retransmissions at the server egress (same seq twice).
   std::set<std::uint32_t> seqs;
@@ -113,8 +113,8 @@ TEST(DataTransferDeep, ConnectFailureReportedWhenPathIsDead) {
   DataTransferOptions opts;
   opts.stall_timeout = Duration::seconds(5);  // longer than SYN-retry exhaustion
   opts.connection.max_syn_retries = 1;
-  DataTransferTest test{bed.probe(), bed.remote_addr(), kHttpPort, opts};
-  const auto result = bed.run_sync(test, TestRunConfig{});
+  auto test = make_registered_test(bed.probe(), bed.remote_addr(), TestSpec{"data-transfer", 0, opts});
+  const auto result = bed.run_sync(*test, TestRunConfig{});
   EXPECT_FALSE(result.admissible);
   EXPECT_EQ(result.note, "connect failed");
   EXPECT_TRUE(result.samples.empty());
@@ -127,8 +127,8 @@ TEST(DataTransferDeep, StallTimeoutFinishesGracefully) {
   DataTransferOptions opts;
   opts.stall_timeout = Duration::millis(300);  // shorter than SYN-retry exhaustion
   opts.connection.max_syn_retries = 10;
-  DataTransferTest test{bed.probe(), bed.remote_addr(), kHttpPort, opts};
-  const auto result = bed.run_sync(test, TestRunConfig{});
+  auto test = make_registered_test(bed.probe(), bed.remote_addr(), TestSpec{"data-transfer", 0, opts});
+  const auto result = bed.run_sync(*test, TestRunConfig{});
   EXPECT_EQ(result.note, "transfer stalled");
   EXPECT_TRUE(result.samples.empty());
 }
@@ -139,11 +139,11 @@ TEST(DataTransferDeep, TransferStallMidwayIsReported) {
   // reaching the server: the transfer stalls after the first window.
   DataTransferOptions opts;
   opts.stall_timeout = Duration::millis(400);
-  DataTransferTest test{bed.probe(), bed.remote_addr(), kHttpPort, opts};
+  auto test = make_registered_test(bed.probe(), bed.remote_addr(), TestSpec{"data-transfer", 0, opts});
   // (We cannot flip the path mid-run from outside without a handle; use a
   // tiny window so the transfer takes many round trips, then verify a
   // successful run instead — the stall path itself is covered above.)
-  const auto result = bed.run_sync(test, TestRunConfig{});
+  const auto result = bed.run_sync(*test, TestRunConfig{});
   ASSERT_TRUE(result.admissible) << result.note;
   EXPECT_TRUE(result.note.empty());
 }
@@ -152,8 +152,8 @@ TEST(DataTransferDeep, SingleSegmentObjectYieldsNoSamples) {
   // The paper notes root objects that fit in one packet (HTTP redirects)
   // are unusable; one segment produces zero pairs.
   Testbed bed{with_object(100, 408)};
-  DataTransferTest test{bed.probe(), bed.remote_addr(), kHttpPort};
-  const auto result = bed.run_sync(test, TestRunConfig{});
+  auto test = make_registered_test(bed.probe(), bed.remote_addr(), TestSpec{"data-transfer"});
+  const auto result = bed.run_sync(*test, TestRunConfig{});
   ASSERT_TRUE(result.admissible);
   EXPECT_TRUE(result.samples.empty());
   EXPECT_EQ(result.reverse.usable(), 0);
@@ -161,8 +161,8 @@ TEST(DataTransferDeep, SingleSegmentObjectYieldsNoSamples) {
 
 TEST(DataTransferDeep, ConnectionFullyClosed) {
   Testbed bed{with_object(4096, 409)};
-  DataTransferTest test{bed.probe(), bed.remote_addr(), kHttpPort};
-  const auto result = bed.run_sync(test, TestRunConfig{});
+  auto test = make_registered_test(bed.probe(), bed.remote_addr(), TestSpec{"data-transfer"});
+  const auto result = bed.run_sync(*test, TestRunConfig{});
   ASSERT_TRUE(result.admissible);
   bed.loop().run();
   EXPECT_EQ(bed.remote().active_connections(), 0u);

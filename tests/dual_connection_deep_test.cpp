@@ -2,7 +2,7 @@
 // IPID admissibility across host policies, load balancers, loss.
 #include <gtest/gtest.h>
 
-#include "core/dual_connection_test.hpp"
+#include "core/test_registry.hpp"
 #include "core/testbed.hpp"
 #include "trace/analyzer.hpp"
 
@@ -23,10 +23,10 @@ TEST(DualConnDeep, ForwardSwapsDetected) {
   auto cfg = with_ipid(tcpip::IpidPolicy::kGlobalCounter, 201);
   cfg.forward.swap_probability = 1.0;
   Testbed bed{cfg};
-  DualConnectionTest test{bed.probe(), bed.remote_addr(), kDiscardPort};
+  auto test = TestRegistry::global().create_as<DualConnectionTest>(bed.probe(), bed.remote_addr(), TestSpec{"dual-connection"});
   TestRunConfig run;
   run.samples = 12;
-  const auto result = bed.run_sync(test, run);
+  const auto result = bed.run_sync(*test, run);
   ASSERT_TRUE(result.admissible) << result.note;
   EXPECT_EQ(result.forward.reordered, 12);
   EXPECT_EQ(result.reverse.reordered, 0);
@@ -38,10 +38,10 @@ TEST(DualConnDeep, ReverseSwapsDetected) {
   Testbed bed{cfg};
   DualConnectionOptions opts;
   opts.validate_ipid = false;  // validation's lock-step probing confuses a p=1 shaper pairing
-  DualConnectionTest test{bed.probe(), bed.remote_addr(), kDiscardPort, opts};
+  auto test = TestRegistry::global().create_as<DualConnectionTest>(bed.probe(), bed.remote_addr(), TestSpec{"dual-connection", 0, opts});
   TestRunConfig run;
   run.samples = 12;
-  const auto result = bed.run_sync(test, run);
+  const auto result = bed.run_sync(*test, run);
   ASSERT_TRUE(result.admissible) << result.note;
   EXPECT_EQ(result.reverse.reordered, 12);
   EXPECT_EQ(result.forward.reordered, 0)
@@ -52,29 +52,29 @@ TEST(DualConnDeep, PerDestinationCounterIsAdmissible) {
   // Paper footnote 1: Solaris keeps per-destination IPID counters; since
   // both connections share the destination this still works.
   Testbed bed{with_ipid(tcpip::IpidPolicy::kPerDestination, 203)};
-  DualConnectionTest test{bed.probe(), bed.remote_addr(), kDiscardPort};
+  auto test = TestRegistry::global().create_as<DualConnectionTest>(bed.probe(), bed.remote_addr(), TestSpec{"dual-connection"});
   TestRunConfig run;
   run.samples = 10;
-  const auto result = bed.run_sync(test, run);
+  const auto result = bed.run_sync(*test, run);
   ASSERT_TRUE(result.admissible) << result.note;
   EXPECT_EQ(result.forward.in_order, 10);
-  EXPECT_EQ(test.last_validation().verdict, IpidVerdict::kSharedMonotonic);
+  EXPECT_EQ(test->last_validation().verdict, IpidVerdict::kSharedMonotonic);
 }
 
 TEST(DualConnDeep, RandomIpidRuledOut) {
   Testbed bed{with_ipid(tcpip::IpidPolicy::kRandom, 204)};
-  DualConnectionTest test{bed.probe(), bed.remote_addr(), kDiscardPort};
-  const auto result = bed.run_sync(test, TestRunConfig{});
+  auto test = TestRegistry::global().create_as<DualConnectionTest>(bed.probe(), bed.remote_addr(), TestSpec{"dual-connection"});
+  const auto result = bed.run_sync(*test, TestRunConfig{});
   EXPECT_FALSE(result.admissible);
   EXPECT_NE(result.note.find("random"), std::string::npos) << result.note;
-  EXPECT_EQ(test.last_validation().verdict, IpidVerdict::kRandom);
+  EXPECT_EQ(test->last_validation().verdict, IpidVerdict::kRandom);
   EXPECT_TRUE(result.samples.empty()) << "no spurious measurements on inadmissible hosts";
 }
 
 TEST(DualConnDeep, ConstantZeroIpidRuledOut) {
   Testbed bed{with_ipid(tcpip::IpidPolicy::kConstantZero, 205)};
-  DualConnectionTest test{bed.probe(), bed.remote_addr(), kDiscardPort};
-  const auto result = bed.run_sync(test, TestRunConfig{});
+  auto test = TestRegistry::global().create_as<DualConnectionTest>(bed.probe(), bed.remote_addr(), TestSpec{"dual-connection"});
+  const auto result = bed.run_sync(*test, TestRunConfig{});
   EXPECT_FALSE(result.admissible);
   EXPECT_NE(result.note.find("constant-zero"), std::string::npos) << result.note;
 }
@@ -82,10 +82,10 @@ TEST(DualConnDeep, ConstantZeroIpidRuledOut) {
 TEST(DualConnDeep, RandomIncrementIsAdmissible) {
   // Small random increments still form a shared increasing sequence.
   Testbed bed{with_ipid(tcpip::IpidPolicy::kRandomIncrement, 206)};
-  DualConnectionTest test{bed.probe(), bed.remote_addr(), kDiscardPort};
+  auto test = TestRegistry::global().create_as<DualConnectionTest>(bed.probe(), bed.remote_addr(), TestSpec{"dual-connection"});
   TestRunConfig run;
   run.samples = 10;
-  const auto result = bed.run_sync(test, run);
+  const auto result = bed.run_sync(*test, run);
   ASSERT_TRUE(result.admissible) << result.note;
   EXPECT_EQ(result.forward.in_order, 10);
 }
@@ -100,8 +100,8 @@ TEST(DualConnDeep, LoadBalancerRuledOut) {
   // Pick local ports until the two connections hash to different backends:
   // with the default salt and sequential ports this happens immediately for
   // nearly every seed; assert it held.
-  DualConnectionTest test{bed.probe(), bed.remote_addr(), kDiscardPort};
-  const auto result = bed.run_sync(test, TestRunConfig{});
+  auto test = TestRegistry::global().create_as<DualConnectionTest>(bed.probe(), bed.remote_addr(), TestSpec{"dual-connection"});
+  const auto result = bed.run_sync(*test, TestRunConfig{});
   if (!result.admissible) {
     EXPECT_NE(result.note.find("load balancer"), std::string::npos) << result.note;
   } else {
@@ -115,10 +115,10 @@ TEST(DualConnDeep, SkipValidationMeasuresAnyway) {
   Testbed bed{with_ipid(tcpip::IpidPolicy::kGlobalCounter, 208)};
   DualConnectionOptions opts;
   opts.validate_ipid = false;
-  DualConnectionTest test{bed.probe(), bed.remote_addr(), kDiscardPort, opts};
+  auto test = TestRegistry::global().create_as<DualConnectionTest>(bed.probe(), bed.remote_addr(), TestSpec{"dual-connection", 0, opts});
   TestRunConfig run;
   run.samples = 6;
-  const auto result = bed.run_sync(test, run);
+  const auto result = bed.run_sync(*test, run);
   ASSERT_TRUE(result.admissible);
   EXPECT_EQ(result.forward.in_order, 6);
 }
@@ -129,10 +129,10 @@ TEST(DualConnDeep, LossYieldsLostSamples) {
   Testbed bed{cfg};
   DualConnectionOptions opts;
   opts.validate_ipid = false;  // keep the preamble short under heavy loss
-  DualConnectionTest test{bed.probe(), bed.remote_addr(), kDiscardPort, opts};
+  auto test = TestRegistry::global().create_as<DualConnectionTest>(bed.probe(), bed.remote_addr(), TestSpec{"dual-connection", 0, opts});
   TestRunConfig run;
   run.samples = 20;
-  const auto result = bed.run_sync(test, run);
+  const auto result = bed.run_sync(*test, run);
   ASSERT_TRUE(result.admissible) << result.note;
   EXPECT_GT(result.forward.lost, 0) << "40% loss must kill some samples";
   EXPECT_GT(result.forward.in_order, 0);
@@ -145,10 +145,10 @@ TEST(DualConnDeep, VerdictsMatchGroundTruth) {
   cfg.forward.swap_probability = 0.25;
   cfg.reverse.swap_probability = 0.25;
   Testbed bed{cfg};
-  DualConnectionTest test{bed.probe(), bed.remote_addr(), kDiscardPort};
+  auto test = TestRegistry::global().create_as<DualConnectionTest>(bed.probe(), bed.remote_addr(), TestSpec{"dual-connection"});
   TestRunConfig run;
   run.samples = 60;
-  const auto result = bed.run_sync(test, run);
+  const auto result = bed.run_sync(*test, run);
   ASSERT_TRUE(result.admissible) << result.note;
   int fwd_checked = 0;
   int rev_checked = 0;
@@ -181,10 +181,10 @@ TEST(DualConnDeep, VerdictsMatchGroundTruth) {
 
 TEST(DualConnDeep, BothRemoteConnectionsClosedAfterRun) {
   Testbed bed{with_ipid(tcpip::IpidPolicy::kGlobalCounter, 211)};
-  DualConnectionTest test{bed.probe(), bed.remote_addr(), kDiscardPort};
+  auto test = TestRegistry::global().create_as<DualConnectionTest>(bed.probe(), bed.remote_addr(), TestSpec{"dual-connection"});
   TestRunConfig run;
   run.samples = 4;
-  const auto result = bed.run_sync(test, run);
+  const auto result = bed.run_sync(*test, run);
   ASSERT_TRUE(result.admissible);
   bed.loop().run();
   EXPECT_EQ(bed.remote().active_connections(), 0u);

@@ -2,11 +2,7 @@
 // and whole-suite session integration.
 #include <gtest/gtest.h>
 
-#include "core/data_transfer_test.hpp"
-#include "core/dual_connection_test.hpp"
-#include "core/measurement_session.hpp"
-#include "core/single_connection_test.hpp"
-#include "core/syn_test.hpp"
+#include "core/survey_engine.hpp"
 #include "core/testbed.hpp"
 
 namespace reorder::core {
@@ -30,7 +26,7 @@ TEST_P(GapVsHoldWindow, SynTestSeesTheProcessDieBeyondTheHold) {
   cfg.forward.swap_probability = 0.30;
   cfg.forward.swap_max_hold = Duration::millis(2);  // a short-lived process
   Testbed bed{cfg};
-  SynTest test{bed.probe(), bed.remote_addr(), kDiscardPort};
+  auto test = make_registered_test(bed.probe(), bed.remote_addr(), TestSpec{"syn"});
   TestRunConfig run;
   run.samples = 250;
   run.inter_packet_gap = Duration::micros(param.gap_us);
@@ -39,7 +35,7 @@ TEST_P(GapVsHoldWindow, SynTestSeesTheProcessDieBeyondTheHold) {
   // RTT after classification) lands between gap-spaced SYNs and absorbs
   // their swap — a real interleaving artifact, excluded here on purpose.
   run.sample_spacing = Duration::millis(150);
-  const auto result = bed.run_sync(test, run, 3000);
+  const auto result = bed.run_sync(*test, run, 3000);
   ASSERT_TRUE(result.admissible);
   EXPECT_NEAR(result.forward.rate(), param.expected_rate, 0.08)
       << "gap " << param.gap_us << "us against a 2ms hold window";
@@ -60,15 +56,10 @@ TEST(FullSuiteSession, AllFourTestsRoundRobin) {
   cfg.remote.behavior.immediate_ack_on_hole_fill = true;
   Testbed bed{cfg};
 
-  MeasurementSession session{bed.loop()};
-  std::vector<std::unique_ptr<ReorderTest>> tests;
-  tests.push_back(
-      std::make_unique<SingleConnectionTest>(bed.probe(), bed.remote_addr(), kDiscardPort));
-  tests.push_back(
-      std::make_unique<DualConnectionTest>(bed.probe(), bed.remote_addr(), kDiscardPort));
-  tests.push_back(std::make_unique<SynTest>(bed.probe(), bed.remote_addr(), kDiscardPort));
-  tests.push_back(std::make_unique<DataTransferTest>(bed.probe(), bed.remote_addr(), kHttpPort));
-  session.add_target("host", std::move(tests));
+  SurveyEngine session{bed.loop()};
+  session.add_target("host", bed.probe(), bed.remote_addr(),
+                     {TestSpec{"single-connection"}, TestSpec{"dual-connection"}, TestSpec{"syn"},
+                      TestSpec{"data-transfer"}});
 
   TestRunConfig run;
   run.samples = 20;
@@ -99,12 +90,9 @@ TEST(FullSuiteSession, InadmissibleHostIsolatedToDualTest) {
   cfg.remote.ipid_policy = tcpip::IpidPolicy::kRandom;
   Testbed bed{cfg};
 
-  MeasurementSession session{bed.loop()};
-  std::vector<std::unique_ptr<ReorderTest>> tests;
-  tests.push_back(
-      std::make_unique<DualConnectionTest>(bed.probe(), bed.remote_addr(), kDiscardPort));
-  tests.push_back(std::make_unique<SynTest>(bed.probe(), bed.remote_addr(), kDiscardPort));
-  session.add_target("host", std::move(tests));
+  SurveyEngine session{bed.loop()};
+  session.add_target("host", bed.probe(), bed.remote_addr(),
+                     {TestSpec{"dual-connection"}, TestSpec{"syn"}});
 
   TestRunConfig run;
   run.samples = 10;

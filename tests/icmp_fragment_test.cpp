@@ -4,7 +4,8 @@
 
 #include <algorithm>
 
-#include "core/ping_burst_test.hpp"
+#include "core/ping_burst_adapter.hpp"
+#include "core/test_registry.hpp"
 #include "core/testbed.hpp"
 #include "tcpip/fragment.hpp"
 #include "tcpip/icmp.hpp"
@@ -132,11 +133,13 @@ TEST(HostEcho, RateLimitCapsRepliesPerWindow) {
 core::PingBurstResult run_bursts(core::Testbed& bed, int burst_size, int bursts) {
   core::PingBurstOptions opts;
   opts.burst_size = burst_size;
-  core::PingBurstTest ping{bed.probe(), bed.remote_addr(), opts};
-  std::optional<core::PingBurstResult> out;
-  ping.run(bursts, Duration::millis(30), [&](core::PingBurstResult r) { out = r; });
-  bed.loop().run_while(bed.loop().now() + Duration::seconds(300), [&] { return !out; });
-  return out.value_or(core::PingBurstResult{});
+  auto ping = core::TestRegistry::global().create_as<core::PingBurstAdapter>(
+      bed.probe(), bed.remote_addr(), core::TestSpec{"ping-burst", 0, opts});
+  core::TestRunConfig run;
+  run.samples = bursts;
+  run.sample_spacing = Duration::millis(30);
+  (void)bed.run_sync(*ping, run, /*deadline_s=*/300);
+  return ping->last_burst_result();
 }
 
 TEST(PingBurst, CleanPathShowsNoReordering) {

@@ -3,9 +3,7 @@
 // determinism, and cross-test consistency on a shared path.
 #include <gtest/gtest.h>
 
-#include "core/dual_connection_test.hpp"
-#include "core/single_connection_test.hpp"
-#include "core/syn_test.hpp"
+#include "core/test_registry.hpp"
 #include "core/testbed.hpp"
 #include "trace/analyzer.hpp"
 
@@ -25,13 +23,7 @@ struct ValidationCase {
 class VerdictsMatchTruth : public ::testing::TestWithParam<ValidationCase> {};
 
 std::unique_ptr<ReorderTest> make_test(const std::string& name, Testbed& bed) {
-  if (name == "single") {
-    return std::make_unique<SingleConnectionTest>(bed.probe(), bed.remote_addr(), kDiscardPort);
-  }
-  if (name == "dual") {
-    return std::make_unique<DualConnectionTest>(bed.probe(), bed.remote_addr(), kDiscardPort);
-  }
-  return std::make_unique<SynTest>(bed.probe(), bed.remote_addr(), kDiscardPort);
+  return make_registered_test(bed.probe(), bed.remote_addr(), TestSpec{name});
 }
 
 TEST_P(VerdictsMatchTruth, NoDiscrepancies) {
@@ -96,10 +88,10 @@ TEST(Determinism, SameSeedSameVerdicts) {
     cfg.forward.swap_probability = 0.2;
     cfg.reverse.swap_probability = 0.1;
     Testbed bed{cfg};
-    SingleConnectionTest test{bed.probe(), bed.remote_addr(), kDiscardPort};
+    auto test = make_registered_test(bed.probe(), bed.remote_addr(), TestSpec{"single-connection"});
     TestRunConfig run;
     run.samples = 25;
-    return bed.run_sync(test, run);
+    return bed.run_sync(*test, run);
   };
   const auto a = run_once(777);
   const auto b = run_once(777);
@@ -117,11 +109,11 @@ TEST(Determinism, DifferentSeedsDiffer) {
     cfg.seed = seed;
     cfg.forward.swap_probability = 0.5;
     Testbed bed{cfg};
-    SynTest test{bed.probe(), bed.remote_addr(), kDiscardPort};
+    auto test = make_registered_test(bed.probe(), bed.remote_addr(), TestSpec{"syn"});
     TestRunConfig run;
     run.samples = 20;
     std::string out;
-    for (const auto& s : bed.run_sync(test, run).samples) {
+    for (const auto& s : bed.run_sync(*test, run).samples) {
       out += s.forward == Ordering::kReordered ? 'R' : 'I';
     }
     return out;
@@ -163,10 +155,10 @@ TEST(Consistency, AsymmetricPathsMeasureAsymmetrically) {
   cfg.forward.swap_probability = 0.3;
   cfg.reverse.swap_probability = 0.02;
   Testbed bed{cfg};
-  DualConnectionTest test{bed.probe(), bed.remote_addr(), kDiscardPort};
+  auto test = make_registered_test(bed.probe(), bed.remote_addr(), TestSpec{"dual-connection"});
   TestRunConfig run;
   run.samples = 200;
-  const auto result = bed.run_sync(test, run);
+  const auto result = bed.run_sync(*test, run);
   ASSERT_TRUE(result.admissible) << result.note;
   EXPECT_GT(result.forward.rate(), result.reverse.rate() + 0.1)
       << "one-way measurement must expose the asymmetry (paper §II)";

@@ -10,9 +10,7 @@
 //  * Fragmentation round-trips across random sizes and MTUs.
 #include <gtest/gtest.h>
 
-#include "core/dual_connection_test.hpp"
-#include "core/single_connection_test.hpp"
-#include "core/syn_test.hpp"
+#include "core/test_registry.hpp"
 #include "core/testbed.hpp"
 #include "netsim/link.hpp"
 #include "tcpip/fragment.hpp"
@@ -54,17 +52,9 @@ TEST_P(RandomTopology, VerdictsNeverContradictGroundTruth) {
   const std::uint64_t seed = GetParam();
   for (const char* test_name : {"single", "dual", "syn"}) {
     core::Testbed bed{random_config(seed)};
-    std::unique_ptr<core::ReorderTest> test;
-    if (std::string{test_name} == "single") {
-      test = std::make_unique<core::SingleConnectionTest>(bed.probe(), bed.remote_addr(),
-                                                          core::kDiscardPort);
-    } else if (std::string{test_name} == "dual") {
-      test = std::make_unique<core::DualConnectionTest>(bed.probe(), bed.remote_addr(),
-                                                        core::kDiscardPort);
-    } else {
-      test =
-          std::make_unique<core::SynTest>(bed.probe(), bed.remote_addr(), core::kDiscardPort);
-    }
+    // The short names resolve through the registry's alias table.
+    auto test = core::make_registered_test(bed.probe(), bed.remote_addr(),
+                                           core::TestSpec{test_name});
     core::TestRunConfig run;
     run.samples = 25;
     const auto result = bed.run_sync(*test, run, 3000);

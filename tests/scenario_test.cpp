@@ -1,0 +1,139 @@
+// Tests for the declarative scenario runner and the canonical scenario
+// library.
+#include <gtest/gtest.h>
+
+#include "core/scenario.hpp"
+
+namespace reorder::core {
+namespace {
+
+using util::Duration;
+
+TEST(Scenario, CleanPathReportsZeroEverywhere) {
+  ScenarioSpec spec = scenarios::clean_path(/*seed=*/11);
+  spec.run.samples = 10;
+  const ScenarioResult result = run_scenario(spec);
+  // The full matrix ran: all five techniques, ping-burst included.
+  ASSERT_EQ(result.measurements.size(), 5u);
+  EXPECT_NE(result.first("ping-burst"), nullptr);
+  for (const auto& m : result.measurements) {
+    EXPECT_TRUE(m.result.admissible) << m.test << ": " << m.result.note;
+    EXPECT_EQ(m.result.forward.reordered, 0) << m.test;
+    EXPECT_EQ(m.result.reverse.reordered, 0) << m.test;
+  }
+}
+
+TEST(Scenario, SwapShaperMatrixMeasuresTheConfiguredRate) {
+  ScenarioSpec spec = scenarios::swap_shaper(0.25, 0.05, /*seed=*/12);
+  spec.run.samples = 120;
+  const ScenarioResult result = run_scenario(spec);
+
+  for (const char* test : {"single-connection", "dual-connection", "syn"}) {
+    const auto agg = result.aggregate(test, /*forward=*/true);
+    EXPECT_GT(agg.usable(), 80) << test;
+    EXPECT_NEAR(agg.rate(), 0.25, 0.12) << test;
+  }
+  // The ping-burst baseline sees the combined process — more than the
+  // forward rate alone would explain is plausible, zero is not.
+  const auto ping = result.aggregate("ping-burst", /*forward=*/true);
+  EXPECT_GT(ping.usable(), 100);
+  EXPECT_GT(ping.rate(), 0.1);
+  // The data transfer watches the reverse path only.
+  const auto dt = result.aggregate("data-transfer", /*forward=*/false);
+  EXPECT_GT(dt.usable(), 0);
+}
+
+TEST(Scenario, StripedLinksSweepDecaysWithGap) {
+  ScenarioSpec spec = scenarios::striped_links(/*seed=*/13);
+  spec.run.samples = 300;
+  const ScenarioResult result = run_scenario(spec);
+  ASSERT_EQ(result.measurements.size(), spec.gap_sweep.size());
+
+  const auto rate_at = [&](util::Duration gap) {
+    for (const auto& m : result.measurements) {
+      if (m.gap == gap) return m.result.forward.rate();
+    }
+    return -1.0;
+  };
+  const double back_to_back = rate_at(Duration::micros(0));
+  const double spaced = rate_at(Duration::micros(200));
+  EXPECT_GT(back_to_back, 0.05);
+  EXPECT_LT(spaced, back_to_back / 2)
+      << "the §IV-C time-dependent process must die off with spacing";
+}
+
+TEST(Scenario, LoadBalancedRulesOutDualButNotSyn) {
+  ScenarioSpec spec = scenarios::load_balanced(4, /*seed=*/14);
+  spec.run.samples = 15;
+  const ScenarioResult result = run_scenario(spec);
+  const auto* dual = result.first("dual-connection");
+  ASSERT_NE(dual, nullptr);
+  EXPECT_FALSE(dual->result.admissible)
+      << "unrelated backend IPID counters must rule the dual test out";
+  const auto* syn = result.first("syn");
+  ASSERT_NE(syn, nullptr);
+  EXPECT_TRUE(syn->result.admissible);
+  EXPECT_GT(syn->result.forward.usable(), 10);
+}
+
+TEST(Scenario, RandomIpidRemoteRulesOutDual) {
+  ScenarioSpec spec = scenarios::random_ipid_remote(/*seed=*/15);
+  spec.run.samples = 10;
+  const ScenarioResult result = run_scenario(spec);
+  EXPECT_FALSE(result.first("dual-connection")->result.admissible);
+  EXPECT_TRUE(result.first("syn")->result.admissible);
+  EXPECT_TRUE(result.rate_series("dual-connection", true).empty());
+}
+
+TEST(Scenario, LossyPathStillYieldsUsableSamples) {
+  ScenarioSpec spec = scenarios::lossy(0.03, /*seed=*/16);
+  spec.run.samples = 40;
+  const ScenarioResult result = run_scenario(spec);
+  for (const char* test : {"single-connection", "dual-connection", "syn"}) {
+    const auto* m = result.first(test);
+    ASSERT_NE(m, nullptr) << test;
+    if (!m->result.admissible) continue;  // an unlucky connect under loss
+    EXPECT_GT(m->result.forward.usable() + m->result.forward.lost, 0) << test;
+  }
+}
+
+TEST(Scenario, RoundsAndGapsMultiplyOut) {
+  ScenarioSpec spec = scenarios::swap_shaper(0.1, 0.0, /*seed=*/17);
+  spec.tests = {TestSpec{"syn"}};
+  spec.rounds = 3;
+  spec.gap_sweep = {Duration::micros(0), Duration::micros(100)};
+  spec.run.samples = 10;
+  const ScenarioResult result = run_scenario(spec);
+  ASSERT_EQ(result.measurements.size(), 6u);  // 2 gaps x 3 rounds x 1 test
+  EXPECT_EQ(result.rate_series("syn", true).size(), 6u);
+}
+
+TEST(Scenario, ByNameKnowsEveryCanonicalScenario) {
+  for (const auto& name : scenarios::names()) {
+    const ScenarioSpec spec = scenarios::by_name(name, /*seed=*/3);
+    EXPECT_EQ(spec.name, name);
+    EXPECT_FALSE(spec.tests.empty()) << name;
+  }
+  EXPECT_THROW(scenarios::by_name("no-such-scenario"), std::invalid_argument);
+}
+
+TEST(Scenario, StopOnInadmissibleAbortsTheSweep) {
+  ScenarioSpec spec = scenarios::random_ipid_remote(/*seed=*/18);
+  spec.stop_on_inadmissible = true;
+  spec.run.samples = 10;
+  const ScenarioResult result = run_scenario(spec);
+  // The dual test is first in the matrix and inadmissible: the sweep must
+  // record it and stop before spending the rest of the grid.
+  ASSERT_EQ(result.measurements.size(), 1u);
+  EXPECT_EQ(result.measurements[0].test, "dual-connection");
+  EXPECT_FALSE(result.measurements[0].result.admissible);
+}
+
+TEST(Scenario, EmptyGapSweepIsAnError) {
+  ScenarioSpec spec = scenarios::clean_path();
+  spec.gap_sweep.clear();
+  EXPECT_THROW(run_scenario(spec), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace reorder::core

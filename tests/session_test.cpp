@@ -1,9 +1,8 @@
-// Tests for the MeasurementSession driver and its statistics helpers.
+// Tests for the SurveyEngine driver (single-target behaviour — the old
+// MeasurementSession contract) and its statistics helpers.
 #include <gtest/gtest.h>
 
-#include "core/measurement_session.hpp"
-#include "core/single_connection_test.hpp"
-#include "core/syn_test.hpp"
+#include "core/survey_engine.hpp"
 #include "core/testbed.hpp"
 
 namespace reorder::core {
@@ -17,12 +16,9 @@ TEST(Session, RoundRobinProducesAllMeasurements) {
   cfg.forward.swap_probability = 0.1;
   Testbed bed{cfg};
 
-  MeasurementSession session{bed.loop()};
-  std::vector<std::unique_ptr<ReorderTest>> tests;
-  tests.push_back(
-      std::make_unique<SingleConnectionTest>(bed.probe(), bed.remote_addr(), kDiscardPort));
-  tests.push_back(std::make_unique<SynTest>(bed.probe(), bed.remote_addr(), kDiscardPort));
-  session.add_target("remote", std::move(tests));
+  SurveyEngine session{bed.loop()};
+  session.add_target("remote", bed.probe(), bed.remote_addr(),
+                     {TestSpec{"single-connection"}, TestSpec{"syn"}});
 
   TestRunConfig run;
   run.samples = 10;
@@ -43,10 +39,8 @@ TEST(Session, SeriesAndAggregate) {
   cfg.forward.swap_probability = 0.25;
   Testbed bed{cfg};
 
-  MeasurementSession session{bed.loop()};
-  std::vector<std::unique_ptr<ReorderTest>> tests;
-  tests.push_back(std::make_unique<SynTest>(bed.probe(), bed.remote_addr(), kDiscardPort));
-  session.add_target("remote", std::move(tests));
+  SurveyEngine session{bed.loop()};
+  session.add_target("remote", bed.probe(), bed.remote_addr(), {TestSpec{"syn"}});
 
   TestRunConfig run;
   run.samples = 20;
@@ -67,12 +61,9 @@ TEST(Session, CompareEquivalentTestsSupportsNull) {
   cfg.forward.swap_probability = 0.15;
   Testbed bed{cfg};
 
-  MeasurementSession session{bed.loop()};
-  std::vector<std::unique_ptr<ReorderTest>> tests;
-  tests.push_back(
-      std::make_unique<SingleConnectionTest>(bed.probe(), bed.remote_addr(), kDiscardPort));
-  tests.push_back(std::make_unique<SynTest>(bed.probe(), bed.remote_addr(), kDiscardPort));
-  session.add_target("remote", std::move(tests));
+  SurveyEngine session{bed.loop()};
+  session.add_target("remote", bed.probe(), bed.remote_addr(),
+                     {TestSpec{"single-connection"}, TestSpec{"syn"}});
 
   TestRunConfig run;
   run.samples = 25;
@@ -87,9 +78,58 @@ TEST(Session, CompareEquivalentTestsSupportsNull) {
 
 TEST(Session, UnknownTargetYieldsEmptySeries) {
   sim::EventLoop loop;
-  MeasurementSession session{loop};
+  SurveyEngine session{loop};
   EXPECT_TRUE(session.rate_series("nope", "syn", true).empty());
   EXPECT_EQ(session.aggregate("nope", "syn", true).total(), 0);
+}
+
+TEST(Session, CompareErrorPaths) {
+  // The paired-difference statistic needs >= 2 usable pairs; a survey too
+  // short to provide them must surface the error, not fabricate a CI.
+  TestbedConfig cfg;
+  cfg.seed = 504;
+  Testbed bed{cfg};
+
+  SurveyEngine session{bed.loop()};
+  session.add_target("remote", bed.probe(), bed.remote_addr(),
+                     {TestSpec{"single-connection"}, TestSpec{"syn"}});
+  TestRunConfig run;
+  run.samples = 5;
+  session.run(run, /*rounds=*/1, Duration::millis(50));
+
+  EXPECT_THROW(session.compare("remote", "single-connection", "syn", true),
+               std::invalid_argument);
+  // An unknown test name truncates both series to zero pairs: same error.
+  EXPECT_THROW(session.compare("remote", "single-connection", "no-such-test", true),
+               std::invalid_argument);
+}
+
+TEST(Session, AggregateIsIdempotent) {
+  TestbedConfig cfg;
+  cfg.seed = 505;
+  cfg.forward.swap_probability = 0.2;
+  Testbed bed{cfg};
+  auto test = make_registered_test(bed.probe(), bed.remote_addr(), TestSpec{"syn"});
+  TestRunConfig run;
+  run.samples = 30;
+  TestRunResult result = bed.run_sync(*test, run);
+  ASSERT_TRUE(result.admissible);
+
+  const auto fwd = result.forward;
+  const auto rev = result.reverse;
+  ASSERT_GT(fwd.total(), 0);
+  // aggregate() recomputes from samples; calling it repeatedly must not
+  // double-count.
+  result.aggregate();
+  result.aggregate();
+  EXPECT_EQ(result.forward.in_order, fwd.in_order);
+  EXPECT_EQ(result.forward.reordered, fwd.reordered);
+  EXPECT_EQ(result.forward.ambiguous, fwd.ambiguous);
+  EXPECT_EQ(result.forward.lost, fwd.lost);
+  EXPECT_EQ(result.reverse.in_order, rev.in_order);
+  EXPECT_EQ(result.reverse.reordered, rev.reordered);
+  EXPECT_EQ(result.reverse.ambiguous, rev.ambiguous);
+  EXPECT_EQ(result.reverse.lost, rev.lost);
 }
 
 }  // namespace

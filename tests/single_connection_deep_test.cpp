@@ -3,7 +3,7 @@
 // detection, loss handling, gap parameter, and ground-truth agreement.
 #include <gtest/gtest.h>
 
-#include "core/single_connection_test.hpp"
+#include "core/test_registry.hpp"
 #include "core/testbed.hpp"
 #include "trace/analyzer.hpp"
 
@@ -21,10 +21,10 @@ TEST(SingleConnDeep, InOrderVariantAmbiguousOnDelayedAckStack) {
   Testbed bed{cfg};  // default stack: immediate_ack_on_hole_fill = false
   SingleConnectionOptions opts;
   opts.reversed_order = false;
-  SingleConnectionTest test{bed.probe(), bed.remote_addr(), kDiscardPort, opts};
+  auto test = make_registered_test(bed.probe(), bed.remote_addr(), TestSpec{"single-connection", 0, opts});
   TestRunConfig run;
   run.samples = 10;
-  const auto result = bed.run_sync(test, run);
+  const auto result = bed.run_sync(*test, run);
   ASSERT_TRUE(result.admissible);
   EXPECT_EQ(result.forward.ambiguous, 10)
       << "delayed-ACK coalescing must make every clean-path in-order sample ambiguous";
@@ -38,10 +38,10 @@ TEST(SingleConnDeep, InOrderVariantWorksOnRfc5681Stack) {
   Testbed bed{cfg};
   SingleConnectionOptions opts;
   opts.reversed_order = false;
-  SingleConnectionTest test{bed.probe(), bed.remote_addr(), kDiscardPort, opts};
+  auto test = make_registered_test(bed.probe(), bed.remote_addr(), TestSpec{"single-connection", 0, opts});
   TestRunConfig run;
   run.samples = 10;
-  const auto result = bed.run_sync(test, run);
+  const auto result = bed.run_sync(*test, run);
   EXPECT_EQ(result.forward.in_order, 10)
       << "a hole-fill-ACKing stack resolves the in-order variant";
   EXPECT_EQ(result.reverse.in_order, 10);
@@ -52,10 +52,10 @@ TEST(SingleConnDeep, ReversedVariantDetectsForwardReordering) {
   cfg.seed = 103;
   cfg.forward.swap_probability = 1.0;
   Testbed bed{cfg};
-  SingleConnectionTest test{bed.probe(), bed.remote_addr(), kDiscardPort};
+  auto test = make_registered_test(bed.probe(), bed.remote_addr(), TestSpec{"single-connection"});
   TestRunConfig run;
   run.samples = 10;
-  const auto result = bed.run_sync(test, run);
+  const auto result = bed.run_sync(*test, run);
   ASSERT_TRUE(result.admissible);
   // Reversed variant + forward swap -> samples arrive "in natural order"
   // at the receiver -> lone final ACK -> reported reordered (paper's
@@ -70,10 +70,10 @@ TEST(SingleConnDeep, ReversedVariantStrictModeReportsAmbiguous) {
   Testbed bed{cfg};
   SingleConnectionOptions opts;
   opts.lone_final_ack_is_reordered = false;
-  SingleConnectionTest test{bed.probe(), bed.remote_addr(), kDiscardPort, opts};
+  auto test = make_registered_test(bed.probe(), bed.remote_addr(), TestSpec{"single-connection", 0, opts});
   TestRunConfig run;
   run.samples = 8;
-  const auto result = bed.run_sync(test, run);
+  const auto result = bed.run_sync(*test, run);
   EXPECT_EQ(result.forward.ambiguous, 8);
   EXPECT_EQ(result.forward.reordered, 0);
 }
@@ -88,10 +88,10 @@ TEST(SingleConnDeep, DetectsReverseReordering) {
   cfg.remote = default_remote_config();
   cfg.remote.behavior.immediate_ack_on_hole_fill = true;
   Testbed bed{cfg};
-  SingleConnectionTest test{bed.probe(), bed.remote_addr(), kDiscardPort};
+  auto test = make_registered_test(bed.probe(), bed.remote_addr(), TestSpec{"single-connection"});
   TestRunConfig run;
   run.samples = 10;
-  const auto result = bed.run_sync(test, run);
+  const auto result = bed.run_sync(*test, run);
   ASSERT_TRUE(result.admissible);
   EXPECT_GE(result.reverse.reordered, 8);
   EXPECT_EQ(result.forward.in_order, result.reverse.reordered + result.reverse.in_order)
@@ -107,10 +107,10 @@ TEST(SingleConnDeep, DelayedHoleFillAckDefeatsReverseMeasurement) {
   cfg.seed = 111;
   cfg.reverse.swap_probability = 1.0;
   Testbed bed{cfg};
-  SingleConnectionTest test{bed.probe(), bed.remote_addr(), kDiscardPort};
+  auto test = make_registered_test(bed.probe(), bed.remote_addr(), TestSpec{"single-connection"});
   TestRunConfig run;
   run.samples = 8;
-  const auto result = bed.run_sync(test, run);
+  const auto result = bed.run_sync(*test, run);
   ASSERT_TRUE(result.admissible);
   EXPECT_EQ(result.reverse.reordered, 0);
   EXPECT_EQ(result.reverse.in_order, 8);
@@ -121,10 +121,10 @@ TEST(SingleConnDeep, LossMakesSamplesDiscarded) {
   cfg.seed = 106;
   cfg.forward.loss_probability = 0.35;
   Testbed bed{cfg};
-  SingleConnectionTest test{bed.probe(), bed.remote_addr(), kDiscardPort};
+  auto test = make_registered_test(bed.probe(), bed.remote_addr(), TestSpec{"single-connection"});
   TestRunConfig run;
   run.samples = 20;
-  const auto result = bed.run_sync(test, run);
+  const auto result = bed.run_sync(*test, run);
   ASSERT_TRUE(result.admissible) << result.note;
   EXPECT_EQ(static_cast<int>(result.samples.size()), 20);
   EXPECT_GT(result.forward.lost + result.forward.reordered + result.forward.ambiguous, 0)
@@ -136,11 +136,11 @@ TEST(SingleConnDeep, GapParameterSpacesSamplePackets) {
   TestbedConfig cfg;
   cfg.seed = 107;
   Testbed bed{cfg};
-  SingleConnectionTest test{bed.probe(), bed.remote_addr(), kDiscardPort};
+  auto test = make_registered_test(bed.probe(), bed.remote_addr(), TestSpec{"single-connection"});
   TestRunConfig run;
   run.samples = 5;
   run.inter_packet_gap = Duration::micros(300);
-  const auto result = bed.run_sync(test, run);
+  const auto result = bed.run_sync(*test, run);
   ASSERT_TRUE(result.admissible);
   EXPECT_EQ(result.forward.in_order, 5);
   // Verify on the wire: each sample pair's arrivals at the remote must be
@@ -164,10 +164,10 @@ TEST(SingleConnDeep, VerdictsMatchGroundTruthUnderModerateSwaps) {
   cfg.forward.swap_probability = 0.3;
   cfg.reverse.swap_probability = 0.2;
   Testbed bed{cfg};
-  SingleConnectionTest test{bed.probe(), bed.remote_addr(), kDiscardPort};
+  auto test = make_registered_test(bed.probe(), bed.remote_addr(), TestSpec{"single-connection"});
   TestRunConfig run;
   run.samples = 60;
-  const auto result = bed.run_sync(test, run);
+  const auto result = bed.run_sync(*test, run);
   ASSERT_TRUE(result.admissible);
   int checked = 0;
   for (const auto& s : result.samples) {
@@ -193,10 +193,10 @@ TEST(SingleConnDeep, ConnectFailureIsInadmissible) {
   Testbed bed{cfg};
   SingleConnectionOptions opts;
   opts.connection.max_syn_retries = 1;
-  SingleConnectionTest test{bed.probe(), bed.remote_addr(), kDiscardPort, opts};
+  auto test = make_registered_test(bed.probe(), bed.remote_addr(), TestSpec{"single-connection", 0, opts});
   TestRunConfig run;
   run.samples = 3;
-  const auto result = bed.run_sync(test, run);
+  const auto result = bed.run_sync(*test, run);
   EXPECT_FALSE(result.admissible);
   EXPECT_EQ(result.note, "connect failed");
 }
@@ -206,8 +206,16 @@ TEST(SingleConnDeep, NamesReflectVariant) {
   Testbed bed{cfg};
   SingleConnectionOptions inorder;
   inorder.reversed_order = false;
-  EXPECT_EQ(SingleConnectionTest(bed.probe(), bed.remote_addr(), 9).name(), "single-connection");
-  EXPECT_EQ(SingleConnectionTest(bed.probe(), bed.remote_addr(), 9, inorder).name(),
+  EXPECT_EQ(make_registered_test(bed.probe(), bed.remote_addr(), TestSpec{"single-connection", 9})
+                ->name(),
+            "single-connection");
+  EXPECT_EQ(make_registered_test(bed.probe(), bed.remote_addr(),
+                                 TestSpec{"single-connection", 9, inorder})
+                ->name(),
+            "single-connection-inorder");
+  // The registered in-order variant forces the flag without options.
+  EXPECT_EQ(make_registered_test(bed.probe(), bed.remote_addr(), TestSpec{"single-inorder"})
+                ->name(),
             "single-connection-inorder");
 }
 
@@ -215,10 +223,10 @@ TEST(SingleConnDeep, RemoteConnectionIsClosedAfterRun) {
   TestbedConfig cfg;
   cfg.seed = 110;
   Testbed bed{cfg};
-  SingleConnectionTest test{bed.probe(), bed.remote_addr(), kDiscardPort};
+  auto test = make_registered_test(bed.probe(), bed.remote_addr(), TestSpec{"single-connection"});
   TestRunConfig run;
   run.samples = 3;
-  const auto result = bed.run_sync(test, run);
+  const auto result = bed.run_sync(*test, run);
   ASSERT_TRUE(result.admissible);
   bed.loop().run();
   EXPECT_EQ(bed.remote().active_connections(), 0u) << "polite close must tear down the remote";

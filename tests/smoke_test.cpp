@@ -4,10 +4,7 @@
 // suite builds on the same machinery.
 #include <gtest/gtest.h>
 
-#include "core/data_transfer_test.hpp"
-#include "core/dual_connection_test.hpp"
-#include "core/single_connection_test.hpp"
-#include "core/syn_test.hpp"
+#include "core/test_registry.hpp"
 #include "core/testbed.hpp"
 
 namespace reorder {
@@ -26,10 +23,10 @@ TestbedConfig clean_config(std::uint64_t seed = 42) {
 
 TEST(Smoke, SingleConnectionCleanPath) {
   Testbed bed{clean_config()};
-  core::SingleConnectionTest test{bed.probe(), bed.remote_addr(), core::kDiscardPort};
+  auto test = core::make_registered_test(bed.probe(), bed.remote_addr(), core::TestSpec{"single-connection"});
   TestRunConfig cfg;
   cfg.samples = 20;
-  const auto result = bed.run_sync(test, cfg);
+  const auto result = bed.run_sync(*test, cfg);
   ASSERT_TRUE(result.admissible) << result.note;
   EXPECT_EQ(result.samples.size(), 20u);
   EXPECT_EQ(result.forward.reordered, 0) << result.note;
@@ -41,20 +38,20 @@ TEST(Smoke, SingleConnectionForwardSwaps) {
   auto cfg = clean_config(7);
   cfg.forward.swap_probability = 1.0;  // every sample pair is exchanged
   Testbed bed{cfg};
-  core::SingleConnectionTest test{bed.probe(), bed.remote_addr(), core::kDiscardPort};
+  auto test = core::make_registered_test(bed.probe(), bed.remote_addr(), core::TestSpec{"single-connection"});
   TestRunConfig run_cfg;
   run_cfg.samples = 10;
-  const auto result = bed.run_sync(test, run_cfg);
+  const auto result = bed.run_sync(*test, run_cfg);
   ASSERT_TRUE(result.admissible) << result.note;
   EXPECT_GE(result.forward.reordered, 8) << "swap-everything path must reorder samples";
 }
 
 TEST(Smoke, DualConnectionCleanPath) {
   Testbed bed{clean_config(11)};
-  core::DualConnectionTest test{bed.probe(), bed.remote_addr(), core::kDiscardPort};
+  auto test = core::make_registered_test(bed.probe(), bed.remote_addr(), core::TestSpec{"dual-connection"});
   TestRunConfig cfg;
   cfg.samples = 20;
-  const auto result = bed.run_sync(test, cfg);
+  const auto result = bed.run_sync(*test, cfg);
   ASSERT_TRUE(result.admissible) << result.note;
   EXPECT_EQ(result.forward.reordered, 0);
   EXPECT_EQ(result.forward.in_order, 20);
@@ -63,10 +60,10 @@ TEST(Smoke, DualConnectionCleanPath) {
 
 TEST(Smoke, SynTestCleanPath) {
   Testbed bed{clean_config(13)};
-  core::SynTest test{bed.probe(), bed.remote_addr(), core::kDiscardPort};
+  auto test = core::make_registered_test(bed.probe(), bed.remote_addr(), core::TestSpec{"syn"});
   TestRunConfig cfg;
   cfg.samples = 20;
-  const auto result = bed.run_sync(test, cfg);
+  const auto result = bed.run_sync(*test, cfg);
   ASSERT_TRUE(result.admissible) << result.note;
   EXPECT_EQ(result.forward.in_order, 20);
   EXPECT_EQ(result.reverse.reordered, 0);
@@ -74,8 +71,8 @@ TEST(Smoke, SynTestCleanPath) {
 
 TEST(Smoke, DataTransferCleanPath) {
   Testbed bed{clean_config(17)};
-  core::DataTransferTest test{bed.probe(), bed.remote_addr(), core::kHttpPort};
-  const auto result = bed.run_sync(test, TestRunConfig{});
+  auto test = core::make_registered_test(bed.probe(), bed.remote_addr(), core::TestSpec{"data-transfer"});
+  const auto result = bed.run_sync(*test, TestRunConfig{});
   ASSERT_TRUE(result.admissible) << result.note;
   EXPECT_GT(result.samples.size(), 10u) << "16 KiB at 512-byte MSS must produce many pairs";
   EXPECT_EQ(result.reverse.reordered, 0);
@@ -85,8 +82,8 @@ TEST(Smoke, DataTransferReverseSwaps) {
   auto cfg = clean_config(19);
   cfg.reverse.swap_probability = 0.4;
   Testbed bed{cfg};
-  core::DataTransferTest test{bed.probe(), bed.remote_addr(), core::kHttpPort};
-  const auto result = bed.run_sync(test, TestRunConfig{});
+  auto test = core::make_registered_test(bed.probe(), bed.remote_addr(), core::TestSpec{"data-transfer"});
+  const auto result = bed.run_sync(*test, TestRunConfig{});
   ASSERT_TRUE(result.admissible) << result.note;
   EXPECT_GT(result.reverse.reordered, 0);
 }

@@ -2,7 +2,7 @@
 // balancer immunity, both directions, politeness.
 #include <gtest/gtest.h>
 
-#include "core/syn_test.hpp"
+#include "core/test_registry.hpp"
 #include "core/testbed.hpp"
 #include "trace/analyzer.hpp"
 
@@ -24,10 +24,10 @@ class SynBehaviorMatrix : public ::testing::TestWithParam<SecondSynBehavior> {};
 
 TEST_P(SynBehaviorMatrix, CleanPathAllInOrder) {
   Testbed bed{with_second_syn(GetParam(), 301)};
-  SynTest test{bed.probe(), bed.remote_addr(), kDiscardPort};
+  auto test = make_registered_test(bed.probe(), bed.remote_addr(), TestSpec{"syn"});
   TestRunConfig run;
   run.samples = 12;
-  const auto result = bed.run_sync(test, run);
+  const auto result = bed.run_sync(*test, run);
   ASSERT_TRUE(result.admissible);
   EXPECT_EQ(result.forward.in_order, 12)
       << "forward verdict comes from the SYN/ACK and works for every variant";
@@ -43,13 +43,13 @@ TEST_P(SynBehaviorMatrix, ForwardSwapsDetected) {
   auto cfg = with_second_syn(GetParam(), 302);
   cfg.forward.swap_probability = 1.0;
   Testbed bed{cfg};
-  SynTest test{bed.probe(), bed.remote_addr(), kDiscardPort};
+  auto test = make_registered_test(bed.probe(), bed.remote_addr(), TestSpec{"syn"});
   TestRunConfig run;
   run.samples = 12;
   // At p=1 the shaper holds every odd packet; space samples beyond the
   // hold timeout so polite-close traffic cannot pair with the next SYN.
   run.sample_spacing = Duration::millis(120);
-  const auto result = bed.run_sync(test, run);
+  const auto result = bed.run_sync(*test, run);
   ASSERT_TRUE(result.admissible);
   EXPECT_EQ(result.forward.reordered, 12)
       << "the SYN/ACK acknowledges the offset ISS when SYN2 arrives first";
@@ -68,11 +68,11 @@ TEST(SynDeep, SpecCompliantRepliesDifferByOrdering) {
   auto cfg = with_second_syn(SecondSynBehavior::kSpecCompliant, 303);
   cfg.forward.swap_probability = 1.0;
   Testbed bed{cfg};
-  SynTest test{bed.probe(), bed.remote_addr(), kDiscardPort};
+  auto test = make_registered_test(bed.probe(), bed.remote_addr(), TestSpec{"syn"});
   TestRunConfig run;
   run.samples = 6;
   run.sample_spacing = Duration::millis(120);
-  const auto result = bed.run_sync(test, run);
+  const auto result = bed.run_sync(*test, run);
   EXPECT_EQ(result.forward.reordered, 6);
   EXPECT_EQ(result.reverse.in_order, 6);
 }
@@ -81,10 +81,10 @@ TEST(SynDeep, ReverseSwapsDetected) {
   auto cfg = with_second_syn(SecondSynBehavior::kAlwaysRst, 304);
   cfg.reverse.swap_probability = 1.0;
   Testbed bed{cfg};
-  SynTest test{bed.probe(), bed.remote_addr(), kDiscardPort};
+  auto test = make_registered_test(bed.probe(), bed.remote_addr(), TestSpec{"syn"});
   TestRunConfig run;
   run.samples = 12;
-  const auto result = bed.run_sync(test, run);
+  const auto result = bed.run_sync(*test, run);
   ASSERT_TRUE(result.admissible);
   EXPECT_EQ(result.reverse.reordered, 12) << "the RST overtakes the SYN/ACK on the way back";
   EXPECT_EQ(result.forward.in_order, 12);
@@ -97,10 +97,10 @@ TEST(SynDeep, WorksThroughLoadBalancer) {
   cfg.seed = 305;
   cfg.backends = 4;
   Testbed bed{cfg};
-  SynTest test{bed.probe(), bed.remote_addr(), kDiscardPort};
+  auto test = make_registered_test(bed.probe(), bed.remote_addr(), TestSpec{"syn"});
   TestRunConfig run;
   run.samples = 16;
-  const auto result = bed.run_sync(test, run);
+  const auto result = bed.run_sync(*test, run);
   ASSERT_TRUE(result.admissible);
   EXPECT_EQ(result.forward.in_order, 16);
   EXPECT_EQ(result.reverse.in_order, 16);
@@ -110,10 +110,10 @@ TEST(SynDeep, ReplyLossDegradesReverseNotForward) {
   auto cfg = with_second_syn(SecondSynBehavior::kAlwaysRst, 306);
   cfg.reverse.loss_probability = 0.5;
   Testbed bed{cfg};
-  SynTest test{bed.probe(), bed.remote_addr(), kDiscardPort};
+  auto test = make_registered_test(bed.probe(), bed.remote_addr(), TestSpec{"syn"});
   TestRunConfig run;
   run.samples = 20;
-  const auto result = bed.run_sync(test, run);
+  const auto result = bed.run_sync(*test, run);
   ASSERT_TRUE(result.admissible);
   // The remote retransmits its SYN/ACK, so the forward verdict (read from
   // the SYN/ACK's ack number) survives heavy reply loss...
@@ -130,10 +130,10 @@ TEST(SynDeep, VerdictsMatchGroundTruth) {
   cfg.forward.swap_probability = 0.3;
   cfg.reverse.swap_probability = 0.3;
   Testbed bed{cfg};
-  SynTest test{bed.probe(), bed.remote_addr(), kDiscardPort};
+  auto test = make_registered_test(bed.probe(), bed.remote_addr(), TestSpec{"syn"});
   TestRunConfig run;
   run.samples = 50;
-  const auto result = bed.run_sync(test, run);
+  const auto result = bed.run_sync(*test, run);
   ASSERT_TRUE(result.admissible);
   int checked = 0;
   for (const auto& s : result.samples) {
@@ -162,11 +162,11 @@ TEST(SynDeep, VerdictsMatchGroundTruth) {
 
 TEST(SynDeep, GapParameterHonored) {
   Testbed bed{with_second_syn(SecondSynBehavior::kAlwaysRst, 308)};
-  SynTest test{bed.probe(), bed.remote_addr(), kDiscardPort};
+  auto test = make_registered_test(bed.probe(), bed.remote_addr(), TestSpec{"syn"});
   TestRunConfig run;
   run.samples = 4;
   run.inter_packet_gap = Duration::micros(500);
-  const auto result = bed.run_sync(test, run);
+  const auto result = bed.run_sync(*test, run);
   ASSERT_TRUE(result.admissible);
   for (const auto& s : result.samples) {
     util::TimePoint first_at;
@@ -181,10 +181,10 @@ TEST(SynDeep, GapParameterHonored) {
 
 TEST(SynDeep, PoliteCloseLeavesNoRemoteState) {
   Testbed bed{with_second_syn(SecondSynBehavior::kAlwaysRst, 309)};
-  SynTest test{bed.probe(), bed.remote_addr(), kDiscardPort};
+  auto test = make_registered_test(bed.probe(), bed.remote_addr(), TestSpec{"syn"});
   TestRunConfig run;
   run.samples = 6;
-  const auto result = bed.run_sync(test, run);
+  const auto result = bed.run_sync(*test, run);
   ASSERT_TRUE(result.admissible);
   bed.loop().advance(Duration::seconds(10));
   EXPECT_EQ(bed.remote().active_connections(), 0u)
@@ -194,10 +194,10 @@ TEST(SynDeep, PoliteCloseLeavesNoRemoteState) {
 
 TEST(SynDeep, EachSampleUsesFreshPorts) {
   Testbed bed{with_second_syn(SecondSynBehavior::kAlwaysRst, 310)};
-  SynTest test{bed.probe(), bed.remote_addr(), kDiscardPort};
+  auto test = make_registered_test(bed.probe(), bed.remote_addr(), TestSpec{"syn"});
   TestRunConfig run;
   run.samples = 5;
-  const auto result = bed.run_sync(test, run);
+  const auto result = bed.run_sync(*test, run);
   ASSERT_TRUE(result.admissible);
   // Count distinct source ports among captured SYNs.
   std::set<std::uint16_t> ports;

@@ -6,7 +6,7 @@
 #include <fstream>
 #include <iterator>
 
-#include "core/single_connection_test.hpp"
+#include "core/test_registry.hpp"
 #include "core/testbed.hpp"
 #include "probe/prober.hpp"
 #include "trace/pcap_writer.hpp"
@@ -74,8 +74,8 @@ TEST(Testbed, RunSyncReportsFailureWhenTestCannotComplete) {
   Testbed bed{cfg};
   SingleConnectionOptions opts;
   opts.connection.max_syn_retries = 0;
-  SingleConnectionTest test{bed.probe(), bed.remote_addr(), kDiscardPort, opts};
-  const auto result = bed.run_sync(test, TestRunConfig{});
+  auto test = make_registered_test(bed.probe(), bed.remote_addr(), TestSpec{"single-connection", 0, opts});
+  const auto result = bed.run_sync(*test, TestRunConfig{});
   EXPECT_FALSE(result.admissible);
 }
 
@@ -89,10 +89,10 @@ TEST(Testbed, WholeExperimentIsByteDeterministic) {
     cfg.reverse.swap_probability = 0.10;
     cfg.forward.loss_probability = 0.05;
     Testbed bed{cfg};
-    SingleConnectionTest test{bed.probe(), bed.remote_addr(), kDiscardPort};
+    auto test = make_registered_test(bed.probe(), bed.remote_addr(), TestSpec{"single-connection"});
     TestRunConfig run;
     run.samples = 15;
-    (void)bed.run_sync(test, run);
+    (void)bed.run_sync(*test, run);
     EXPECT_TRUE(trace::write_pcap_file(path, bed.remote_ingress_trace()));
   };
   run_and_dump("/tmp/testbed_det_a.pcap");
