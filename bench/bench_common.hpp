@@ -1,15 +1,20 @@
 // Shared helpers for the experiment-reproduction binaries. Each binary
 // regenerates one table or figure from the paper's evaluation (§IV); they
-// all run with no arguments and print to stdout.
+// all run with no arguments, print their tables to stdout through the
+// report layer, and stream a machine-readable JSONL artifact alongside
+// (the BENCH_*.jsonl the CI perf trajectory tracks).
 #pragma once
 
 #include <cstdio>
+#include <cstdlib>
+#include <fstream>
 #include <memory>
 #include <string>
 
+#include "core/ground_truth.hpp"
 #include "core/test_registry.hpp"
 #include "core/testbed.hpp"
-#include "trace/analyzer.hpp"
+#include "report/jsonl.hpp"
 
 namespace reorder::bench {
 
@@ -28,50 +33,56 @@ inline std::unique_ptr<core::ReorderTest> make_test(const std::string& name, cor
   return core::make_registered_test(bed.probe(), bed.remote_addr(), core::TestSpec{name, port});
 }
 
-/// Ground-truth comparison for one run (the §IV-A methodology): counts
-/// reorder events the test reported vs what the traces show, plus
-/// per-sample disagreements.
-struct TruthComparison {
-  int reported_fwd{0};
-  int actual_fwd{0};
-  int reported_rev{0};
-  int actual_rev{0};
-  int fwd_mismatches{0};
-  int rev_mismatches{0};
-  int verified_samples{0};
-};
+/// Ground-truth comparison against the testbed's validation taps (the
+/// §IV-A methodology). The implementation lives in core/ground_truth —
+/// this wrapper just supplies the canonical tap pair.
+inline core::TruthComparison compare_to_truth(const core::TestRunResult& result,
+                                              core::Testbed& bed) {
+  return core::compare_to_truth(result, bed.remote_ingress_trace(), bed.remote_egress_trace());
+}
 
-inline TruthComparison compare_to_truth(const core::TestRunResult& result, core::Testbed& bed) {
-  TruthComparison c;
-  for (const auto& s : result.samples) {
-    using core::Ordering;
-    if (s.forward == Ordering::kInOrder || s.forward == Ordering::kReordered) {
-      const auto truth = trace::pair_ground_truth(bed.remote_ingress_trace(), s.fwd_uid_first,
-                                                  s.fwd_uid_second);
-      if (truth != trace::PairGroundTruth::kIncomplete) {
-        const bool said = s.forward == Ordering::kReordered;
-        const bool was = truth == trace::PairGroundTruth::kReordered;
-        c.reported_fwd += said ? 1 : 0;
-        c.actual_fwd += was ? 1 : 0;
-        c.fwd_mismatches += said != was ? 1 : 0;
-        ++c.verified_samples;
-      }
+/// The bench's JSONL artifact stream. Opens
+/// $REORDER_BENCH_JSONL_DIR/<bench>.jsonl (the directory must exist) or
+/// ./<bench>.jsonl when the env var is unset, leads with one
+/// {"type":"bench",...} identification line, and reports the record count
+/// to stderr on close so CI logs show what was captured.
+class BenchArtifact {
+ public:
+  BenchArtifact(const std::string& bench_name, const std::string& paper_ref)
+      : name_{bench_name} {
+    const char* dir = std::getenv("REORDER_BENCH_JSONL_DIR");
+    path_ = (dir != nullptr && *dir != '\0' ? std::string{dir} + "/" : std::string{}) +
+            bench_name + ".jsonl";
+    file_.open(path_);
+    if (!file_) {
+      std::fprintf(stderr, "[%s] cannot open %s; JSONL artifact disabled\n", bench_name.c_str(),
+                   path_.c_str());
     }
-    if ((s.reverse == Ordering::kInOrder || s.reverse == Ordering::kReordered) &&
-        s.rev_uid_first != 0 && s.rev_uid_second != 0) {
-      const auto truth = trace::pair_ground_truth(bed.remote_egress_trace(), s.rev_uid_first,
-                                                  s.rev_uid_second);
-      if (truth != trace::PairGroundTruth::kIncomplete) {
-        const bool said = s.reverse == Ordering::kReordered;
-        const bool was = truth == trace::PairGroundTruth::kReordered;
-        c.reported_rev += said ? 1 : 0;
-        c.actual_rev += was ? 1 : 0;
-        c.rev_mismatches += said != was ? 1 : 0;
-        ++c.verified_samples;
-      }
+    report::Json meta = report::Json::object();
+    meta.set("type", "bench");
+    meta.set("bench", bench_name);
+    meta.set("paper_ref", paper_ref);
+    write(meta);
+  }
+
+  ~BenchArtifact() {
+    if (file_.is_open()) {
+      std::fprintf(stderr, "[%s] wrote %zu JSONL records to %s\n", name_.c_str(),
+                   writer_.lines_written(), path_.c_str());
     }
   }
-  return c;
-}
+
+  report::JsonlWriter& jsonl() { return writer_; }
+  void write(const report::Json& line) {
+    if (file_.is_open()) writer_.write(line);
+  }
+  const std::string& path() const { return path_; }
+
+ private:
+  std::string name_;
+  std::string path_;
+  std::ofstream file_;
+  report::JsonlWriter writer_{file_};
+};
 
 }  // namespace reorder::bench

@@ -11,7 +11,7 @@
 #include <cstdio>
 
 #include "bench_common.hpp"
-#include "stats/ecdf.hpp"
+#include "report/builders.hpp"
 #include "util/random.hpp"
 
 namespace {
@@ -41,11 +41,11 @@ PathTruth draw_path(util::Rng& rng) {
 
 int main() {
   heading("CDF of reordering rates across paths", "Figure 5");
+  BenchArtifact artifact{"fig5_cdf", "Figure 5"};
 
   util::Rng population_rng{424242};
-  stats::Ecdf fwd_rates;
-  stats::Ecdf rev_rates;
-  int paths_with_reordering = 0;
+  report::RateCdfReport cdf{{0.0, 0.005, 0.01, 0.02, 0.03, 0.05, 0.08, 0.10, 0.15, 0.20, 0.30,
+                             0.40}};
 
   for (int host = 0; host < kHosts; ++host) {
     const PathTruth truth = draw_path(population_rng);
@@ -69,23 +69,18 @@ int main() {
       rev += result.reverse;
       bed.loop().advance(util::Duration::seconds(2));
     }
-    fwd_rates.add(fwd.rate());
-    rev_rates.add(rev.rate());
-    if (fwd.reordered + rev.reordered > 0) ++paths_with_reordering;
+    cdf.add_path(fwd.rate_or(0.0), rev.rate_or(0.0));
   }
 
-  std::printf("%-12s %12s %12s\n", "rate", "CDF(forward)", "CDF(reverse)");
-  std::printf("---------------------------------------\n");
-  for (const double r : {0.0, 0.005, 0.01, 0.02, 0.03, 0.05, 0.08, 0.10, 0.15, 0.20, 0.30, 0.40}) {
-    std::printf("%-12.3f %12.2f %12.2f\n", r, fwd_rates.cdf(r), rev_rates.cdf(r));
-  }
+  cdf.table().print();
+  cdf.emit_jsonl(artifact.jsonl());
 
-  std::printf("\npaths measured:              %d   (paper: 50)\n", kHosts);
-  std::printf("paths with some reordering:  %d (%.0f%%)   (paper: >40%%)\n", paths_with_reordering,
-              100.0 * paths_with_reordering / kHosts);
-  std::printf("median forward rate:         %.4f\n", fwd_rates.quantile(0.5));
-  std::printf("median reverse rate:         %.4f\n", rev_rates.quantile(0.5));
+  std::printf("\npaths measured:              %zu   (paper: 50)\n", cdf.paths());
+  std::printf("paths with some reordering:  %d (%.0f%%)   (paper: >40%%)\n",
+              cdf.paths_with_reordering(), 100.0 * cdf.paths_with_reordering() / kHosts);
+  std::printf("median forward rate:         %.4f\n", cdf.forward().quantile(0.5));
+  std::printf("median reverse rate:         %.4f\n", cdf.reverse().quantile(0.5));
   std::printf("mean fwd > mean rev:         %s   (paper: forward dominates)\n",
-              fwd_rates.quantile(0.9) >= rev_rates.quantile(0.9) ? "yes" : "no");
+              cdf.forward().quantile(0.9) >= cdf.reverse().quantile(0.9) ? "yes" : "no");
   return 0;
 }

@@ -9,13 +9,16 @@
 // added spacing, and ~0 past 250 us. The StripedLink stage reproduces the
 // mechanism; the sweep below reproduces the measurement at the paper's
 // resolution: 1000 samples per point, 1 us steps below 200 us, 20 us
-// steps beyond (paper caption). Printing is decimated to every 4th fine
-// point to keep the table readable; every point enters the profile.
+// steps beyond (paper caption). The printed table is decimated to every
+// 4th fine point to keep it readable; every point enters the profile and
+// the JSONL artifact.
 #include <cstdio>
 
 #include "bench_common.hpp"
 #include "core/metrics.hpp"
+#include "core/result_store.hpp"
 #include "core/scenario.hpp"
+#include "report/builders.hpp"
 
 namespace {
 
@@ -34,6 +37,7 @@ constexpr int kPrintEveryUs = 4;
 
 int main() {
   heading("Reordering probability vs inter-packet spacing", "Figure 7");
+  BenchArtifact artifact{"fig7_spacing", "Figure 7 / §IV-C"};
 
   // The canonical striped-links scenario carries the topology (the §IV-C
   // two-lane striping between fast enclosing links); this bench only
@@ -47,23 +51,23 @@ int main() {
        gap_us += (gap_us < kFineLimitUs ? kFineStepUs : kCoarseStepUs)) {
     spec.gap_sweep.push_back(Duration::micros(gap_us));
   }
-  const core::ScenarioResult sweep = core::run_scenario(spec);
-
-  core::TimeDomainProfile profile;
-  std::printf("%-10s %8s %10s %8s\n", "gap(us)", "samples", "reordered", "rate");
-  std::printf("----------------------------------------\n");
+  // The scenario runner streams every cell into the columnar store; the
+  // time-domain profile is then assembled from the store's sample columns.
+  core::ResultStore store;
+  const core::ScenarioResult sweep = core::run_scenario(spec, &store);
   for (const auto& m : sweep.measurements) {
     if (!m.result.admissible) {
       std::printf("inadmissible: %s\n", m.result.note.c_str());
       return 1;
     }
-    for (const auto& s : m.result.samples) profile.add(s.gap, s.forward);
-    if (m.gap.us() % kPrintEveryUs == 0) {
-      std::printf("%-10lld %8d %10d %8.4f\n", static_cast<long long>(m.gap.us()),
-                  m.result.forward.usable(), m.result.forward.reordered, m.result.forward.rate());
-    }
   }
 
+  report::TimeDomainReport report{store.time_domain(spec.name, "dual-connection"),
+                                  kPrintEveryUs};
+  report.table().print();
+  report.emit_jsonl(artifact.jsonl());
+
+  const auto& profile = report.profile();
   const double r0 = profile.interpolate_rate(Duration::micros(0)).value_or(0.0);
   const double r50 = profile.interpolate_rate(Duration::micros(50)).value_or(0.0);
   const double r250 = profile.interpolate_rate(Duration::micros(250)).value_or(0.0);

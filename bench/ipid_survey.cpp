@@ -7,6 +7,7 @@
 #include <map>
 
 #include "bench_common.hpp"
+#include "report/table.hpp"
 
 namespace {
 
@@ -37,14 +38,16 @@ constexpr HostSpec kPopulation[] = {
 int main() {
   heading("Dual-connection admissibility across a host population",
           "the §IV-B host-exclusion counts");
+  BenchArtifact artifact{"ipid_survey", "§IV-B host exclusions"};
 
   std::map<std::string, int> verdict_counts;
   int admissible = 0;
   int total = 0;
   std::uint64_t seed = 9300;
 
-  std::printf("%-32s %-28s %s\n", "host type", "validator verdict", "dual test");
-  std::printf("--------------------------------------------------------------------------\n");
+  report::Table table{std::vector<report::Column>{{"host type", report::Align::kLeft},
+                                                  {"validator verdict", report::Align::kLeft},
+                                                  {"dual test", report::Align::kLeft}}};
   for (const auto& spec : kPopulation) {
     for (int i = 0; i < spec.count; ++i) {
       core::TestbedConfig cfg;
@@ -64,16 +67,36 @@ int main() {
       admissible += result.admissible ? 1 : 0;
       ++total;
       if (i == 0) {
-        std::printf("%-32s %-28s %s\n", spec.label, core::to_string(verdict).c_str(),
-                    result.admissible ? "runs" : "ruled out");
+        table.row({spec.label, core::to_string(verdict), result.admissible ? "runs" : "ruled out"});
       }
+
+      report::Json row = report::Json::object();
+      row.set("type", "row");
+      row.set("host_type", spec.label);
+      row.set("backends", spec.backends);
+      row.set("verdict", core::to_string(verdict));
+      row.set("admissible", result.admissible);
+      artifact.write(row);
     }
   }
+  table.print();
 
   std::printf("\nVerdict totals over %d hosts:\n", total);
+  report::Table totals{std::vector<report::Column>{{"verdict", report::Align::kLeft},
+                                                   {"hosts", report::Align::kRight}}};
   for (const auto& [name, count] : verdict_counts) {
-    std::printf("  %-28s %d\n", name.c_str(), count);
+    totals.row({name, report::integer(count)});
   }
+  totals.print();
+
+  report::Json summary = report::Json::object();
+  summary.set("type", "summary");
+  summary.set("hosts", total);
+  summary.set("admissible", admissible);
+  summary.set("ruled_out_load_balancer", verdict_counts["disjoint (load balancer)"]);
+  summary.set("ruled_out_constant_zero", verdict_counts["constant-zero"]);
+  artifact.write(summary);
+
   std::printf("\nadmissible for the dual test:  %d / %d\n", admissible, total);
   std::printf("ruled out (load balancer):     %d   (paper: 8)\n",
               verdict_counts["disjoint (load balancer)"]);

@@ -1,8 +1,13 @@
 // Library microbenchmarks (engineering, not from the paper): codec and
 // checksum throughput, event-loop scheduling, endpoint segment processing,
 // the reordering stages, and a full end-to-end measurement sample.
+//
+// The human table is google-benchmark's console reporter; alongside it a
+// JSONL artifact (one record per benchmark run) streams through the
+// report layer like every other bench binary's.
 #include <benchmark/benchmark.h>
 
+#include "bench_common.hpp"
 #include "core/test_registry.hpp"
 #include "core/testbed.hpp"
 #include "netsim/event_loop.hpp"
@@ -154,6 +159,41 @@ void BM_FullMeasurementSample(benchmark::State& state) {
 }
 BENCHMARK(BM_FullMeasurementSample)->Unit(benchmark::kMillisecond);
 
+// The regular console table, plus one {"type":"run",...} JSONL record
+// per benchmark run into the shared BenchArtifact format.
+class JsonlBenchReporter final : public benchmark::ConsoleReporter {
+ public:
+  explicit JsonlBenchReporter(bench::BenchArtifact& artifact) : artifact_{artifact} {}
+
+  void ReportRuns(const std::vector<Run>& runs) override {
+    benchmark::ConsoleReporter::ReportRuns(runs);
+    for (const Run& run : runs) {
+      report::Json j = report::Json::object();
+      j.set("type", "run");
+      j.set("name", run.benchmark_name());
+      j.set("iterations", static_cast<std::int64_t>(run.iterations));
+      j.set("real_time", run.GetAdjustedRealTime());
+      j.set("cpu_time", run.GetAdjustedCPUTime());
+      j.set("time_unit", benchmark::GetTimeUnitString(run.time_unit));
+      for (const auto& [name, counter] : run.counters) {
+        j.set(name, static_cast<double>(counter));
+      }
+      artifact_.write(j);
+    }
+  }
+
+ private:
+  bench::BenchArtifact& artifact_;
+};
+
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  bench::BenchArtifact artifact{"micro_bench", "library microbenchmarks"};
+  JsonlBenchReporter reporter{artifact};
+  benchmark::RunSpecifiedBenchmarks(&reporter);
+  benchmark::Shutdown();
+  return 0;
+}

@@ -13,10 +13,10 @@
 // tests agree) with striped time-dependent paths (where the data-transfer
 // test's larger packets legitimately see less reordering).
 #include <cstdio>
-#include <map>
 
 #include "bench_common.hpp"
 #include "core/survey_engine.hpp"
+#include "report/builders.hpp"
 
 namespace {
 
@@ -28,20 +28,14 @@ constexpr int kHosts = 12;
 constexpr int kRounds = 10;
 constexpr int kSamples = 25;
 
-struct PairScore {
-  int supported{0};
-  int total{0};
-  double pct() const { return total ? 100.0 * supported / total : 0.0; }
-};
-
 }  // namespace
 
 int main() {
   heading("Pair-difference consistency between tests", "the §IV-B paired analysis");
+  BenchArtifact artifact{"pairdiff_table", "§IV-B paired analysis"};
 
   util::Rng rng{8181};
-  std::map<std::pair<std::string, std::string>, PairScore> fwd_scores;
-  std::map<std::pair<std::string, std::string>, PairScore> rev_scores;
+  report::PairDifferenceReport report;
   stats::RunningStats dt_ratio;  // data-transfer rate / syn rate on striped paths
 
   const std::vector<std::string> tests{"single", "dual", "syn", "data-transfer"};
@@ -89,32 +83,25 @@ int main() {
           ta.resize(n);
           tb.resize(n);
           const auto r = stats::pair_difference_test(ta, tb, 0.999);
-          auto& score = (forward ? fwd_scores : rev_scores)[{tests[a], tests[b]}];
-          score.total += 1;
-          score.supported += r.null_supported ? 1 : 0;
+          report.add(tests[a], tests[b], forward, r.null_supported);
         }
       }
     }
     if (striped_path) {
       const auto dt = session.aggregate("host", "data-transfer", false);
       const auto syn = session.aggregate("host", "syn", false);
-      if (syn.rate() > 0) dt_ratio.add(dt.rate() / syn.rate());
+      if (syn.rate_or(0.0) > 0) dt_ratio.add(dt.rate_or(0.0) / *syn.rate());
     }
   }
 
-  std::printf("%-28s %14s %14s\n", "test pair", "fwd null-ok %", "rev null-ok %");
-  std::printf("-----------------------------------------------------------\n");
-  for (const auto& [key, score] : rev_scores) {
-    const auto fit = fwd_scores.find(key);
-    char fwd_buf[16];
-    if (fit != fwd_scores.end() && fit->second.total > 0) {
-      std::snprintf(fwd_buf, sizeof fwd_buf, "%.0f", fit->second.pct());
-    } else {
-      std::snprintf(fwd_buf, sizeof fwd_buf, "-");
-    }
-    std::printf("%-13s vs %-12s %14s %14.0f\n", key.first.c_str(), key.second.c_str(), fwd_buf,
-                score.pct());
-  }
+  report.table().print();
+  report.emit_jsonl(artifact.jsonl());
+
+  report::Json summary = report::Json::object();
+  summary.set("type", "summary");
+  summary.set("hosts", kHosts);
+  summary.set("dt_over_syn_reverse_ratio_striped", dt_ratio.mean());
+  artifact.write(summary);
 
   std::printf("\npaper anchors: single-vs-syn 78%% fwd / 93%% rev; data-transfer matches\n");
   std::printf("syn & dual on ~90%% of hosts but diverges on heavily reordering paths.\n");

@@ -17,6 +17,7 @@
 
 #include "bench_common.hpp"
 #include "core/ping_burst_adapter.hpp"
+#include "report/table.hpp"
 
 namespace {
 
@@ -41,6 +42,7 @@ core::PingBurstResult run_pings(core::Testbed& bed, int burst_size, int bursts) 
 int main() {
   heading("Ping-burst baseline (Bennett et al.) vs the paper's one-way tests",
           "the §II related-work comparison");
+  BenchArtifact artifact{"related_work_bennett", "§II (Bennett et al.)"};
 
   // --- 1. Bennett's headline: a heavily reordering path, bursts of 5 ---
   {
@@ -57,12 +59,23 @@ int main() {
     std::printf("  bursts of 100: %5.1f%% of bursts saw reordering\n",
                 100 * r100.burst_reorder_fraction());
     std::printf("  burst-size sensitivity: same path, same metric, different answer\n\n");
+
+    for (const auto* r : {&r5, &r100}) {
+      report::Json row = report::Json::object();
+      row.set("type", "row");
+      row.set("study", "burst_size_sensitivity");
+      row.set("burst_size", r == &r5 ? 5 : 100);
+      row.set("burst_reorder_fraction", r->burst_reorder_fraction());
+      artifact.write(row);
+    }
   }
 
   // --- 2. Direction ambiguity on asymmetric paths ---
   std::printf("direction attribution on asymmetric paths (pair-rate estimates):\n");
-  std::printf("%-24s %10s %10s %10s %10s\n", "path (fwd/rev swap)", "ping", "dual fwd",
-              "dual rev", "");
+  report::Table table{std::vector<report::Column>{{"path (fwd/rev swap)", report::Align::kLeft},
+                                                  {"ping", report::Align::kRight},
+                                                  {"dual fwd", report::Align::kRight},
+                                                  {"dual rev", report::Align::kRight}}};
   struct Case {
     double fwd;
     double rev;
@@ -83,9 +96,21 @@ int main() {
 
     char label[32];
     std::snprintf(label, sizeof label, "%.2f / %.2f", c.fwd, c.rev);
-    std::printf("%-24s %10.3f %10.3f %10.3f\n", label, ping.pair_rate(), d.forward.rate(),
-                d.reverse.rate());
+    table.row({label, report::fixed(ping.pair_rate(), 3),
+               report::fixed(d.forward.rate_or(0.0), 3),
+               report::fixed(d.reverse.rate_or(0.0), 3)});
+
+    report::Json row = report::Json::object();
+    row.set("type", "row");
+    row.set("study", "direction_attribution");
+    row.set("true_fwd", c.fwd);
+    row.set("true_rev", c.rev);
+    row.set("ping_rate", ping.pair_rate());
+    row.set("dual_fwd", d.forward.rate_or(0.0));
+    row.set("dual_rev", d.reverse.rate_or(0.0));
+    artifact.write(row);
   }
+  table.print();
   std::printf("  -> the ping estimate cannot distinguish the three paths' directions;\n"
               "     the dual-connection test attributes each direction correctly.\n\n");
 
@@ -102,6 +127,14 @@ int main() {
                 100 * r.reply_rate(), r.bursts_complete, r.bursts);
     std::printf("(the paper: \"system and network operators alike increasingly filter\n"
                 " and rate-limit such traffic\")\n");
+
+    report::Json row = report::Json::object();
+    row.set("type", "summary");
+    row.set("study", "icmp_rate_limit");
+    row.set("reply_rate", r.reply_rate());
+    row.set("bursts_complete", r.bursts_complete);
+    row.set("bursts", r.bursts);
+    artifact.write(row);
   }
   return 0;
 }

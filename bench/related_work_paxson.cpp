@@ -14,6 +14,8 @@
 #include <cstdio>
 
 #include "bench_common.hpp"
+#include "report/table.hpp"
+#include "trace/analyzer.hpp"
 #include "util/random.hpp"
 
 namespace {
@@ -29,14 +31,15 @@ constexpr std::size_t kTransferBytes = 100 * 1024;  // Paxson's 100 KB
 
 int main() {
   heading("Passive trace analysis baseline (Paxson)", "the §II related-work comparison");
+  BenchArtifact artifact{"related_work_paxson", "§II (Paxson)"};
 
   util::Rng rng{1997};
   int sessions_with_reordering = 0;
   std::uint64_t data_segments = 0;
   std::uint64_t data_out_of_order = 0;
 
-  std::printf("%-10s %10s %12s %12s\n", "session", "true p", "segments", "out-of-order");
-  std::printf("------------------------------------------------\n");
+  report::Table table =
+      report::Table::with_headers({"session", "true p", "segments", "out-of-order"});
   for (int s = 0; s < kSessions; ++s) {
     // A quarter of the paths reorder (Paxson saw broad variation across
     // his 35-site mesh).
@@ -66,10 +69,20 @@ int main() {
     data_segments += stats.data_segments;
     data_out_of_order += stats.out_of_order;
     if (stats.out_of_order > 0) ++sessions_with_reordering;
-    std::printf("%-10d %10.3f %12llu %12llu\n", s, p,
-                static_cast<unsigned long long>(stats.data_segments),
-                static_cast<unsigned long long>(stats.out_of_order));
+    table.row({report::integer(s), report::fixed(p, 3),
+               report::integer(static_cast<std::int64_t>(stats.data_segments)),
+               report::integer(static_cast<std::int64_t>(stats.out_of_order))});
+
+    report::Json row = report::Json::object();
+    row.set("type", "row");
+    row.set("session", s);
+    row.set("true_p", p);
+    row.set("data_segments", stats.data_segments);
+    row.set("out_of_order", stats.out_of_order);
+    row.set("retransmissions", stats.retransmissions);
+    artifact.write(row);
   }
+  table.print();
 
   std::printf("\nsessions with >= 1 reordering event: %d / %d (%.0f%%)   "
               "(Paxson: 12%% and 36%%)\n",
@@ -79,6 +92,13 @@ int main() {
               "(Paxson: 2.0%% and 0.3%%)\n",
               100.0 * static_cast<double>(data_out_of_order) /
                   static_cast<double>(data_segments));
+
+  report::Json summary = report::Json::object();
+  summary.set("type", "summary");
+  summary.set("sessions", kSessions);
+  summary.set("sessions_with_reordering", sessions_with_reordering);
+  summary.set("data_segments", data_segments);
+  summary.set("data_out_of_order", data_out_of_order);
 
   // The transport-bias critique: on a time-dependent (striped) path the
   // passive 1460-byte transfer sees systematically less reordering than
@@ -105,10 +125,15 @@ int main() {
     const auto active = bed.run_sync(*dual, run, 3000);
 
     std::printf("\ntransport bias on a time-dependent path:\n");
-    std::printf("  passive 1460-byte transfer estimate: %.3f\n", passive.reverse.rate());
-    std::printf("  active minimum-sized probe estimate: %.3f (reverse)\n", active.reverse.rate());
+    std::printf("  passive 1460-byte transfer estimate: %.3f\n", passive.reverse.rate_or(0.0));
+    std::printf("  active minimum-sized probe estimate: %.3f (reverse)\n",
+                active.reverse.rate_or(0.0));
     std::printf("(the paper §II: passive transfers measure \"the reordering seen by a\n"
                 " one-way 100KB TCP data transfer in situ\", not the path's process)\n");
+
+    summary.set("passive_estimate_striped", passive.reverse.rate_or(0.0));
+    summary.set("active_estimate_striped", active.reverse.rate_or(0.0));
   }
+  artifact.write(summary);
   return 0;
 }

@@ -15,6 +15,7 @@
 #include <vector>
 
 #include "bench_common.hpp"
+#include "report/builders.hpp"
 
 namespace {
 
@@ -24,18 +25,11 @@ using namespace reorder::bench;
 constexpr double kRates[] = {0.01, 0.03, 0.05, 0.10, 0.15, 0.40};
 constexpr int kSamplesPerTest = 100;
 
-struct Row {
-  std::string test;
-  double fwd_p;
-  double rev_p;
-  TruthComparison cmp;
-  bool admissible;
-};
-
-Row run_case(const std::string& test_name, double fwd_p, double rev_p, std::uint64_t seed) {
+report::ValidationReport::Row run_case(const std::string& test_name, std::optional<double> fwd_p,
+                                       double rev_p, std::uint64_t seed) {
   core::TestbedConfig cfg;
   cfg.seed = seed;
-  cfg.forward.swap_probability = fwd_p;
+  cfg.forward.swap_probability = fwd_p.value_or(0.0);
   cfg.reverse.swap_probability = rev_p;
   cfg.remote = core::default_remote_config(/*object_size=*/51 * 512);  // >= 100 pairs
   // The paper's remote stacks acknowledge hole fills promptly (BSD-style
@@ -49,7 +43,7 @@ Row run_case(const std::string& test_name, double fwd_p, double rev_p, std::uint
   run.samples = kSamplesPerTest;
   const auto result = bed.run_sync(*test, run, /*deadline_s=*/3000);
 
-  Row row;
+  report::ValidationReport::Row row;
   row.test = test_name;
   row.fwd_p = fwd_p;
   row.rev_p = rev_p;
@@ -62,55 +56,33 @@ Row run_case(const std::string& test_name, double fwd_p, double rev_p, std::uint
 
 int main() {
   heading("Controlled validation", "the §IV-A experiment (114 dummynet configurations)");
-  std::printf("%-14s %5s %5s | %8s %8s %5s | %8s %8s %5s\n", "test", "fwd%", "rev%", "rep.fwd",
-              "act.fwd", "diff", "rep.rev", "act.rev", "diff");
-  std::printf("%.*s\n", 86,
-              "--------------------------------------------------------------------------------"
-              "--------");
+  BenchArtifact artifact{"validation_table", "§IV-A"};
 
-  int tests_run = 0;
-  int fwd_discrepant_tests = 0;
-  int rev_discrepant_tests = 0;
-  long total_samples = 0;
-  long mismatched_samples = 0;
+  report::ValidationReport report;
   std::uint64_t seed = 90'000;
 
   const std::vector<std::string> two_way{"single", "dual", "syn"};
   for (const auto& test : two_way) {
     for (const double fwd : kRates) {
       for (const double rev : kRates) {
-        const Row row = run_case(test, fwd, rev, ++seed);
-        ++tests_run;
-        const int fwd_diff = row.cmp.reported_fwd - row.cmp.actual_fwd;
-        const int rev_diff = row.cmp.reported_rev - row.cmp.actual_rev;
-        if (fwd_diff != 0 || row.cmp.fwd_mismatches != 0) ++fwd_discrepant_tests;
-        if (rev_diff != 0 || row.cmp.rev_mismatches != 0) ++rev_discrepant_tests;
-        total_samples += 2L * kSamplesPerTest;
-        mismatched_samples += row.cmp.fwd_mismatches + row.cmp.rev_mismatches;
-        std::printf("%-14s %5.0f %5.0f | %8d %8d %5d | %8d %8d %5d\n", row.test.c_str(),
-                    fwd * 100, rev * 100, row.cmp.reported_fwd, row.cmp.actual_fwd, fwd_diff,
-                    row.cmp.reported_rev, row.cmp.actual_rev, rev_diff);
+        report.add(run_case(test, fwd, rev, ++seed));
       }
     }
   }
   // The TCP data-transfer test measures only the reverse path.
   for (const double rev : kRates) {
-    const Row row = run_case("data-transfer", 0.0, rev, ++seed);
-    ++tests_run;
-    const int rev_diff = row.cmp.reported_rev - row.cmp.actual_rev;
-    if (rev_diff != 0 || row.cmp.rev_mismatches != 0) ++rev_discrepant_tests;
-    total_samples += row.cmp.verified_samples;
-    mismatched_samples += row.cmp.rev_mismatches;
-    std::printf("%-14s %5s %5.0f | %8s %8s %5s | %8d %8d %5d\n", "data-transfer", "-", rev * 100,
-                "-", "-", "-", row.cmp.reported_rev, row.cmp.actual_rev, rev_diff);
+    report.add(run_case("data-transfer", std::nullopt, rev, ++seed));
   }
 
+  report.table().print();
+  report.emit_jsonl(artifact.jsonl(), kSamplesPerTest);
+
+  const auto summary = report.summary(kSamplesPerTest);
   std::printf("\nSummary\n");
-  std::printf("  tests run:                 %d   (paper: 114)\n", tests_run);
-  std::printf("  forward discrepant tests:  %d   (paper: 8)\n", fwd_discrepant_tests);
-  std::printf("  reverse discrepant tests:  %d   (paper: 2)\n", rev_discrepant_tests);
-  const double confirmed =
-      100.0 * (1.0 - static_cast<double>(mismatched_samples) / static_cast<double>(total_samples));
-  std::printf("  samples confirmed correct: %.3f%% (paper: 99.99%%)\n", confirmed);
+  std::printf("  tests run:                 %d   (paper: 114)\n", summary.tests_run);
+  std::printf("  forward discrepant tests:  %d   (paper: 8)\n", summary.fwd_discrepant_tests);
+  std::printf("  reverse discrepant tests:  %d   (paper: 2)\n", summary.rev_discrepant_tests);
+  std::printf("  samples confirmed correct: %.3f%% (paper: 99.99%%)\n",
+              100.0 * summary.confirmed_fraction().value_or(0.0));
   return 0;
 }

@@ -49,7 +49,7 @@ int main(int argc, char** argv) {
   std::printf("[dual-connection]\n");
   if (dual_result.admissible) {
     std::printf("  both connections hashed to one backend (it happens!) — rate %.3f\n",
-                dual_result.forward.rate());
+                dual_result.forward.rate_or(0.0));
   } else {
     std::printf("  ruled out: %s\n", dual_result.note.c_str());
     const auto& v = dual->last_validation();
@@ -65,8 +65,8 @@ int main(int argc, char** argv) {
   const auto syn_result = bed.run_sync(*syn, run);
   std::printf("\n[syn]\n");
   std::printf("  forward rate: %.3f (true %.3f) from %d usable samples\n",
-              syn_result.forward.rate(), fwd_swap, syn_result.forward.usable());
-  std::printf("  reverse rate: %.3f\n", syn_result.reverse.rate());
+              syn_result.forward.rate_or(0.0), fwd_swap, syn_result.forward.usable());
+  std::printf("  reverse rate: %.3f\n", syn_result.reverse.rate_or(0.0));
 
   // 3. Show the balancer's flow counts so the mechanism is visible.
   if (auto* lb = bed.balancer()) {

@@ -12,6 +12,7 @@
 
 #include "core/test_registry.hpp"
 #include "core/testbed.hpp"
+#include "report/table.hpp"
 #include "trace/pcap_writer.hpp"
 #include "util/flags.hpp"
 
@@ -45,13 +46,24 @@ void print_result(const core::TestRunResult& result) {
     std::printf("  not admissible on this host: %s\n", result.note.c_str());
     return;
   }
-  const auto show = [](const char* dir, const core::ReorderEstimate& e) {
+  report::Table table{std::vector<report::Column>{{"direction", report::Align::kLeft},
+                                                  {"rate", report::Align::kRight},
+                                                  {"in-order", report::Align::kRight},
+                                                  {"reordered", report::Align::kRight},
+                                                  {"ambiguous", report::Align::kRight},
+                                                  {"lost", report::Align::kRight}}};
+  const auto show = [&table](const char* dir, const core::ReorderEstimate& e) {
     if (e.total() == 0) return;
-    std::printf("  %-8s rate=%.4f  (in-order=%d reordered=%d ambiguous=%d lost=%d)\n", dir,
-                e.rate(), e.in_order, e.reordered, e.ambiguous, e.lost);
+    // rate() is empty when every sample was ambiguous/lost; render that
+    // honestly instead of as a suspiciously clean 0.0000.
+    const auto rate = e.rate();
+    table.row({dir, rate ? report::fixed(*rate, 4) : "no data", report::integer(e.in_order),
+               report::integer(e.reordered), report::integer(e.ambiguous),
+               report::integer(e.lost)});
   };
   show("forward", result.forward);
   show("reverse", result.reverse);
+  if (table.rows() > 0) table.print();
   if (!result.note.empty()) std::printf("  note: %s\n", result.note.c_str());
 }
 

@@ -3,13 +3,20 @@
 // Builds the canonical testbed — a probe host and a remote server joined
 // by an emulated path that swaps 10% of adjacent packet pairs in the
 // forward direction — then runs the paper's single-connection test and
-// prints per-direction verdict counts and rates.
+// prints per-direction verdict counts and rates through the report
+// layer's table emitter. With --jsonl=PATH the same result additionally
+// streams out as JSON Lines via a ResultSink (the machine-readable side
+// of the pipeline).
 //
-//   $ quickstart [--swap-prob=0.1] [--samples=50] [--seed=1]
+//   $ quickstart [--swap-prob=0.1] [--samples=50] [--seed=1] [--jsonl=run.jsonl]
 #include <cstdio>
+#include <fstream>
 
+#include "core/result_sink.hpp"
 #include "core/test_registry.hpp"
 #include "core/testbed.hpp"
+#include "report/sinks.hpp"
+#include "report/table.hpp"
 #include "util/flags.hpp"
 
 int main(int argc, char** argv) {
@@ -18,10 +25,12 @@ int main(int argc, char** argv) {
   double swap_prob = 0.10;
   std::int64_t samples = 50;
   std::int64_t seed = 1;
+  std::string jsonl_path;
   util::Flags flags{"quickstart", "first packet-reordering measurement"};
   flags.add_double("swap-prob", &swap_prob, "forward-path adjacent swap probability");
   flags.add_i64("samples", &samples, "measurement samples to take");
   flags.add_i64("seed", &seed, "simulation seed");
+  flags.add_string("jsonl", &jsonl_path, "also stream the result to this JSONL file");
   if (!flags.parse(argc, argv)) return 1;
 
   // 1. Build the world: probe <-> path <-> server.
@@ -47,14 +56,40 @@ int main(int argc, char** argv) {
   // 4. Read the verdicts.
   std::printf("test: %s, %zu samples against %s\n", result.test_name.c_str(),
               result.samples.size(), bed.remote_addr().to_string().c_str());
-  const auto show = [](const char* dir, const core::ReorderEstimate& e) {
+  report::Table table{std::vector<report::Column>{{"direction", report::Align::kLeft},
+                                                  {"in-order", report::Align::kRight},
+                                                  {"reordered", report::Align::kRight},
+                                                  {"ambiguous", report::Align::kRight},
+                                                  {"lost", report::Align::kRight},
+                                                  {"rate", report::Align::kRight},
+                                                  {"95% CI", report::Align::kLeft}}};
+  const auto add_row = [&table](const char* dir, const core::ReorderEstimate& e) {
     const auto ci = e.proportion();
-    std::printf("  %-8s in-order=%-4d reordered=%-4d ambiguous=%-4d lost=%-4d"
-                "  rate=%.3f  [%.3f, %.3f]\n",
-                dir, e.in_order, e.reordered, e.ambiguous, e.lost, e.rate(), ci.lower, ci.upper);
+    table.row({dir, report::integer(e.in_order), report::integer(e.reordered),
+               report::integer(e.ambiguous), report::integer(e.lost),
+               report::fixed(e.rate_or(0.0), 3),
+               "[" + report::fixed(ci.lower, 3) + ", " + report::fixed(ci.upper, 3) + "]"});
   };
-  show("forward", result.forward);
-  show("reverse", result.reverse);
+  add_row("forward", result.forward);
+  add_row("reverse", result.reverse);
+  table.print();
+
+  // 5. Optionally stream the same result machine-readably: publish_result
+  //    feeds any ResultSink the exact event stream a survey would.
+  if (!jsonl_path.empty()) {
+    std::ofstream file{jsonl_path};
+    if (!file) {
+      std::fprintf(stderr, "cannot open %s for writing\n", jsonl_path.c_str());
+      return 1;
+    }
+    report::JsonlWriter writer{file};
+    report::JsonlResultSink sink{writer};
+    core::publish_result(sink, bed.remote_addr().to_string(), result.test_name,
+                         util::TimePoint::epoch(), result);
+    std::printf("\nstreamed %zu JSONL records to %s\n", writer.lines_written(),
+                jsonl_path.c_str());
+  }
+
   std::printf("\nconfigured forward swap probability was %.3f — the forward rate above\n"
               "should sit inside its confidence interval.\n",
               swap_prob);

@@ -1,13 +1,14 @@
 // survey: continuous round-robin measurement of a population of hosts —
 // the shape of the paper's 20-day, 50-host experiment — ending in the
-// per-path reordering-rate CDF (Figure 5's presentation).
+// per-path reordering-rate CDF (Figure 5's presentation), rendered
+// through the report layer.
 //
 //   $ survey --hosts=20 --rounds=6 --samples=15 --reordering-fraction=0.44
 #include <cstdio>
 
 #include "core/survey_engine.hpp"
 #include "core/testbed.hpp"
-#include "stats/ecdf.hpp"
+#include "report/builders.hpp"
 #include "util/flags.hpp"
 #include "util/random.hpp"
 
@@ -31,13 +32,10 @@ int main(int argc, char** argv) {
   if (!flags.parse(argc, argv)) return 1;
 
   util::Rng population{static_cast<std::uint64_t>(seed)};
-  stats::Ecdf fwd;
-  stats::Ecdf rev;
-  int reordering_paths = 0;
+  report::RateCdfReport cdf{{0.0, 0.01, 0.02, 0.05, 0.1, 0.2, 0.3}};
 
-  std::printf("%-8s %10s %10s %12s %12s\n", "host", "true fwd", "true rev", "measured fwd",
-              "measured rev");
-  std::printf("------------------------------------------------------------\n");
+  report::Table per_host = report::Table::with_headers(
+      {"host", "true fwd", "true rev", "measured fwd", "measured rev"});
   for (int h = 0; h < hosts; ++h) {
     double true_fwd = 0.0;
     double true_rev = 0.0;
@@ -69,19 +67,17 @@ int main(int argc, char** argv) {
       pooled_fwd += session.aggregate("host", test, true);
       pooled_rev += session.aggregate("host", test, false);
     }
-    fwd.add(pooled_fwd.rate());
-    rev.add(pooled_rev.rate());
-    if (pooled_fwd.reordered + pooled_rev.reordered > 0) ++reordering_paths;
-    std::printf("%-8d %10.3f %10.3f %12.3f %12.3f\n", h, true_fwd, true_rev, pooled_fwd.rate(),
-                pooled_rev.rate());
+    cdf.add_path(pooled_fwd.rate_or(0.0), pooled_rev.rate_or(0.0));
+    per_host.row({report::integer(h), report::fixed(true_fwd, 3), report::fixed(true_rev, 3),
+                  report::fixed(pooled_fwd.rate_or(0.0), 3),
+                  report::fixed(pooled_rev.rate_or(0.0), 3)});
   }
+  per_host.print();
 
   std::printf("\nCDF of measured per-path rates:\n");
-  std::printf("%-10s %10s %10s\n", "rate", "fwd CDF", "rev CDF");
-  for (const double r : {0.0, 0.01, 0.02, 0.05, 0.1, 0.2, 0.3}) {
-    std::printf("%-10.2f %10.2f %10.2f\n", r, fwd.cdf(r), rev.cdf(r));
-  }
-  std::printf("\npaths with observed reordering: %d / %lld (%.0f%%)\n", reordering_paths,
-              static_cast<long long>(hosts), 100.0 * reordering_paths / static_cast<double>(hosts));
+  cdf.table().print();
+  std::printf("\npaths with observed reordering: %d / %lld (%.0f%%)\n",
+              cdf.paths_with_reordering(), static_cast<long long>(hosts),
+              100.0 * cdf.paths_with_reordering() / static_cast<double>(hosts));
   return 0;
 }

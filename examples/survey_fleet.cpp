@@ -6,16 +6,55 @@
 // their measurement cycles in a single virtual timeline, so a slow or
 // lossy target never stalls the rest of the fleet.
 //
+// Results STREAM: a live ResultSink narrates completions as they land
+// (watch the targets interleave), and --jsonl=PATH attaches a second
+// sink that writes every event as JSON Lines.
+//
 //   $ survey_fleet --targets=8 --rounds=4 --samples=15 --seed=11
 #include <cstdio>
+#include <fstream>
+#include <optional>
 
 #include "core/survey_testbed.hpp"
+#include "report/sinks.hpp"
+#include "report/table.hpp"
 #include "stats/ecdf.hpp"
 #include "util/flags.hpp"
 #include "util/random.hpp"
 
+namespace {
+
+using namespace reorder;
+
+/// Prints the first few completions as the engine publishes them —
+/// mid-survey, in event-loop order.
+class NarratingSink final : public core::ResultSink {
+ public:
+  explicit NarratingSink(std::size_t limit) : limit_{limit} {}
+
+  void on_survey_begin(const core::SurveyEvent& e) override {
+    std::printf("survey begins: %zu targets x %d rounds\n", e.targets, e.rounds);
+    std::printf("first completions (note the targets interleaving):\n");
+  }
+  void on_measurement(const core::MeasurementEvent& e) override {
+    if (e.measurement_index < limit_) {
+      std::printf("  t=%8.3fs  %-8.*s %.*s\n", e.at.seconds_f(),
+                  static_cast<int>(e.target.size()), e.target.data(),
+                  static_cast<int>(e.test.size()), e.test.data());
+    }
+  }
+  void on_survey_end(const core::SurveyEvent& e) override {
+    std::printf("survey complete: %zu measurements by t=%.1fs\n\n", e.measurements,
+                e.at.seconds_f());
+  }
+
+ private:
+  std::size_t limit_;
+};
+
+}  // namespace
+
 int main(int argc, char** argv) {
-  using namespace reorder;
   using util::Duration;
 
   std::int64_t targets = 8;
@@ -23,6 +62,7 @@ int main(int argc, char** argv) {
   std::int64_t samples = 15;
   std::int64_t seed = 11;
   double reordering_fraction = 0.5;
+  std::string jsonl_path;
 
   util::Flags flags{"survey_fleet", "concurrent multi-target reordering survey"};
   flags.add_i64("targets", &targets, "number of hosts surveyed concurrently");
@@ -31,6 +71,7 @@ int main(int argc, char** argv) {
   flags.add_i64("seed", &seed, "population seed");
   flags.add_double("reordering-fraction", &reordering_fraction,
                    "fraction of paths that reorder at all");
+  flags.add_string("jsonl", &jsonl_path, "stream every survey event to this JSONL file");
   if (!flags.parse(argc, argv)) return 1;
 
   // Draw a host population: some clean paths, some reordering ones.
@@ -56,21 +97,29 @@ int main(int argc, char** argv) {
   core::SurveyEngine engine{bed.loop()};
   bed.populate(engine);
 
+  // Attach the streaming consumers before the survey starts.
+  NarratingSink narrator{2 * bed.target_count()};
+  engine.add_sink(narrator);
+  std::ofstream jsonl_file;
+  std::optional<report::JsonlWriter> jsonl_writer;
+  std::optional<report::JsonlResultSink> jsonl_sink;
+  if (!jsonl_path.empty()) {
+    jsonl_file.open(jsonl_path);
+    if (!jsonl_file) {
+      std::fprintf(stderr, "cannot open %s for writing\n", jsonl_path.c_str());
+      return 1;
+    }
+    jsonl_writer.emplace(jsonl_file);
+    jsonl_sink.emplace(*jsonl_writer);
+    engine.add_sink(*jsonl_sink);
+  }
+
   core::TestRunConfig run;
   run.samples = static_cast<int>(samples);
   engine.run(run, static_cast<int>(rounds), Duration::seconds(1));
 
-  // The interleaving is visible in the measurement log: completion order
-  // mixes targets instead of finishing one host before starting the next.
-  std::printf("first completions (note the targets interleaving):\n");
-  const auto& ms = engine.measurements();
-  for (std::size_t i = 0; i < ms.size() && i < 2 * bed.target_count(); ++i) {
-    std::printf("  t=%8.3fs  %-8s %s\n", ms[i].at.seconds_f(), ms[i].target.c_str(),
-                ms[i].test.c_str());
-  }
-
-  std::printf("\n%-10s %10s %14s %10s\n", "target", "true fwd", "single-conn", "syn");
-  std::printf("-----------------------------------------------\n");
+  report::Table table =
+      report::Table::with_headers({"target", "true fwd", "single-conn", "syn"});
   stats::Ecdf fwd_rates;
   int reordering_paths = 0;
   for (std::size_t i = 0; i < bed.target_count(); ++i) {
@@ -80,12 +129,14 @@ int main(int argc, char** argv) {
     core::ReorderEstimate pooled;
     pooled += single;
     pooled += syn;
-    fwd_rates.add(pooled.rate());
+    fwd_rates.add(pooled.rate_or(0.0));
     if (pooled.reordered > 0) ++reordering_paths;
-    std::printf("%-10s %10.3f %14.3f %10.3f\n", name.c_str(), true_fwd[i], single.rate(),
-                syn.rate());
+    table.row({name, report::fixed(true_fwd[i], 3), report::fixed(single.rate_or(0.0), 3),
+               report::fixed(syn.rate_or(0.0), 3)});
   }
+  table.print();
 
+  const auto& ms = engine.measurements();
   std::printf("\nmeasurements taken: %zu  (%lld targets x %lld rounds x 2 tests)\n", ms.size(),
               static_cast<long long>(targets), static_cast<long long>(rounds));
   std::printf("virtual survey duration: %.1fs  (one blocking pass would serialize %zu "
@@ -94,5 +145,9 @@ int main(int argc, char** argv) {
   std::printf("paths with observed reordering: %d / %lld\n", reordering_paths,
               static_cast<long long>(targets));
   std::printf("median measured forward rate: %.4f\n", fwd_rates.quantile(0.5));
+  if (jsonl_writer.has_value()) {
+    std::printf("streamed %zu JSONL records to %s\n", jsonl_writer->lines_written(),
+                jsonl_path.c_str());
+  }
   return 0;
 }

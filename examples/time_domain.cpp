@@ -9,7 +9,9 @@
 #include <cstdio>
 
 #include "core/metrics.hpp"
+#include "core/result_store.hpp"
 #include "core/scenario.hpp"
+#include "report/table.hpp"
 #include "util/flags.hpp"
 
 int main(int argc, char** argv) {
@@ -38,30 +40,40 @@ int main(int argc, char** argv) {
     spec.gap_sweep.push_back(Duration::micros(gap));
   }
   spec.between_measurements = Duration::millis(1);
-  const core::ScenarioResult sweep = core::run_scenario(spec);
-
-  core::TimeDomainProfile profile;
-  std::printf("%-10s %8s  %s\n", "gap(us)", "rate", "histogram");
+  // Stream the sweep into a columnar store; the per-gap profile is then
+  // assembled from its sample columns rather than re-looped by hand.
+  core::ResultStore store;
+  const core::ScenarioResult sweep = core::run_scenario(spec, &store);
   for (const auto& m : sweep.measurements) {
     if (!m.result.admissible) {
       std::printf("inadmissible: %s\n", m.result.note.c_str());
       return 1;
     }
-    for (const auto& s : m.result.samples) profile.add(s.gap, s.forward);
-    const double rate = m.result.forward.rate();
-    std::string bar(static_cast<std::size_t>(rate * 250), '#');
-    std::printf("%-10lld %8.4f  %s\n", static_cast<long long>(m.gap.us()), rate, bar.c_str());
   }
+
+  const core::TimeDomainProfile profile = store.time_domain(spec.name, "dual-connection");
+  report::Table table{std::vector<report::Column>{{"gap(us)", report::Align::kLeft},
+                                                  {"rate", report::Align::kRight},
+                                                  {"histogram", report::Align::kLeft}}};
+  for (const auto& point : profile.points()) {
+    const double rate = point.estimate.rate_or(0.0);
+    table.row({report::integer(point.gap.us()), report::fixed(rate, 4),
+               std::string(static_cast<std::size_t>(rate * 250), '#')});
+  }
+  table.print();
 
   // Prediction: leading-edge spacing added by serialization of different
   // packet sizes on a 100 Mbps access link.
   std::printf("\npredicted reordering rate by packet size (100 Mbps serialization):\n");
-  std::printf("%-12s %14s %12s\n", "size(bytes)", "spacing(us)", "pred. rate");
+  report::Table prediction =
+      report::Table::with_headers({"size(bytes)", "spacing(us)", "pred. rate"});
   for (const int bytes : {40, 128, 256, 512, 1024, 1500}) {
     const double spacing_us = bytes * 8.0 / 100.0;  // bits / (bits/us)
     const auto rate = profile.interpolate_rate(Duration::from_seconds_f(spacing_us * 1e-6));
-    std::printf("%-12d %14.1f %12.4f\n", bytes, spacing_us, rate.value_or(0.0));
+    prediction.row({report::integer(bytes), report::fixed(spacing_us, 1),
+                    report::fixed(rate.value_or(0.0), 4)});
   }
+  prediction.print();
   std::printf("\n(the paper's §IV-C conclusion: full-sized data packets are less likely\n"
               " to be reordered than compressed streams of minimum-sized packets)\n");
   return 0;

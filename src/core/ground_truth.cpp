@@ -1,0 +1,40 @@
+#include "core/ground_truth.hpp"
+
+#include "trace/analyzer.hpp"
+
+namespace reorder::core {
+
+TruthComparison compare_to_truth(const TestRunResult& result,
+                                 const trace::TraceBuffer& remote_ingress,
+                                 const trace::TraceBuffer& remote_egress) {
+  TruthComparison c;
+  for (const auto& s : result.samples) {
+    if (s.forward == Ordering::kInOrder || s.forward == Ordering::kReordered) {
+      const auto truth =
+          trace::pair_ground_truth(remote_ingress, s.fwd_uid_first, s.fwd_uid_second);
+      if (truth != trace::PairGroundTruth::kIncomplete) {
+        const bool said = s.forward == Ordering::kReordered;
+        const bool was = truth == trace::PairGroundTruth::kReordered;
+        c.reported_fwd += said ? 1 : 0;
+        c.actual_fwd += was ? 1 : 0;
+        c.fwd_mismatches += said != was ? 1 : 0;
+        ++c.verified_samples;
+      }
+    }
+    if ((s.reverse == Ordering::kInOrder || s.reverse == Ordering::kReordered) &&
+        s.rev_uid_first != 0 && s.rev_uid_second != 0) {
+      const auto truth = trace::pair_ground_truth(remote_egress, s.rev_uid_first, s.rev_uid_second);
+      if (truth != trace::PairGroundTruth::kIncomplete) {
+        const bool said = s.reverse == Ordering::kReordered;
+        const bool was = truth == trace::PairGroundTruth::kReordered;
+        c.reported_rev += said ? 1 : 0;
+        c.actual_rev += was ? 1 : 0;
+        c.rev_mismatches += said != was ? 1 : 0;
+        ++c.verified_samples;
+      }
+    }
+  }
+  return c;
+}
+
+}  // namespace reorder::core

@@ -1,0 +1,42 @@
+// Ground-truth validation of measurement verdicts (the §IV-A methodology):
+// every usable sample verdict a technique reports is checked against what
+// the packet traces actually show at the validation taps. Promoted out of
+// the bench-only header so the report layer and the tests consume the
+// same, tested implementation.
+#pragma once
+
+#include "core/verdict.hpp"
+#include "trace/trace.hpp"
+
+namespace reorder::core {
+
+/// Per-run comparison of reported verdicts against trace ground truth:
+/// reorder-event counts on each path plus per-sample disagreements.
+struct TruthComparison {
+  int reported_fwd{0};   ///< forward samples the test called reordered
+  int actual_fwd{0};     ///< of those verifiable, how many truly were
+  int reported_rev{0};
+  int actual_rev{0};
+  int fwd_mismatches{0};  ///< forward samples where test and trace disagree
+  int rev_mismatches{0};
+  int verified_samples{0};  ///< sample-direction verdicts with usable truth
+
+  int mismatches() const { return fwd_mismatches + rev_mismatches; }
+  /// Fraction of verified sample verdicts the traces confirmed (the
+  /// paper's "99.99% of samples correct" number); empty with no data.
+  std::optional<double> confirmed_fraction() const {
+    if (verified_samples == 0) return std::nullopt;
+    return 1.0 - static_cast<double>(mismatches()) / verified_samples;
+  }
+};
+
+/// Checks every usable sample of `result` against the traces: forward
+/// verdicts against the arrival order at the remote-ingress tap,
+/// reverse verdicts against the departure order at the remote-egress
+/// tap. Samples whose packets are missing from a trace are skipped (not
+/// counted as verified).
+TruthComparison compare_to_truth(const TestRunResult& result,
+                                 const trace::TraceBuffer& remote_ingress,
+                                 const trace::TraceBuffer& remote_egress);
+
+}  // namespace reorder::core

@@ -56,12 +56,13 @@ std::optional<double> TimeDomainProfile::interpolate_rate(util::Duration gap) co
   if (by_gap_.empty()) return std::nullopt;
   const std::int64_t g = gap.ns();
   const auto hi = by_gap_.lower_bound(g);
-  if (hi == by_gap_.end()) return std::prev(by_gap_.end())->second.rate();
-  if (hi->first == g || hi == by_gap_.begin()) return hi->second.rate();
+  // All-unusable buckets (every sample ambiguous/lost) interpolate as 0.
+  if (hi == by_gap_.end()) return std::prev(by_gap_.end())->second.rate_or(0.0);
+  if (hi->first == g || hi == by_gap_.begin()) return hi->second.rate_or(0.0);
   const auto lo = std::prev(hi);
   const double span = static_cast<double>(hi->first - lo->first);
   const double frac = static_cast<double>(g - lo->first) / span;
-  return lo->second.rate() * (1.0 - frac) + hi->second.rate() * frac;
+  return lo->second.rate_or(0.0) * (1.0 - frac) + hi->second.rate_or(0.0) * frac;
 }
 
 }  // namespace reorder::core

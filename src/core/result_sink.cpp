@@ -1,0 +1,14 @@
+#include "core/result_sink.hpp"
+
+namespace reorder::core {
+
+void publish_result(ResultSink& sink, std::string_view target, std::string_view test,
+                    util::TimePoint at, const TestRunResult& result,
+                    std::size_t measurement_index) {
+  for (std::size_t i = 0; i < result.samples.size(); ++i) {
+    sink.on_sample(SampleEvent{target, test, measurement_index, i, at, result.samples[i]});
+  }
+  sink.on_measurement(MeasurementEvent{target, test, measurement_index, at, result});
+}
+
+}  // namespace reorder::core

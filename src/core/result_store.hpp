@@ -1,0 +1,126 @@
+// Columnar result storage — the query side of the streaming pipeline.
+//
+// ResultStore is "just one sink": it subscribes to the same event stream
+// every other sink sees and lays the data out as structure-of-arrays —
+// per-measurement columns (timestamps, admissibility, per-direction
+// verdict counts) and per-sample columns (forward/reverse verdicts,
+// inter-packet gaps, start/completion timestamps) — indexed by
+// (target, test). The session-era query API (rate_series / aggregate /
+// compare) lives here, on top of the columns, so SurveyEngine's old
+// poll-only map is gone without any caller noticing.
+//
+// The columnar layout is what the ROADMAP's scale target wants: a survey
+// over millions of paths appends fixed-width rows, aggregation is a
+// linear scan over contiguous ints, and report emitters can stream any
+// column without touching the others.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "core/metrics.hpp"
+#include "core/result_sink.hpp"
+#include "stats/pair_difference.hpp"
+
+namespace reorder::core {
+
+class ResultStore final : public ResultSink {
+ public:
+  // ---------------------------------------------------------- sink side
+  void on_sample(const SampleEvent& e) override;
+  void on_measurement(const MeasurementEvent& e) override;
+
+  // --------------------------------------------------------------- shape
+  std::size_t measurement_count() const { return m_at_ns_.size(); }
+  std::size_t sample_count() const { return s_gap_ns_.size(); }
+  bool empty() const { return m_at_ns_.empty(); }
+  /// Distinct target names, in first-seen order.
+  std::vector<std::string> targets() const;
+  /// Distinct test names measured against `target`, in first-seen order.
+  std::vector<std::string> tests(const std::string& target) const;
+
+  // ---------------------------------------------------------- row access
+  /// A materialized view of one measurement row (cheap; references the
+  /// interned name strings).
+  struct MeasurementRow {
+    std::string_view target;
+    std::string_view test;
+    util::TimePoint at;
+    bool admissible{true};
+    ReorderEstimate forward;
+    ReorderEstimate reverse;
+    /// Range of this measurement's samples in the sample columns.
+    std::size_t samples_begin{0};
+    std::size_t samples_end{0};
+  };
+  MeasurementRow measurement(std::size_t i) const;
+
+  /// Read-only views over the per-sample columns (verdicts are Ordering
+  /// values stored as bytes).
+  struct SampleColumns {
+    std::span<const std::uint8_t> forward;
+    std::span<const std::uint8_t> reverse;
+    std::span<const std::int64_t> gap_ns;
+    std::span<const std::int64_t> started_ns;
+    std::span<const std::int64_t> completed_ns;
+  };
+  SampleColumns samples() const;
+
+  // ------------------------------------------------- session-era queries
+  /// Mean reordering rate per admissible measurement of (target, test),
+  /// in completion order — the paired series for the §IV-B comparison.
+  std::vector<double> rate_series(const std::string& target, const std::string& test,
+                                  bool forward) const;
+
+  /// Pooled estimate over every admissible measurement of (target, test).
+  ReorderEstimate aggregate(const std::string& target, const std::string& test,
+                            bool forward) const;
+
+  /// Paired comparison of two tests on one target (paper: 99.9% CI).
+  /// Series are truncated to the shorter length; needs >= 2 measurements.
+  stats::PairDifferenceResult compare(const std::string& target, const std::string& test_a,
+                                      const std::string& test_b, bool forward,
+                                      double confidence = 0.999) const;
+
+  /// The §IV-C time-domain profile of (target, test), assembled straight
+  /// from the gap and forward-verdict columns of admissible measurements.
+  TimeDomainProfile time_domain(const std::string& target, const std::string& test) const;
+
+ private:
+  std::uint32_t intern(std::string_view name);
+  /// Measurement row indices for (target, test), or nullptr.
+  const std::vector<std::size_t>* rows_for(const std::string& target,
+                                           const std::string& test) const;
+
+  // Interned names: ids index names_; lookup_ maps name -> id.
+  std::vector<std::string> names_;
+  std::map<std::string, std::uint32_t, std::less<>> lookup_;
+
+  // Measurement columns (one entry per completed measurement).
+  std::vector<std::uint32_t> m_target_;
+  std::vector<std::uint32_t> m_test_;
+  std::vector<std::int64_t> m_at_ns_;
+  std::vector<std::uint8_t> m_admissible_;
+  std::vector<ReorderEstimate> m_forward_;
+  std::vector<ReorderEstimate> m_reverse_;
+  std::vector<std::size_t> m_samples_begin_;
+  std::vector<std::size_t> m_samples_end_;
+
+  // Sample columns (structure-of-arrays over every published sample).
+  std::vector<std::uint8_t> s_forward_;
+  std::vector<std::uint8_t> s_reverse_;
+  std::vector<std::int64_t> s_gap_ns_;
+  std::vector<std::int64_t> s_started_ns_;
+  std::vector<std::int64_t> s_completed_ns_;
+  /// Sample rows already claimed by a measurement; rows past this point
+  /// belong to the measurement currently being published.
+  std::size_t samples_claimed_{0};
+
+  /// (target id, test id) -> measurement rows, in completion order.
+  std::map<std::pair<std::uint32_t, std::uint32_t>, std::vector<std::size_t>> by_key_;
+};
+
+}  // namespace reorder::core

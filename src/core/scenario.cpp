@@ -18,8 +18,7 @@ std::vector<double> ScenarioResult::rate_series(const std::string& test, bool fo
   for (const auto& m : measurements) {
     if (m.test != test || !m.result.admissible) continue;
     const ReorderEstimate& est = forward ? m.result.forward : m.result.reverse;
-    if (est.usable() == 0) continue;
-    out.push_back(est.rate());
+    if (const auto rate = est.rate()) out.push_back(*rate);
   }
   return out;
 }
@@ -31,12 +30,23 @@ const ScenarioMeasurement* ScenarioResult::first(const std::string& test) const 
   return nullptr;
 }
 
-ScenarioResult run_scenario(Testbed& bed, const ScenarioSpec& spec) {
+ScenarioResult run_scenario(Testbed& bed, const ScenarioSpec& spec, ResultSink* sink) {
   if (spec.gap_sweep.empty()) {
     throw std::invalid_argument{"run_scenario: '" + spec.name + "' has an empty gap_sweep"};
   }
   ScenarioResult out;
   out.scenario = spec.name;
+  // Bracket the stream like the survey engine does: sinks may key on
+  // survey_end to know a capture is complete.
+  if (sink != nullptr) {
+    sink->on_survey_begin(SurveyEvent{1, spec.rounds, 0, bed.loop().now()});
+  }
+  const auto finish = [&]() -> ScenarioResult {
+    if (sink != nullptr) {
+      sink->on_survey_end(SurveyEvent{1, spec.rounds, out.measurements.size(), bed.loop().now()});
+    }
+    return std::move(out);
+  };
 
   // One instance per technique, reused across the grid — connections and
   // validation state persist the way the paper's continuous prober's do.
@@ -55,21 +65,25 @@ ScenarioResult run_scenario(Testbed& bed, const ScenarioSpec& spec) {
         m.test = test->name();
         m.gap = gap;
         m.round = round;
+        const util::TimePoint started = bed.loop().now();
         m.result = bed.run_sync(*test, run, spec.deadline_s);
+        if (sink != nullptr) {
+          publish_result(*sink, spec.name, m.test, started, m.result, out.measurements.size());
+        }
         out.measurements.push_back(std::move(m));
         if (spec.stop_on_inadmissible && !out.measurements.back().result.admissible) {
-          return out;
+          return finish();
         }
         bed.loop().advance(spec.between_measurements);
       }
     }
   }
-  return out;
+  return finish();
 }
 
-ScenarioResult run_scenario(const ScenarioSpec& spec) {
+ScenarioResult run_scenario(const ScenarioSpec& spec, ResultSink* sink) {
   Testbed bed{spec.testbed};
-  return run_scenario(bed, spec);
+  return run_scenario(bed, spec, sink);
 }
 
 namespace scenarios {

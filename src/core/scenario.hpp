@@ -9,6 +9,7 @@
 #include <string>
 #include <vector>
 
+#include "core/result_sink.hpp"
 #include "core/test_registry.hpp"
 #include "core/testbed.hpp"
 
@@ -62,10 +63,13 @@ struct ScenarioResult {
 
 /// Runs the scenario on a caller-owned testbed (which keeps trace buffers
 /// and runtime handles accessible). The spec's testbed config is ignored.
-ScenarioResult run_scenario(Testbed& bed, const ScenarioSpec& spec);
+/// When `sink` is non-null every completed cell is published into it as
+/// it lands (per-sample events then the measurement, target = scenario
+/// name) — the same stream SurveyEngine produces.
+ScenarioResult run_scenario(Testbed& bed, const ScenarioSpec& spec, ResultSink* sink = nullptr);
 
 /// Builds a fresh Testbed from spec.testbed and runs the scenario on it.
-ScenarioResult run_scenario(const ScenarioSpec& spec);
+ScenarioResult run_scenario(const ScenarioSpec& spec, ResultSink* sink = nullptr);
 
 /// The canonical topologies of the paper's evaluation. Each returns a full
 /// spec (topology + matrix) that callers may tweak before running.

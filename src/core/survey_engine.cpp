@@ -6,7 +6,16 @@
 namespace reorder::core {
 
 SurveyEngine::SurveyEngine(sim::EventLoop& loop, Options options)
-    : loop_{loop}, options_{options} {}
+    : loop_{loop}, options_{options} {
+  sinks_.add(store_);
+}
+
+void SurveyEngine::add_sink(ResultSink& sink) {
+  if (running()) {
+    throw std::logic_error{"SurveyEngine: cannot attach sinks while a survey is running"};
+  }
+  sinks_.add(sink);
+}
 
 void SurveyEngine::add_target(const std::string& name, probe::ProbeHost& probe,
                               tcpip::Ipv4Address address, const std::vector<TestSpec>& tests) {
@@ -45,7 +54,12 @@ void SurveyEngine::start(const TestRunConfig& config, int rounds,
     if (rounds <= 0 || target->tests.empty()) continue;
     ++targets_in_flight_;
   }
+  participants_ = targets_in_flight_;
+  // Even an empty survey brackets its (empty) stream: sinks may key on
+  // survey_end to know a capture is complete.
+  sinks_.on_survey_begin(SurveyEvent{participants_, rounds_, measurements_.size(), loop_.now()});
   if (targets_in_flight_ == 0) {
+    sinks_.on_survey_end(SurveyEvent{participants_, rounds_, measurements_.size(), loop_.now()});
     if (on_complete_) on_complete_();
     return;
   }
@@ -60,7 +74,10 @@ void SurveyEngine::start(const TestRunConfig& config, int rounds,
 
 void SurveyEngine::begin_next_measurement(Target& target) {
   if (target.rounds_done >= rounds_) {
-    if (--targets_in_flight_ == 0 && on_complete_) on_complete_();
+    if (--targets_in_flight_ == 0) {
+      sinks_.on_survey_end(SurveyEvent{participants_, rounds_, measurements_.size(), loop_.now()});
+      if (on_complete_) on_complete_();
+    }
     return;
   }
   const std::uint64_t generation = ++target.generation;
@@ -105,7 +122,15 @@ void SurveyEngine::record(Target& target, util::TimePoint at, TestRunResult resu
   m.test = target.tests[target.next_test]->name();
   m.at = at;
   m.result = std::move(result);
-  by_key_[{m.target, m.test}].push_back(measurements_.size());
+  // Stream the completed measurement out before the next one begins: the
+  // store and every attached sink observe results in event-loop order,
+  // mid-survey, not after the fact.
+  publish_result(sinks_, m.target, m.test, m.at, m.result, measurements_.size());
+  // The per-sample payload now lives columnar in the store (and in any
+  // sink that kept it); the completion log retains only the summary so a
+  // long survey's dominant data is not resident twice.
+  m.result.samples.clear();
+  m.result.samples.shrink_to_fit();
   measurements_.push_back(std::move(m));
 }
 
@@ -122,46 +147,6 @@ const std::vector<Measurement>& SurveyEngine::run(const TestRunConfig& config, i
                                                          std::max<std::size_t>(1, max_tests));
   loop_.run_while(loop_.now() + bound + util::Duration::seconds(60), [&done] { return !done; });
   return measurements_;
-}
-
-std::vector<double> SurveyEngine::rate_series(const std::string& target, const std::string& test,
-                                              bool forward) const {
-  std::vector<double> out;
-  const auto it = by_key_.find({target, test});
-  if (it == by_key_.end()) return out;
-  for (const std::size_t idx : it->second) {
-    const Measurement& m = measurements_[idx];
-    if (!m.result.admissible) continue;
-    const ReorderEstimate& est = forward ? m.result.forward : m.result.reverse;
-    if (est.usable() == 0) continue;
-    out.push_back(est.rate());
-  }
-  return out;
-}
-
-ReorderEstimate SurveyEngine::aggregate(const std::string& target, const std::string& test,
-                                        bool forward) const {
-  ReorderEstimate total;
-  const auto it = by_key_.find({target, test});
-  if (it == by_key_.end()) return total;
-  for (const std::size_t idx : it->second) {
-    const Measurement& m = measurements_[idx];
-    if (!m.result.admissible) continue;
-    total += forward ? m.result.forward : m.result.reverse;
-  }
-  return total;
-}
-
-stats::PairDifferenceResult SurveyEngine::compare(const std::string& target,
-                                                  const std::string& test_a,
-                                                  const std::string& test_b, bool forward,
-                                                  double confidence) const {
-  auto a = rate_series(target, test_a, forward);
-  auto b = rate_series(target, test_b, forward);
-  const std::size_t n = std::min(a.size(), b.size());
-  a.resize(n);
-  b.resize(n);
-  return stats::pair_difference_test(a, b, confidence);
 }
 
 }  // namespace reorder::core

@@ -4,25 +4,33 @@
 // per target on a single event loop — each target advances through its
 // test cycle via completion callbacks, so measurements against many hosts
 // interleave in virtual time exactly the way a production surveyor
-// interleaves them in wall time. The result store is keyed by
-// (target, test) and the session-era query API (rate_series / aggregate /
-// compare) is preserved on top of it.
+// interleaves them in wall time.
+//
+// Results stream: every completed measurement is published to the
+// attached ResultSinks (per-sample events, then the measurement event) in
+// event-loop order, while the survey is still running. The engine's own
+// columnar ResultStore is just one such sink; the session-era query API
+// (rate_series / aggregate / compare) delegates to it.
 #pragma once
 
 #include <functional>
-#include <map>
 #include <memory>
 #include <string>
 #include <vector>
 
 #include "core/reorder_test.hpp"
+#include "core/result_sink.hpp"
+#include "core/result_store.hpp"
 #include "core/test_registry.hpp"
 #include "netsim/event_loop.hpp"
 #include "stats/pair_difference.hpp"
 
 namespace reorder::core {
 
-/// One completed measurement in a survey.
+/// One completed measurement in a survey. The engine's completion log
+/// keeps only the summary: `result.samples` is emptied after the
+/// measurement streams to the sinks — per-sample data lives columnar in
+/// SurveyEngine::store() (and in any sink that retained it).
 struct Measurement {
   std::string target;
   std::string test;
@@ -45,6 +53,15 @@ class SurveyEngine {
 
   explicit SurveyEngine(sim::EventLoop& loop) : SurveyEngine{loop, Options{}} {}
   SurveyEngine(sim::EventLoop& loop, Options options);
+
+  /// Attaches a streaming sink (not owned; must outlive the engine). The
+  /// engine's own ResultStore is always the first sink; added sinks see
+  /// every event after it, in attachment order. Must not be called while
+  /// a survey is running.
+  void add_sink(ResultSink& sink);
+
+  /// The columnar store every query below reads from.
+  const ResultStore& store() const { return store_; }
 
   /// Registers a target whose test suite is built through the global
   /// TestRegistry.
@@ -77,17 +94,23 @@ class SurveyEngine {
   /// Mean reordering rate per admissible measurement of (target, test), in
   /// time order — the paired series for the §IV-B comparison.
   std::vector<double> rate_series(const std::string& target, const std::string& test,
-                                  bool forward) const;
+                                  bool forward) const {
+    return store_.rate_series(target, test, forward);
+  }
 
   /// Aggregate estimate over every measurement of (target, test).
   ReorderEstimate aggregate(const std::string& target, const std::string& test,
-                            bool forward) const;
+                            bool forward) const {
+    return store_.aggregate(target, test, forward);
+  }
 
   /// Paired comparison of two tests on one target (paper: 99.9% CI).
   /// Series are truncated to the shorter length; needs >= 2 measurements.
   stats::PairDifferenceResult compare(const std::string& target, const std::string& test_a,
                                       const std::string& test_b, bool forward,
-                                      double confidence = 0.999) const;
+                                      double confidence = 0.999) const {
+    return store_.compare(target, test_a, test_b, forward, confidence);
+  }
 
  private:
   struct Target {
@@ -111,15 +134,18 @@ class SurveyEngine {
   sim::EventLoop& loop_;
   Options options_;
   std::vector<std::unique_ptr<Target>> targets_;
+  /// Completion-order log (the legacy poll API); queries go to store_.
   std::vector<Measurement> measurements_;
-  /// (target, test) -> indices into measurements_, in completion order.
-  std::map<std::pair<std::string, std::string>, std::vector<std::size_t>> by_key_;
+  ResultStore store_;
+  SinkFanout sinks_;
 
   TestRunConfig config_{};
   int rounds_{0};
   util::Duration between_{};
   std::function<void()> on_complete_;
   std::size_t targets_in_flight_{0};
+  /// Targets participating in the current survey (for lifecycle events).
+  std::size_t participants_{0};
 };
 
 }  // namespace reorder::core

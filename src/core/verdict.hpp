@@ -2,6 +2,7 @@
 #pragma once
 
 #include <cstdint>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -58,9 +59,16 @@ struct ReorderEstimate {
   int usable() const { return in_order + reordered; }
   int total() const { return usable() + ambiguous + lost; }
   /// Reordering rate over usable samples (the paper's reported quantity).
-  double rate() const {
-    return usable() > 0 ? static_cast<double>(reordered) / usable() : 0.0;
+  /// Empty when no sample was usable — "no data" is not a clean path, and
+  /// conflating the two (the old 0.0 return) silently misfiled dead
+  /// measurements as reorder-free ones.
+  std::optional<double> rate() const {
+    if (usable() == 0) return std::nullopt;
+    return static_cast<double>(reordered) / usable();
   }
+  /// rate(), or `fallback` when there is no usable sample — for display
+  /// paths that render the no-data case as a number.
+  double rate_or(double fallback = 0.0) const { return rate().value_or(fallback); }
   /// Wilson interval on the rate at normal quantile z.
   stats::Proportion proportion(double z = 1.96) const {
     return stats::wilson_interval(reordered, usable(), z);

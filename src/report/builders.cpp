@@ -1,0 +1,219 @@
+#include "report/builders.hpp"
+
+namespace reorder::report {
+
+// ------------------------------------------------------- RateCdfReport
+
+void RateCdfReport::add_path(double forward_rate, double reverse_rate) {
+  forward_.add(forward_rate);
+  reverse_.add(reverse_rate);
+  ++paths_;
+  if (forward_rate > 0.0 || reverse_rate > 0.0) ++paths_with_reordering_;
+}
+
+Table RateCdfReport::table() const {
+  Table t = Table::with_headers({"rate", "CDF(forward)", "CDF(reverse)"});
+  for (const double r : thresholds_) {
+    t.row({fixed(r, 3), fixed(forward_.cdf(r), 2), fixed(reverse_.cdf(r), 2)});
+  }
+  return t;
+}
+
+void RateCdfReport::emit_jsonl(JsonlWriter& out) const {
+  for (const double r : thresholds_) {
+    Json row = Json::object();
+    row.set("type", "row");
+    row.set("report", "rate_cdf");
+    row.set("rate", r);
+    row.set("fwd_cdf", forward_.cdf(r));
+    row.set("rev_cdf", reverse_.cdf(r));
+    out.write(row);
+  }
+  Json summary = Json::object();
+  summary.set("type", "summary");
+  summary.set("report", "rate_cdf");
+  summary.set("paths", paths_);
+  summary.set("paths_with_reordering", paths_with_reordering_);
+  if (!forward_.empty()) {
+    summary.set("median_fwd_rate", forward_.quantile(0.5));
+    summary.set("median_rev_rate", reverse_.quantile(0.5));
+  }
+  out.write(summary);
+}
+
+// ---------------------------------------------------- TimeDomainReport
+
+Table TimeDomainReport::table() const {
+  Table t = Table::with_headers({"gap(us)", "samples", "reordered", "rate"});
+  for (const auto& p : profile_.points()) {
+    if (table_every_us_ > 1 && p.gap.us() % table_every_us_ != 0) continue;
+    t.row({integer(p.gap.us()), integer(p.estimate.usable()), integer(p.estimate.reordered),
+           fixed(p.estimate.rate_or(0.0), 4)});
+  }
+  return t;
+}
+
+void TimeDomainReport::emit_jsonl(JsonlWriter& out) const {
+  for (const auto& p : profile_.points()) {
+    Json row = Json::object();
+    row.set("type", "row");
+    row.set("report", "time_domain");
+    row.set("gap_us", p.gap.us());
+    row.set("in_order", p.estimate.in_order);
+    row.set("reordered", p.estimate.reordered);
+    row.set("ambiguous", p.estimate.ambiguous);
+    row.set("lost", p.estimate.lost);
+    if (const auto rate = p.estimate.rate()) row.set("rate", *rate);
+    out.write(row);
+  }
+  Json summary = Json::object();
+  summary.set("type", "summary");
+  summary.set("report", "time_domain");
+  summary.set("points", profile_.distinct_gaps());
+  if (const auto r0 = profile_.interpolate_rate(util::Duration::nanos(0))) {
+    summary.set("back_to_back_rate", *r0);
+  }
+  out.write(summary);
+}
+
+// ------------------------------------------------ PairDifferenceReport
+
+PairDifferenceReport::Pair& PairDifferenceReport::pair(const std::string& test_a,
+                                                       const std::string& test_b) {
+  for (auto& p : pairs_) {
+    if (p.test_a == test_a && p.test_b == test_b) return p;
+  }
+  pairs_.push_back(Pair{test_a, test_b, 0, 0, 0, 0});
+  return pairs_.back();
+}
+
+void PairDifferenceReport::add(const std::string& test_a, const std::string& test_b,
+                               bool forward, bool null_supported) {
+  Pair& p = pair(test_a, test_b);
+  if (forward) {
+    ++p.fwd_total;
+    p.fwd_supported += null_supported ? 1 : 0;
+  } else {
+    ++p.rev_total;
+    p.rev_supported += null_supported ? 1 : 0;
+  }
+}
+
+namespace {
+
+std::string pct_or_dash(int supported, int total) {
+  if (total == 0) return "-";
+  return percent(static_cast<double>(supported) / total, 0);
+}
+
+}  // namespace
+
+Table PairDifferenceReport::table() const {
+  Table t = Table::with_headers({"test pair", "fwd null-ok %", "rev null-ok %"});
+  for (const auto& p : pairs_) {
+    t.row({p.test_a + " vs " + p.test_b, pct_or_dash(p.fwd_supported, p.fwd_total),
+           pct_or_dash(p.rev_supported, p.rev_total)});
+  }
+  return t;
+}
+
+void PairDifferenceReport::emit_jsonl(JsonlWriter& out) const {
+  for (const auto& p : pairs_) {
+    Json row = Json::object();
+    row.set("type", "row");
+    row.set("report", "pair_difference");
+    row.set("test_a", p.test_a);
+    row.set("test_b", p.test_b);
+    row.set("fwd_supported", p.fwd_supported);
+    row.set("fwd_total", p.fwd_total);
+    row.set("rev_supported", p.rev_supported);
+    row.set("rev_total", p.rev_total);
+    out.write(row);
+  }
+}
+
+// --------------------------------------------------- ValidationReport
+
+void ValidationReport::add(Row row) { rows_.push_back(std::move(row)); }
+
+std::optional<double> ValidationReport::Summary::confirmed_fraction() const {
+  if (total_samples == 0) return std::nullopt;
+  return 1.0 - static_cast<double>(mismatched_samples) / static_cast<double>(total_samples);
+}
+
+ValidationReport::Summary ValidationReport::summary(int samples_per_two_way_test) const {
+  Summary s;
+  for (const auto& row : rows_) {
+    ++s.tests_run;
+    if (row.fwd_p.has_value()) {
+      // Two-way test: both directions verified against traces.
+      const int fwd_diff = row.cmp.reported_fwd - row.cmp.actual_fwd;
+      if (fwd_diff != 0 || row.cmp.fwd_mismatches != 0) ++s.fwd_discrepant_tests;
+      s.total_samples += 2L * samples_per_two_way_test;
+      s.mismatched_samples += row.cmp.fwd_mismatches + row.cmp.rev_mismatches;
+    } else {
+      // One-way test (data transfer): only the reverse path is measured.
+      s.total_samples += row.cmp.verified_samples;
+      s.mismatched_samples += row.cmp.rev_mismatches;
+    }
+    const int rev_diff = row.cmp.reported_rev - row.cmp.actual_rev;
+    if (rev_diff != 0 || row.cmp.rev_mismatches != 0) ++s.rev_discrepant_tests;
+  }
+  return s;
+}
+
+Table ValidationReport::table() const {
+  Table t{std::vector<Column>{{"test", Align::kLeft},
+                              {"fwd%", Align::kRight},
+                              {"rev%", Align::kRight},
+                              {"rep.fwd", Align::kRight},
+                              {"act.fwd", Align::kRight},
+                              {"diff", Align::kRight},
+                              {"rep.rev", Align::kRight},
+                              {"act.rev", Align::kRight},
+                              {"diff", Align::kRight}}};
+  for (const auto& row : rows_) {
+    const bool two_way = row.fwd_p.has_value();
+    t.row({row.test, two_way ? fixed(*row.fwd_p * 100, 0) : "-",
+           row.rev_p.has_value() ? fixed(*row.rev_p * 100, 0) : "-",
+           two_way ? integer(row.cmp.reported_fwd) : "-",
+           two_way ? integer(row.cmp.actual_fwd) : "-",
+           two_way ? integer(row.cmp.reported_fwd - row.cmp.actual_fwd) : "-",
+           integer(row.cmp.reported_rev), integer(row.cmp.actual_rev),
+           integer(row.cmp.reported_rev - row.cmp.actual_rev)});
+  }
+  return t;
+}
+
+void ValidationReport::emit_jsonl(JsonlWriter& out, int samples_per_two_way_test) const {
+  for (const auto& row : rows_) {
+    Json j = Json::object();
+    j.set("type", "row");
+    j.set("report", "validation");
+    j.set("test", row.test);
+    if (row.fwd_p.has_value()) j.set("fwd_p", *row.fwd_p);
+    if (row.rev_p.has_value()) j.set("rev_p", *row.rev_p);
+    j.set("admissible", row.admissible);
+    j.set("reported_fwd", row.cmp.reported_fwd);
+    j.set("actual_fwd", row.cmp.actual_fwd);
+    j.set("fwd_mismatches", row.cmp.fwd_mismatches);
+    j.set("reported_rev", row.cmp.reported_rev);
+    j.set("actual_rev", row.cmp.actual_rev);
+    j.set("rev_mismatches", row.cmp.rev_mismatches);
+    j.set("verified_samples", row.cmp.verified_samples);
+    out.write(j);
+  }
+  const Summary s = summary(samples_per_two_way_test);
+  Json j = Json::object();
+  j.set("type", "summary");
+  j.set("report", "validation");
+  j.set("tests_run", s.tests_run);
+  j.set("fwd_discrepant_tests", s.fwd_discrepant_tests);
+  j.set("rev_discrepant_tests", s.rev_discrepant_tests);
+  j.set("total_samples", s.total_samples);
+  j.set("mismatched_samples", s.mismatched_samples);
+  if (const auto confirmed = s.confirmed_fraction()) j.set("confirmed_fraction", *confirmed);
+  out.write(j);
+}
+
+}  // namespace reorder::report

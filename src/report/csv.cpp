@@ -1,0 +1,27 @@
+#include "report/csv.hpp"
+
+#include <ostream>
+
+namespace reorder::report {
+
+std::string csv_escape(std::string_view field) {
+  const bool needs_quoting = field.find_first_of(",\"\n\r") != std::string_view::npos;
+  if (!needs_quoting) return std::string{field};
+  std::string out{"\""};
+  for (const char c : field) {
+    if (c == '"') out += '"';
+    out += c;
+  }
+  out += '"';
+  return out;
+}
+
+void write_csv_row(std::ostream& out, const std::vector<std::string>& fields) {
+  for (std::size_t i = 0; i < fields.size(); ++i) {
+    if (i > 0) out << ',';
+    out << csv_escape(fields[i]);
+  }
+  out << '\n';
+}
+
+}  // namespace reorder::report

@@ -1,0 +1,17 @@
+// RFC-4180-style CSV emission (quoting only when needed).
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace reorder::report {
+
+/// Quotes a field if it contains a comma, quote or newline.
+std::string csv_escape(std::string_view field);
+
+/// Writes one comma-separated, newline-terminated row.
+void write_csv_row(std::ostream& out, const std::vector<std::string>& fields);
+
+}  // namespace reorder::report

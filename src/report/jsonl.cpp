@@ -1,0 +1,36 @@
+#include "report/jsonl.hpp"
+
+#include <istream>
+#include <ostream>
+#include <sstream>
+#include <stdexcept>
+
+namespace reorder::report {
+
+void JsonlWriter::write(const Json& value) {
+  out_ << value.dump() << '\n';
+  ++lines_;
+}
+
+std::vector<Json> read_jsonl(std::istream& in) {
+  std::vector<Json> out;
+  std::string line;
+  std::size_t line_no = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    if (line.find_first_not_of(" \t\r") == std::string::npos) continue;
+    auto v = Json::parse(line);
+    if (!v) {
+      throw std::runtime_error{"read_jsonl: malformed JSON on line " + std::to_string(line_no)};
+    }
+    out.push_back(std::move(*v));
+  }
+  return out;
+}
+
+std::vector<Json> read_jsonl_text(std::string_view text) {
+  std::istringstream in{std::string{text}};
+  return read_jsonl(in);
+}
+
+}  // namespace reorder::report

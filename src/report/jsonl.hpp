@@ -1,0 +1,31 @@
+// JSON Lines emission and ingestion: one compact JSON value per line —
+// the machine-readable side of every bench artifact (BENCH_*.jsonl) and
+// the wire format of the streaming JsonlResultSink.
+#pragma once
+
+#include <iosfwd>
+#include <vector>
+
+#include "report/json.hpp"
+
+namespace reorder::report {
+
+/// Writes one value per line to a caller-owned stream.
+class JsonlWriter {
+ public:
+  explicit JsonlWriter(std::ostream& out) : out_{out} {}
+
+  void write(const Json& value);
+  std::size_t lines_written() const { return lines_; }
+
+ private:
+  std::ostream& out_;
+  std::size_t lines_{0};
+};
+
+/// Parses a JSONL stream; blank lines are skipped, malformed lines throw
+/// std::runtime_error (with the 1-based line number).
+std::vector<Json> read_jsonl(std::istream& in);
+std::vector<Json> read_jsonl_text(std::string_view text);
+
+}  // namespace reorder::report

@@ -1,0 +1,83 @@
+#include "report/sinks.hpp"
+
+namespace reorder::report {
+
+namespace {
+
+Json survey_json(const char* type, const core::SurveyEvent& e) {
+  Json j = Json::object();
+  j.set("type", type);
+  j.set("targets", e.targets);
+  j.set("rounds", e.rounds);
+  j.set("measurements", e.measurements);
+  j.set("at_ns", e.at.ns());
+  return j;
+}
+
+}  // namespace
+
+Json to_json(const core::ReorderEstimate& estimate) {
+  Json j = Json::object();
+  j.set("in_order", estimate.in_order);
+  j.set("reordered", estimate.reordered);
+  j.set("ambiguous", estimate.ambiguous);
+  j.set("lost", estimate.lost);
+  return j;
+}
+
+Json to_json(const core::SampleEvent& e) {
+  Json j = Json::object();
+  j.set("type", "sample");
+  j.set("target", e.target);
+  j.set("test", e.test);
+  j.set("measurement", e.measurement_index);
+  j.set("sample", e.sample_index);
+  j.set("fwd", core::to_string(e.sample.forward));
+  j.set("rev", core::to_string(e.sample.reverse));
+  j.set("gap_ns", e.sample.gap.ns());
+  j.set("started_ns", e.sample.started.ns());
+  j.set("completed_ns", e.sample.completed.ns());
+  return j;
+}
+
+Json to_json(const core::MeasurementEvent& e) {
+  Json j = Json::object();
+  j.set("type", "measurement");
+  j.set("target", e.target);
+  j.set("test", e.test);
+  j.set("measurement", e.measurement_index);
+  j.set("at_ns", e.at.ns());
+  j.set("admissible", e.result.admissible);
+  j.set("samples", e.result.samples.size());
+  j.set("note", e.result.note);
+  j.set("fwd", to_json(e.result.forward));
+  j.set("rev", to_json(e.result.reverse));
+  return j;
+}
+
+core::ReorderEstimate estimate_from_json(const Json& j) {
+  core::ReorderEstimate e;
+  e.in_order = static_cast<int>(j.at("in_order").as_int());
+  e.reordered = static_cast<int>(j.at("reordered").as_int());
+  e.ambiguous = static_cast<int>(j.at("ambiguous").as_int());
+  e.lost = static_cast<int>(j.at("lost").as_int());
+  return e;
+}
+
+void JsonlResultSink::on_survey_begin(const core::SurveyEvent& e) {
+  if (options_.lifecycle) out_.write(survey_json("survey_begin", e));
+}
+
+void JsonlResultSink::on_sample(const core::SampleEvent& e) {
+  if (options_.samples) out_.write(to_json(e));
+}
+
+void JsonlResultSink::on_measurement(const core::MeasurementEvent& e) {
+  if (options_.measurements) out_.write(to_json(e));
+}
+
+void JsonlResultSink::on_survey_end(const core::SurveyEvent& e) {
+  if (options_.lifecycle) out_.write(survey_json("survey_end", e));
+}
+
+}  // namespace reorder::report

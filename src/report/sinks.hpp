@@ -1,0 +1,59 @@
+// ResultSink implementations that serialize the measurement event stream.
+//
+// JsonlResultSink is the canonical machine-readable consumer: every
+// survey event becomes one JSON object per line, written as it arrives
+// (streaming — nothing is buffered until "the end"). The line schema is
+// documented in the README ("JSONL schema") and kept parseable back into
+// estimates by the helpers below, which the golden round-trip tests use.
+//
+//   {"type":"survey_begin","targets":3,"rounds":4,"at_ns":0}
+//   {"type":"sample","target":"host-0","test":"syn","measurement":0,
+//    "sample":2,"fwd":"reordered","rev":"in-order","gap_ns":0,
+//    "started_ns":..,"completed_ns":..}
+//   {"type":"measurement","target":"host-0","test":"syn","measurement":0,
+//    "at_ns":0,"admissible":true,"samples":15,"note":"",
+//    "fwd":{"in_order":13,"reordered":2,"ambiguous":0,"lost":0},
+//    "rev":{...}}
+//   {"type":"survey_end","targets":3,"rounds":4,"measurements":24,...}
+//
+// Rates are deliberately not stored — they are derivable from the counts,
+// and re-deriving them is exactly what the round-trip test checks.
+#pragma once
+
+#include "core/result_sink.hpp"
+#include "report/jsonl.hpp"
+
+namespace reorder::report {
+
+class JsonlResultSink final : public core::ResultSink {
+ public:
+  struct Options {
+    bool samples{true};       ///< emit per-sample lines
+    bool measurements{true};  ///< emit per-measurement lines
+    bool lifecycle{true};     ///< emit survey_begin / survey_end lines
+  };
+
+  explicit JsonlResultSink(JsonlWriter& out) : out_{out} {}
+  JsonlResultSink(JsonlWriter& out, Options options) : out_{out}, options_{options} {}
+
+  void on_survey_begin(const core::SurveyEvent& e) override;
+  void on_sample(const core::SampleEvent& e) override;
+  void on_measurement(const core::MeasurementEvent& e) override;
+  void on_survey_end(const core::SurveyEvent& e) override;
+
+ private:
+  JsonlWriter& out_;
+  Options options_;
+};
+
+// ------------------------------------------- event <-> JSON conversions
+
+Json to_json(const core::ReorderEstimate& estimate);
+Json to_json(const core::SampleEvent& e);
+Json to_json(const core::MeasurementEvent& e);
+
+/// Rebuilds an estimate from a to_json(ReorderEstimate) object.
+/// Throws (std::out_of_range / std::runtime_error) on schema mismatch.
+core::ReorderEstimate estimate_from_json(const Json& j);
+
+}  // namespace reorder::report

@@ -1,0 +1,138 @@
+// Tests for the core::ground_truth validation module (promoted out of the
+// untested bench-only header): reported verdicts checked against synthetic
+// trace captures, and against a real testbed run where the configured
+// reordering process is the known truth.
+#include <gtest/gtest.h>
+
+#include "core/ground_truth.hpp"
+#include "core/test_registry.hpp"
+#include "core/testbed.hpp"
+
+namespace reorder::core {
+namespace {
+
+trace::TraceBuffer trace_of(std::initializer_list<std::uint64_t> uids_in_arrival_order) {
+  trace::TraceBuffer buffer;
+  std::int64_t t = 0;
+  for (const std::uint64_t uid : uids_in_arrival_order) {
+    tcpip::Packet pkt;
+    pkt.uid = uid;
+    buffer.record(util::TimePoint::from_ns(++t), pkt);
+  }
+  return buffer;
+}
+
+SampleResult sample(Ordering fwd, Ordering rev, std::uint64_t f1, std::uint64_t f2,
+                    std::uint64_t r1 = 0, std::uint64_t r2 = 0) {
+  SampleResult s;
+  s.forward = fwd;
+  s.reverse = rev;
+  s.fwd_uid_first = f1;
+  s.fwd_uid_second = f2;
+  s.rev_uid_first = r1;
+  s.rev_uid_second = r2;
+  return s;
+}
+
+TEST(GroundTruth, AgreementCountsWithoutMismatches) {
+  // Ingress saw 1,2 in order and 4 before 3 (a true exchange); egress saw
+  // the reply pairs in order.
+  const auto ingress = trace_of({1, 2, 4, 3});
+  const auto egress = trace_of({10, 11, 12, 13});
+
+  TestRunResult result;
+  result.samples.push_back(sample(Ordering::kInOrder, Ordering::kInOrder, 1, 2, 10, 11));
+  result.samples.push_back(sample(Ordering::kReordered, Ordering::kInOrder, 3, 4, 12, 13));
+
+  const TruthComparison c = compare_to_truth(result, ingress, egress);
+  EXPECT_EQ(c.reported_fwd, 1);
+  EXPECT_EQ(c.actual_fwd, 1);
+  EXPECT_EQ(c.fwd_mismatches, 0);
+  EXPECT_EQ(c.reported_rev, 0);
+  EXPECT_EQ(c.actual_rev, 0);
+  EXPECT_EQ(c.rev_mismatches, 0);
+  EXPECT_EQ(c.verified_samples, 4);  // 2 forward + 2 reverse verdicts
+  ASSERT_TRUE(c.confirmed_fraction().has_value());
+  EXPECT_DOUBLE_EQ(*c.confirmed_fraction(), 1.0);
+}
+
+TEST(GroundTruth, DisagreementsCountAsMismatches) {
+  const auto ingress = trace_of({2, 1});  // truly exchanged
+  const auto egress = trace_of({10, 11});
+
+  TestRunResult result;
+  // The test wrongly said in-order forward, wrongly said reordered reverse.
+  result.samples.push_back(sample(Ordering::kInOrder, Ordering::kReordered, 1, 2, 10, 11));
+
+  const TruthComparison c = compare_to_truth(result, ingress, egress);
+  EXPECT_EQ(c.reported_fwd, 0);
+  EXPECT_EQ(c.actual_fwd, 1);
+  EXPECT_EQ(c.fwd_mismatches, 1);
+  EXPECT_EQ(c.reported_rev, 1);
+  EXPECT_EQ(c.actual_rev, 0);
+  EXPECT_EQ(c.rev_mismatches, 1);
+  EXPECT_EQ(c.mismatches(), 2);
+  EXPECT_EQ(c.verified_samples, 2);
+  EXPECT_DOUBLE_EQ(*c.confirmed_fraction(), 0.0);
+}
+
+TEST(GroundTruth, SamplesMissingFromTracesAreSkipped) {
+  const auto ingress = trace_of({1});  // second packet never reached the tap
+  const auto egress = trace_of({});
+
+  TestRunResult result;
+  result.samples.push_back(sample(Ordering::kInOrder, Ordering::kInOrder, 1, 2, 10, 11));
+
+  const TruthComparison c = compare_to_truth(result, ingress, egress);
+  EXPECT_EQ(c.verified_samples, 0);
+  EXPECT_EQ(c.mismatches(), 0);
+  EXPECT_FALSE(c.confirmed_fraction().has_value());
+}
+
+TEST(GroundTruth, AmbiguousLostAndUidlessVerdictsAreNotVerified) {
+  const auto ingress = trace_of({1, 2});
+  const auto egress = trace_of({10, 11});
+
+  TestRunResult result;
+  // Ambiguous forward and a reverse verdict with no reply uids (e.g. the
+  // SYN test's unanswered second probe): neither is verifiable.
+  result.samples.push_back(sample(Ordering::kAmbiguous, Ordering::kInOrder, 1, 2, 0, 0));
+  result.samples.push_back(sample(Ordering::kLost, Ordering::kAmbiguous, 1, 2, 10, 11));
+
+  const TruthComparison c = compare_to_truth(result, ingress, egress);
+  EXPECT_EQ(c.verified_samples, 0);
+}
+
+TEST(GroundTruth, TestbedRunMatchesConfiguredProcess) {
+  // End to end: on a clean path every reported verdict must be confirmed
+  // and zero reorderings observed; with a forward swap shaper the
+  // reported events must equal what the ingress tap recorded.
+  for (const double swap_p : {0.0, 0.3}) {
+    TestbedConfig cfg;
+    cfg.seed = 4242;
+    cfg.forward.swap_probability = swap_p;
+    Testbed bed{cfg};
+    auto test = make_registered_test(bed.probe(), bed.remote_addr(), TestSpec{"syn"});
+    TestRunConfig run;
+    run.samples = 60;
+    const auto result = bed.run_sync(*test, run);
+    ASSERT_TRUE(result.admissible);
+
+    const TruthComparison c =
+        compare_to_truth(result, bed.remote_ingress_trace(), bed.remote_egress_trace());
+    EXPECT_GT(c.verified_samples, 0);
+    EXPECT_EQ(c.fwd_mismatches, 0) << "swap_p=" << swap_p;
+    EXPECT_EQ(c.rev_mismatches, 0) << "swap_p=" << swap_p;
+    EXPECT_EQ(c.reported_fwd, c.actual_fwd);
+    EXPECT_EQ(c.reported_fwd, result.forward.reordered);
+    if (swap_p == 0.0) {
+      EXPECT_EQ(c.actual_fwd, 0);
+    }
+    if (swap_p > 0.0) {
+      EXPECT_GT(c.actual_fwd, 0);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace reorder::core

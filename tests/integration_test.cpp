@@ -140,7 +140,7 @@ TEST(Consistency, TestsAgreeOnTheSamePath) {
     const auto result = bed.run_sync(*test, run);
     ASSERT_TRUE(result.admissible) << names[t] << ": " << result.note;
     ASSERT_GT(result.forward.usable(), 100) << names[t];
-    rates[t] = result.forward.rate();
+    rates[t] = result.forward.rate_or(0.0);
     EXPECT_NEAR(rates[t], p, 0.12) << names[t];
   }
   EXPECT_NEAR(rates[0], rates[1], 0.15);
@@ -160,7 +160,7 @@ TEST(Consistency, AsymmetricPathsMeasureAsymmetrically) {
   run.samples = 200;
   const auto result = bed.run_sync(*test, run);
   ASSERT_TRUE(result.admissible) << result.note;
-  EXPECT_GT(result.forward.rate(), result.reverse.rate() + 0.1)
+  EXPECT_GT(result.forward.rate_or(0.0), result.reverse.rate_or(0.0) + 0.1)
       << "one-way measurement must expose the asymmetry (paper §II)";
 }
 

@@ -21,13 +21,22 @@ TEST(ReorderEstimate, RateOverUsableSamplesOnly) {
   e.add(Ordering::kLost);
   EXPECT_EQ(e.usable(), 3);
   EXPECT_EQ(e.total(), 5);
-  EXPECT_NEAR(e.rate(), 1.0 / 3.0, 1e-12);
+  ASSERT_TRUE(e.rate().has_value());
+  EXPECT_NEAR(*e.rate(), 1.0 / 3.0, 1e-12);
 }
 
-TEST(ReorderEstimate, EmptyRateIsZero) {
-  const ReorderEstimate e;
-  EXPECT_DOUBLE_EQ(e.rate(), 0.0);
+TEST(ReorderEstimate, EmptyRateIsNoData) {
+  // No usable sample is "no data", not a clean path: rate() must not
+  // return a number, and the display fallback must be explicit.
+  ReorderEstimate e;
+  EXPECT_FALSE(e.rate().has_value());
+  EXPECT_DOUBLE_EQ(e.rate_or(0.0), 0.0);
+  EXPECT_DOUBLE_EQ(e.rate_or(-1.0), -1.0);
   EXPECT_EQ(e.proportion().trials, 0);
+  // Ambiguous/lost samples alone still do not constitute data.
+  e.add(Ordering::kAmbiguous);
+  e.add(Ordering::kLost);
+  EXPECT_FALSE(e.rate().has_value());
 }
 
 TEST(ReorderEstimate, ProportionMatchesWilson) {
@@ -156,6 +165,40 @@ TEST(TimeDomain, EmptyProfileInterpolatesToNothing) {
   EXPECT_FALSE(profile.interpolate_rate(Duration::micros(1)).has_value());
 }
 
+TEST(TimeDomain, InterpolationClampsBelowTheMeasuredRange) {
+  // Profile measured only at 100us and 200us; a query below the smallest
+  // gap must clamp to the first point, not extrapolate through zero.
+  TimeDomainProfile profile;
+  for (int i = 0; i < 3; ++i) profile.add(Duration::micros(100), Ordering::kReordered);
+  for (int i = 0; i < 7; ++i) profile.add(Duration::micros(100), Ordering::kInOrder);
+  for (int i = 0; i < 10; ++i) profile.add(Duration::micros(200), Ordering::kInOrder);
+
+  EXPECT_NEAR(*profile.interpolate_rate(Duration::micros(0)), 0.3, 1e-9);
+  EXPECT_NEAR(*profile.interpolate_rate(Duration::micros(99)), 0.3, 1e-9);
+  // On-grid queries hit the measured estimate exactly.
+  EXPECT_NEAR(*profile.interpolate_rate(Duration::micros(100)), 0.3, 1e-9);
+  EXPECT_NEAR(*profile.interpolate_rate(Duration::micros(200)), 0.0, 1e-9);
+}
+
+TEST(TimeDomain, SinglePointProfileClampsEverywhere) {
+  TimeDomainProfile profile;
+  profile.add(Duration::micros(50), Ordering::kReordered);
+  profile.add(Duration::micros(50), Ordering::kInOrder);
+  for (const std::int64_t us : {0, 49, 50, 51, 5000}) {
+    EXPECT_NEAR(*profile.interpolate_rate(Duration::micros(us)), 0.5, 1e-9) << us << "us";
+  }
+}
+
+TEST(TimeDomain, AllUnusableBucketInterpolatesAsZero) {
+  // A gap bucket whose every sample was ambiguous or lost has no rate of
+  // its own; interpolation treats it as 0 rather than poisoning the curve.
+  TimeDomainProfile profile;
+  profile.add(Duration::micros(10), Ordering::kAmbiguous);
+  profile.add(Duration::micros(10), Ordering::kLost);
+  ASSERT_FALSE(profile.at(Duration::micros(10))->rate().has_value());
+  EXPECT_NEAR(*profile.interpolate_rate(Duration::micros(10)), 0.0, 1e-12);
+}
+
 TEST(TimeDomain, AmbiguousAndLostExcludedFromRate) {
   TimeDomainProfile profile;
   profile.add(Duration::nanos(0), Ordering::kReordered);
@@ -163,7 +206,7 @@ TEST(TimeDomain, AmbiguousAndLostExcludedFromRate) {
   profile.add(Duration::nanos(0), Ordering::kLost);
   const auto est = profile.at(Duration::nanos(0));
   ASSERT_TRUE(est.has_value());
-  EXPECT_DOUBLE_EQ(est->rate(), 1.0);
+  EXPECT_DOUBLE_EQ(est->rate().value(), 1.0);
   EXPECT_EQ(est->usable(), 1);
 }
 

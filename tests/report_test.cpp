@@ -1,0 +1,348 @@
+// Tests for the report layer: the JSON value (dump/parse round-trips),
+// the table and CSV emitters, the streaming JsonlResultSink, and the
+// golden round-trip the benches rely on — JSONL written during a survey,
+// parsed back, reproducing the aggregate rates exactly.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "core/survey_testbed.hpp"
+#include "report/builders.hpp"
+#include "report/csv.hpp"
+#include "report/sinks.hpp"
+#include "report/table.hpp"
+
+namespace reorder::report {
+namespace {
+
+using util::Duration;
+
+// ---------------------------------------------------------------- Json
+
+TEST(Json, ScalarsDumpCompactly) {
+  EXPECT_EQ(Json{}.dump(), "null");
+  EXPECT_EQ(Json{true}.dump(), "true");
+  EXPECT_EQ(Json{false}.dump(), "false");
+  EXPECT_EQ(Json{42}.dump(), "42");
+  EXPECT_EQ(Json{-7}.dump(), "-7");
+  EXPECT_EQ(Json{0.5}.dump(), "0.5");
+  EXPECT_EQ(Json{"hi"}.dump(), "\"hi\"");
+}
+
+TEST(Json, ObjectsPreserveInsertionOrder) {
+  Json j = Json::object();
+  j.set("z", 1).set("a", 2).set("m", 3);
+  EXPECT_EQ(j.dump(), "{\"z\":1,\"a\":2,\"m\":3}");
+  j.set("a", 9);  // overwrite keeps the slot
+  EXPECT_EQ(j.dump(), "{\"z\":1,\"a\":9,\"m\":3}");
+}
+
+TEST(Json, StringsEscape) {
+  EXPECT_EQ(Json{"a\"b\\c\nd"}.dump(), "\"a\\\"b\\\\c\\nd\"");
+  const auto parsed = Json::parse("\"a\\\"b\\\\c\\nd\\u0041\"");
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(parsed->as_string(), "a\"b\\c\nd" "A");
+}
+
+TEST(Json, ParseRoundTripsNestedValues) {
+  Json j = Json::object();
+  j.set("name", "survey");
+  j.set("ok", true);
+  j.set("count", 17);
+  j.set("rate", 0.0625);
+  Json arr = Json::array();
+  arr.push(1).push("two").push(Json{});
+  j.set("mixed", std::move(arr));
+  Json inner = Json::object();
+  inner.set("x", -3.5);
+  j.set("nested", std::move(inner));
+
+  const auto parsed = Json::parse(j.dump());
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(parsed->dump(), j.dump());
+  EXPECT_EQ(parsed->at("count").as_int(), 17);
+  EXPECT_DOUBLE_EQ(parsed->at("rate").as_double(), 0.0625);
+  EXPECT_EQ(parsed->at("mixed").size(), 3u);
+  EXPECT_TRUE(parsed->at("mixed").at(2).is_null());
+  EXPECT_DOUBLE_EQ(parsed->at("nested").at("x").as_double(), -3.5);
+}
+
+TEST(Json, ParseRejectsMalformedInput) {
+  EXPECT_FALSE(Json::parse("").has_value());
+  EXPECT_FALSE(Json::parse("{").has_value());
+  EXPECT_FALSE(Json::parse("[1,]").has_value());
+  EXPECT_FALSE(Json::parse("{\"a\":1} trailing").has_value());
+  EXPECT_FALSE(Json::parse("\"unterminated").has_value());
+  EXPECT_FALSE(Json::parse("nul").has_value());
+  // Tokens from_chars would happily read but JSON's grammar has no
+  // numbers for.
+  EXPECT_FALSE(Json::parse("inf").has_value());
+  EXPECT_FALSE(Json::parse("-inf").has_value());
+  EXPECT_FALSE(Json::parse("nan").has_value());
+  // A \u escape must consume exactly four hex digits.
+  EXPECT_FALSE(Json::parse("\"\\u12x4\"").has_value());
+}
+
+TEST(Json, TypedAccessorsThrowOnMismatch) {
+  EXPECT_THROW(Json{1.0}.as_string(), std::runtime_error);
+  EXPECT_THROW(Json{"x"}.as_double(), std::runtime_error);
+  EXPECT_THROW(Json{}.at("missing"), std::out_of_range);
+}
+
+// ------------------------------------------------------------- Jsonl
+
+TEST(Jsonl, WriteThenReadBack) {
+  std::ostringstream out;
+  JsonlWriter writer{out};
+  Json a = Json::object();
+  a.set("i", 1);
+  writer.write(a);
+  Json b = Json::object();
+  b.set("i", 2);
+  writer.write(b);
+  EXPECT_EQ(writer.lines_written(), 2u);
+
+  const auto lines = read_jsonl_text(out.str());
+  ASSERT_EQ(lines.size(), 2u);
+  EXPECT_EQ(lines[0].at("i").as_int(), 1);
+  EXPECT_EQ(lines[1].at("i").as_int(), 2);
+}
+
+TEST(Jsonl, BlankLinesSkippedMalformedThrows) {
+  EXPECT_EQ(read_jsonl_text("\n  \n{\"a\":1}\n\n").size(), 1u);
+  EXPECT_THROW(read_jsonl_text("{\"a\":1}\nnot json\n"), std::runtime_error);
+}
+
+// ------------------------------------------------------------- Table
+
+TEST(Table, AlignsColumnsUnderHeaders) {
+  Table t = Table::with_headers({"name", "count"});
+  t.row({"alpha", "1"});
+  t.row({"b", "1234"});
+  EXPECT_EQ(t.to_string(),
+            "name   count\n"
+            "------------\n"
+            "alpha      1\n"
+            "b       1234\n");
+}
+
+TEST(Table, PadsShortRowsRejectsLongOnes) {
+  Table t = Table::with_headers({"a", "b"});
+  t.row({"only"});
+  EXPECT_EQ(t.rows(), 1u);
+  EXPECT_THROW(t.row({"1", "2", "3"}), std::invalid_argument);
+}
+
+TEST(Table, CsvRenderingQuotes) {
+  Table t = Table::with_headers({"label", "value"});
+  t.row({"plain", "1"});
+  t.row({"with, comma", "has \"quote\""});
+  std::ostringstream out;
+  t.write_csv(out);
+  EXPECT_EQ(out.str(),
+            "label,value\n"
+            "plain,1\n"
+            "\"with, comma\",\"has \"\"quote\"\"\"\n");
+}
+
+TEST(Table, CellFormatters) {
+  EXPECT_EQ(fixed(0.12345, 3), "0.123");
+  EXPECT_EQ(signed_fixed(0.02, 2), "+0.02");
+  EXPECT_EQ(signed_fixed(-0.02, 2), "-0.02");
+  EXPECT_EQ(percent(0.125, 1), "12.5");
+  EXPECT_EQ(integer(-42), "-42");
+}
+
+TEST(Csv, EscapeOnlyWhenNeeded) {
+  EXPECT_EQ(csv_escape("plain"), "plain");
+  EXPECT_EQ(csv_escape("a,b"), "\"a,b\"");
+  EXPECT_EQ(csv_escape("say \"hi\""), "\"say \"\"hi\"\"\"");
+  EXPECT_EQ(csv_escape("two\nlines"), "\"two\nlines\"");
+}
+
+// ------------------------------------- the golden JSONL round trip
+
+core::SurveyTestbedConfig round_trip_config() {
+  core::SurveyTestbedConfig cfg;
+  cfg.seed = 77;
+  const double swap[] = {0.3, 0.0};
+  for (int i = 0; i < 2; ++i) {
+    core::SurveyTargetConfig target;
+    target.name = "host-" + std::to_string(i);
+    target.forward.swap_probability = swap[i];
+    target.remote.behavior.immediate_ack_on_hole_fill = true;
+    target.tests = {core::TestSpec{"single-connection"}, core::TestSpec{"syn"}};
+    cfg.targets.push_back(std::move(target));
+  }
+  return cfg;
+}
+
+TEST(JsonlResultSink, RoundTripReproducesAggregateRates) {
+  core::SurveyTestbed bed{round_trip_config()};
+  core::SurveyEngine engine{bed.loop()};
+  bed.populate(engine);
+
+  std::ostringstream out;
+  JsonlWriter writer{out};
+  JsonlResultSink sink{writer};
+  engine.add_sink(sink);
+
+  core::TestRunConfig run;
+  run.samples = 12;
+  engine.run(run, 3, Duration::millis(100));
+  ASSERT_GT(writer.lines_written(), 0u);
+
+  // Parse the stream back and rebuild per-(target, test) aggregates from
+  // the measurement lines alone.
+  const auto lines = read_jsonl_text(out.str());
+  std::map<std::pair<std::string, std::string>, core::ReorderEstimate> fwd;
+  std::map<std::pair<std::string, std::string>, core::ReorderEstimate> rev;
+  std::size_t measurement_lines = 0;
+  std::size_t sample_lines = 0;
+  for (const auto& line : lines) {
+    const std::string& type = line.at("type").as_string();
+    if (type == "sample") {
+      ++sample_lines;
+      continue;
+    }
+    if (type != "measurement") continue;
+    ++measurement_lines;
+    if (!line.at("admissible").as_bool()) continue;
+    const std::pair<std::string, std::string> key{line.at("target").as_string(),
+                                                  line.at("test").as_string()};
+    fwd[key] += estimate_from_json(line.at("fwd"));
+    rev[key] += estimate_from_json(line.at("rev"));
+  }
+  EXPECT_EQ(measurement_lines, engine.measurements().size());
+  EXPECT_EQ(sample_lines, engine.store().sample_count());
+
+  // The parsed-back aggregates reproduce the store's, rate for rate.
+  for (const auto& [key, estimate] : fwd) {
+    const auto want = engine.aggregate(key.first, key.second, true);
+    EXPECT_EQ(estimate.in_order, want.in_order) << key.first << "/" << key.second;
+    EXPECT_EQ(estimate.reordered, want.reordered);
+    EXPECT_EQ(estimate.rate().has_value(), want.rate().has_value());
+    if (want.rate().has_value()) {
+      EXPECT_DOUBLE_EQ(*estimate.rate(), *want.rate());
+    }
+  }
+  for (const auto& [key, estimate] : rev) {
+    const auto want = engine.aggregate(key.first, key.second, false);
+    EXPECT_EQ(estimate.reordered, want.reordered);
+    if (want.rate().has_value()) {
+      EXPECT_DOUBLE_EQ(*estimate.rate(), *want.rate());
+    }
+  }
+
+  // Lifecycle lines bracket the stream.
+  EXPECT_EQ(lines.front().at("type").as_string(), "survey_begin");
+  EXPECT_EQ(lines.back().at("type").as_string(), "survey_end");
+  EXPECT_EQ(static_cast<std::size_t>(lines.back().at("measurements").as_int()),
+            engine.measurements().size());
+}
+
+TEST(JsonlResultSink, OptionsFilterGranularities) {
+  core::TestRunResult result;
+  result.test_name = "syn";
+  core::SampleResult sample;
+  sample.forward = core::Ordering::kReordered;
+  result.samples.assign(3, sample);
+  result.aggregate();
+
+  std::ostringstream out;
+  JsonlWriter writer{out};
+  JsonlResultSink::Options options;
+  options.samples = false;
+  options.lifecycle = false;
+  JsonlResultSink sink{writer, options};
+  core::publish_result(sink, "t", "syn", util::TimePoint::epoch(), result);
+
+  const auto lines = read_jsonl_text(out.str());
+  ASSERT_EQ(lines.size(), 1u);
+  EXPECT_EQ(lines[0].at("type").as_string(), "measurement");
+  EXPECT_EQ(lines[0].at("fwd").at("reordered").as_int(), 3);
+}
+
+// ----------------------------------------------------------- builders
+
+TEST(Builders, RateCdfReportCountsAndRenders) {
+  RateCdfReport cdf{{0.0, 0.1}};
+  cdf.add_path(0.0, 0.0);
+  cdf.add_path(0.2, 0.05);
+  EXPECT_EQ(cdf.paths(), 2u);
+  EXPECT_EQ(cdf.paths_with_reordering(), 1);
+  const Table t = cdf.table();
+  EXPECT_EQ(t.rows(), 2u);
+
+  std::ostringstream out;
+  JsonlWriter writer{out};
+  cdf.emit_jsonl(writer);
+  const auto lines = read_jsonl_text(out.str());
+  ASSERT_EQ(lines.size(), 3u);  // 2 thresholds + summary
+  EXPECT_DOUBLE_EQ(lines[0].at("fwd_cdf").as_double(), 0.5);
+  EXPECT_EQ(lines.back().at("type").as_string(), "summary");
+  EXPECT_EQ(lines.back().at("paths").as_int(), 2);
+}
+
+TEST(Builders, TimeDomainReportDecimatesTableNotJsonl) {
+  core::TimeDomainProfile profile;
+  for (int us = 0; us <= 6; us += 2) {
+    profile.add(Duration::micros(us), core::Ordering::kInOrder);
+  }
+  TimeDomainReport report{std::move(profile), /*table_every_us=*/4};
+  EXPECT_EQ(report.table().rows(), 2u);  // 0us and 4us only
+
+  std::ostringstream out;
+  JsonlWriter writer{out};
+  report.emit_jsonl(writer);
+  const auto lines = read_jsonl_text(out.str());
+  EXPECT_EQ(lines.size(), 5u);  // every point + summary
+}
+
+TEST(Builders, PairDifferenceReportAccumulates) {
+  PairDifferenceReport report;
+  report.add("single", "syn", true, true);
+  report.add("single", "syn", true, false);
+  report.add("single", "syn", false, true);
+  ASSERT_EQ(report.pairs().size(), 1u);
+  EXPECT_EQ(report.pairs()[0].fwd_supported, 1);
+  EXPECT_EQ(report.pairs()[0].fwd_total, 2);
+  EXPECT_EQ(report.pairs()[0].rev_total, 1);
+  EXPECT_EQ(report.table().rows(), 1u);
+}
+
+TEST(Builders, ValidationReportSummaryMatchesPaperAccounting) {
+  ValidationReport report;
+  // Two-way test, one forward mismatch.
+  ValidationReport::Row a;
+  a.test = "syn";
+  a.fwd_p = 0.05;
+  a.rev_p = 0.05;
+  a.cmp.reported_fwd = 6;
+  a.cmp.actual_fwd = 5;
+  a.cmp.fwd_mismatches = 1;
+  a.cmp.verified_samples = 200;
+  report.add(a);
+  // One-way (data transfer) row, clean.
+  ValidationReport::Row b;
+  b.test = "data-transfer";
+  b.rev_p = 0.10;
+  b.cmp.reported_rev = 9;
+  b.cmp.actual_rev = 9;
+  b.cmp.verified_samples = 50;
+  report.add(b);
+
+  const auto s = report.summary(/*samples_per_two_way_test=*/100);
+  EXPECT_EQ(s.tests_run, 2);
+  EXPECT_EQ(s.fwd_discrepant_tests, 1);
+  EXPECT_EQ(s.rev_discrepant_tests, 0);
+  EXPECT_EQ(s.total_samples, 250);  // 2*100 two-way + 50 verified one-way
+  EXPECT_EQ(s.mismatched_samples, 1);
+  ASSERT_TRUE(s.confirmed_fraction().has_value());
+  EXPECT_NEAR(*s.confirmed_fraction(), 1.0 - 1.0 / 250.0, 1e-12);
+
+  EXPECT_EQ(report.table().rows(), 2u);
+}
+
+}  // namespace
+}  // namespace reorder::report

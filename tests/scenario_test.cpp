@@ -31,13 +31,13 @@ TEST(Scenario, SwapShaperMatrixMeasuresTheConfiguredRate) {
   for (const char* test : {"single-connection", "dual-connection", "syn"}) {
     const auto agg = result.aggregate(test, /*forward=*/true);
     EXPECT_GT(agg.usable(), 80) << test;
-    EXPECT_NEAR(agg.rate(), 0.25, 0.12) << test;
+    EXPECT_NEAR(agg.rate_or(0.0), 0.25, 0.12) << test;
   }
   // The ping-burst baseline sees the combined process — more than the
   // forward rate alone would explain is plausible, zero is not.
   const auto ping = result.aggregate("ping-burst", /*forward=*/true);
   EXPECT_GT(ping.usable(), 100);
-  EXPECT_GT(ping.rate(), 0.1);
+  EXPECT_GT(ping.rate_or(0.0), 0.1);
   // The data transfer watches the reverse path only.
   const auto dt = result.aggregate("data-transfer", /*forward=*/false);
   EXPECT_GT(dt.usable(), 0);
@@ -51,7 +51,7 @@ TEST(Scenario, StripedLinksSweepDecaysWithGap) {
 
   const auto rate_at = [&](util::Duration gap) {
     for (const auto& m : result.measurements) {
-      if (m.gap == gap) return m.result.forward.rate();
+      if (m.gap == gap) return m.result.forward.rate_or(0.0);
     }
     return -1.0;
   };

@@ -27,10 +27,16 @@ TEST(Session, RoundRobinProducesAllMeasurements) {
   EXPECT_EQ(ms[0].test, "single-connection");
   EXPECT_EQ(ms[1].test, "syn");
   EXPECT_LT(ms[0].at, ms[1].at);
-  for (const auto& m : ms) {
-    EXPECT_TRUE(m.result.admissible);
-    EXPECT_EQ(static_cast<int>(m.result.samples.size()), 10);
+  for (std::size_t i = 0; i < ms.size(); ++i) {
+    EXPECT_TRUE(ms[i].result.admissible);
+    EXPECT_EQ(ms[i].result.forward.total(), 10);
+    // The log keeps summaries only; per-sample data lives columnar in
+    // the store.
+    EXPECT_TRUE(ms[i].result.samples.empty());
+    const auto row = session.store().measurement(i);
+    EXPECT_EQ(row.samples_end - row.samples_begin, 10u);
   }
+  EXPECT_EQ(session.store().sample_count(), 60u);
 }
 
 TEST(Session, SeriesAndAggregate) {
@@ -50,7 +56,7 @@ TEST(Session, SeriesAndAggregate) {
   ASSERT_EQ(series.size(), 5u);
   const auto agg = session.aggregate("remote", "syn", true);
   EXPECT_EQ(agg.total(), 100);
-  EXPECT_NEAR(agg.rate(), 0.25, 0.15);
+  EXPECT_NEAR(agg.rate_or(0.0), 0.25, 0.15);
   // Aggregate equals the sample-weighted union of the series measurements.
   EXPECT_EQ(agg.usable(), agg.in_order + agg.reordered);
 }

@@ -73,8 +73,8 @@ TEST(SurveyEngine, ThreeTargetsInterleaveOnOneLoop) {
   }
 
   // Measured rates track each target's configured process.
-  EXPECT_NEAR(engine.aggregate("host-0", "syn", true).rate(), 0.0, 0.02);
-  EXPECT_NEAR(engine.aggregate("host-2", "syn", true).rate(), 0.3, 0.12);
+  EXPECT_NEAR(engine.aggregate("host-0", "syn", true).rate_or(0.0), 0.0, 0.02);
+  EXPECT_NEAR(engine.aggregate("host-2", "syn", true).rate_or(0.0), 0.3, 0.12);
 }
 
 TEST(SurveyEngine, ConcurrentResultsMatchTheSynchronousDriver) {
@@ -110,8 +110,8 @@ TEST(SurveyEngine, ConcurrentResultsMatchTheSynchronousDriver) {
         if (out->admissible) {
           for (const bool forward : {true, false}) {
             const auto& est = forward ? out->forward : out->reverse;
-            if (est.usable() > 0) {
-              reference[{twin.target_name(t), test->name(), forward}].push_back(est.rate());
+            if (const auto rate = est.rate()) {
+              reference[{twin.target_name(t), test->name(), forward}].push_back(*rate);
             }
           }
         }

@@ -135,6 +135,73 @@ TEST(Analyzer, TcpStreamSeparatesRetransmissions) {
   EXPECT_EQ(stats.out_of_order, 0u);
 }
 
+TEST(Analyzer, TcpStreamEmptyAndSingleSegment) {
+  TraceBuffer empty;
+  const auto none = analyze_tcp_stream(empty, 80, 40000);
+  EXPECT_EQ(none.data_segments, 0u);
+  EXPECT_EQ(none.out_of_order, 0u);
+
+  TraceBuffer one;
+  one.record(TimePoint::epoch(), make_packet(1, 5000, {1, 1}));
+  const auto single = analyze_tcp_stream(one, 80, 40000);
+  EXPECT_EQ(single.data_segments, 1u);
+  EXPECT_EQ(single.out_of_order, 0u);
+  EXPECT_EQ(single.retransmissions, 0u);
+}
+
+TEST(Analyzer, TcpStreamDisambiguatesRetransmitFromReorderInOneStream) {
+  // The same stream carries both phenomena; each must land in its own
+  // bucket. seq 1002 is seen, then seen again (retransmission); seq 1004
+  // jumps ahead of 1002's late sibling 1003... rather: a genuinely late
+  // new segment (1000 after 1004) is a reorder, not a retransmission.
+  TraceBuffer buf;
+  buf.record(TimePoint::epoch(), make_packet(1, 1002, {2, 2}));
+  buf.record(TimePoint::epoch(), make_packet(2, 1004, {3, 3}));
+  buf.record(TimePoint::epoch(), make_packet(3, 1002, {2, 2}));  // dup start: retransmit
+  buf.record(TimePoint::epoch(), make_packet(4, 1000, {1, 1}));  // new start below max: reorder
+  const auto stats = analyze_tcp_stream(buf, 80, 40000);
+  EXPECT_EQ(stats.data_segments, 4u);
+  EXPECT_EQ(stats.retransmissions, 1u);
+  EXPECT_EQ(stats.out_of_order, 1u);
+}
+
+TEST(Analyzer, TcpStreamRetransmitFillingAHoleIsNotCountedAsReorder) {
+  // Loss-then-retransmit: the original of seq 1002 never reached the tap,
+  // so its retransmission arrives with a never-seen start below max_end —
+  // indistinguishable from reordering at a single observation point. This
+  // is exactly the passive method's ambiguity the paper critiques (§II);
+  // the analyzer attributes it to out_of_order, and the jump that created
+  // the hole is recorded separately.
+  TraceBuffer buf;
+  buf.record(TimePoint::epoch(), make_packet(1, 1000, {1, 1}));
+  buf.record(TimePoint::epoch(), make_packet(2, 1004, {3, 3}));  // hole: 1002 lost
+  buf.record(TimePoint::epoch(), make_packet(3, 1002, {2, 2}));  // retransmitted filler
+  const auto stats = analyze_tcp_stream(buf, 80, 40000);
+  EXPECT_EQ(stats.max_advance_jumps, 1u);
+  EXPECT_EQ(stats.out_of_order, 1u);
+  EXPECT_EQ(stats.retransmissions, 0u);
+
+  // A second copy of the filler IS attributable: its start is now known.
+  buf.record(TimePoint::epoch(), make_packet(4, 1002, {2, 2}));
+  const auto more = analyze_tcp_stream(buf, 80, 40000);
+  EXPECT_EQ(more.retransmissions, 1u);
+  EXPECT_EQ(more.out_of_order, 1u);
+}
+
+TEST(Analyzer, TcpStreamHandlesSequenceWraparound) {
+  // max_end wraps past 2^32; the late segment below the wrap point must
+  // still compare as "before" in sequence space (RFC 1982-style).
+  TraceBuffer buf;
+  buf.record(TimePoint::epoch(), make_packet(1, 0xFFFFFFF0u, std::vector<std::uint8_t>(16, 1)));
+  buf.record(TimePoint::epoch(), make_packet(2, 0x00000000u, std::vector<std::uint8_t>(16, 2)));
+  buf.record(TimePoint::epoch(), make_packet(3, 0xFFFFFFF8u, std::vector<std::uint8_t>(8, 3)));
+  const auto stats = analyze_tcp_stream(buf, 80, 40000);
+  EXPECT_EQ(stats.data_segments, 3u);
+  EXPECT_EQ(stats.out_of_order, 1u);
+  EXPECT_EQ(stats.retransmissions, 0u);
+  EXPECT_EQ(stats.max_advance_jumps, 0u);
+}
+
 TEST(Analyzer, TcpStreamFiltersByPorts) {
   TraceBuffer buf;
   buf.record(TimePoint::epoch(), make_packet(1, 1000, {1}));
