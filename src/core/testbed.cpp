@@ -11,7 +11,7 @@ tcpip::HostConfig default_remote_config(std::size_t object_size) {
   return cfg;
 }
 
-Testbed::Testbed(TestbedConfig config) : config_{std::move(config)} {
+Testbed::Testbed(TestbedConfig config) : config_{std::move(config)}, loop_{config_.scheduler} {
   socket_ = std::make_unique<probe::SimRawSocket>(loop_, config_.probe_addr);
   probe_ = std::make_unique<probe::ProbeHost>(loop_, *socket_);
 
@@ -43,6 +43,9 @@ Testbed::Testbed(TestbedConfig config) : config_{std::move(config)} {
     } else {
       remotes_[0]->receive(pkt);
     }
+    // The packet dies here (hosts consume it by const ref): recycle its
+    // payload buffer for the next sender.
+    tcpip::recycle(std::move(pkt));
   });
   socket_->set_transmit(forward_.entry());
 

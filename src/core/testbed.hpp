@@ -36,6 +36,11 @@ struct TestbedConfig {
   std::size_t backends{1};
   PathSpec forward{};
   PathSpec reverse{};
+  /// Scheduler implementation for this testbed's event loop. The reference
+  /// map exists for differential testing (order-equivalence suite) and the
+  /// scheduling benchmarks' before/after comparison; experiments keep the
+  /// default.
+  sim::EventLoop::QueuePolicy scheduler{sim::EventLoop::QueuePolicy::kIndexedHeap};
 };
 
 /// Well-known ports the default remote listens on.

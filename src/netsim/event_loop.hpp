@@ -1,12 +1,31 @@
 // Discrete-event simulation core. Single-threaded; events run in timestamp
 // order with FIFO tie-breaking, which makes every experiment bit-for-bit
 // reproducible from its seeds.
+//
+// The scheduler is an indexed 4-ary min-heap keyed by (timestamp, seq) over
+// a slot array with an intrusive freelist: steady-state schedule/pop/cancel
+// touches no allocator once the heap and slot vectors have grown to the
+// simulation's high-water mark. Callbacks are tcpip::Callback
+// (util::InplaceFunction), so captures — including whole packets in flight
+// between netsim stages — live inside the slot array. Tokens carry the
+// event's sequence number over its slot index, so a token can always prove
+// it still names the event it was issued for. Cancellation is lazy:
+// cancel() invalidates the slot's live tag and drops the capture
+// immediately; the orphaned heap entry is skipped when it surfaces.
+//
+// The previous std::map implementation is retained behind
+// QueuePolicy::kReferenceMap as a differential-testing oracle (the
+// order-equivalence suite replays every canonical scenario on both and
+// asserts identical event sequences) and as the "before" side of the
+// scheduling microbenchmarks.
 #pragma once
 
 #include <cstdint>
 #include <functional>
 #include <map>
+#include <type_traits>
 #include <utility>
+#include <vector>
 
 #include "tcpip/env.hpp"
 #include "util/time.hpp"
@@ -17,15 +36,38 @@ namespace reorder::sim {
 /// protocol stacks can arm timers without knowing about the simulator.
 class EventLoop final : public tcpip::Environment {
  public:
+  enum class QueuePolicy {
+    kIndexedHeap,   ///< allocation-free indexed heap (the default)
+    kReferenceMap,  ///< original std::map queue, kept as a test oracle
+  };
+
   EventLoop() = default;
+  explicit EventLoop(QueuePolicy policy) : policy_{policy} {}
 
   util::TimePoint now() const override { return now_; }
+  QueuePolicy policy() const { return policy_; }
 
   /// Schedules `fn` at now() + delay (delay clamped to >= 0).
-  std::uint64_t schedule(util::Duration delay, std::function<void()> fn) override;
+  std::uint64_t schedule(util::Duration delay, tcpip::Callback fn) override;
 
   /// Schedules `fn` at an absolute time (clamped to >= now()).
-  std::uint64_t schedule_at(util::TimePoint at, std::function<void()> fn);
+  std::uint64_t schedule_at(util::TimePoint at, tcpip::Callback fn);
+
+  /// Concrete-caller fast paths: the callable is constructed directly in
+  /// its scheduler slot (no intermediate Callback move) and the call is
+  /// non-virtual. Overload resolution prefers these for raw lambdas; code
+  /// holding only a tcpip::Environment& still goes through the virtual.
+  template <class F>
+    requires(!std::is_same_v<std::remove_cvref_t<F>, tcpip::Callback>)
+  std::uint64_t schedule(util::Duration delay, F&& f) {
+    if (delay.is_negative()) delay = util::Duration::nanos(0);
+    return emplace_event(now_ + delay, std::forward<F>(f));
+  }
+  template <class F>
+    requires(!std::is_same_v<std::remove_cvref_t<F>, tcpip::Callback>)
+  std::uint64_t schedule_at(util::TimePoint at, F&& f) {
+    return emplace_event(at, std::forward<F>(f));
+  }
 
   void cancel(std::uint64_t token) override;
 
@@ -37,31 +79,121 @@ class EventLoop final : public tcpip::Environment {
   /// (or the last event time if the queue empties beyond it).
   std::uint64_t run_until(util::TimePoint deadline);
 
-  /// Runs until `stop()` is requested, the queue empties, or `deadline`
-  /// passes. Returns true if stopped by request.
+  /// Runs until `keep_going` returns false, the queue empties, or
+  /// `deadline` passes; the clock never ends up before `deadline` unless
+  /// stopped by the predicate. Returns true if stopped by request.
   bool run_while(util::TimePoint deadline, const std::function<bool()>& keep_going);
 
   /// Convenience: advance the clock by `d`, running due events.
   void advance(util::Duration d) { run_until(now_ + d); }
 
-  bool empty() const { return queue_.empty(); }
-  std::size_t pending() const { return queue_.size(); }
+  bool empty() const { return live_ == 0; }
+  std::size_t pending() const { return live_; }
   std::uint64_t events_executed() const { return executed_; }
 
+  /// Observation hook for differential tests: called just before each event
+  /// runs, with the event's timestamp and its scheduling sequence number.
+  /// Two loops fed the same workload must produce identical hook streams.
+  using ExecutedHook = std::function<void(util::TimePoint, std::uint64_t)>;
+  void set_executed_hook(ExecutedHook hook) { hook_ = std::move(hook); }
+
  private:
+  // --- indexed-heap queue ---
+  //
+  // A heap entry is 16 bytes: the timestamp plus one word packing the
+  // scheduling sequence number (high 40 bits) over the slot index (low 24
+  // bits). Ordering by the packed word equals ordering by seq — seq is
+  // unique, so the tie-break never reaches the slot bits — and the sift
+  // loops move a third less data than a naive (time, seq, slot, gen)
+  // layout. 2^40 events per loop and 2^24 concurrent events are far above
+  // anything a survey reaches (a week of continuous simulation at 1M
+  // events/s stays under 2^40).
+  struct HeapEntry {
+    std::int64_t at_ns;
+    std::uint64_t seq_slot;
+  };
+  static constexpr std::uint32_t kSlotBits = 24;
+  static constexpr std::uint32_t kSlotMask = (1u << kSlotBits) - 1;
+  static constexpr std::uint32_t kNilSlot = 0xffffffffu;
+
+  /// Per-slot bookkeeping lives apart from the fat callback array so the
+  /// liveness checks and freelist walks stay in a dense, L1-resident
+  /// vector. `live_seq` is the seq of the slot's current event, 0 when the
+  /// slot is free or its event was cancelled (seq starts at 1) — the
+  /// staleness check for lazy cancellation, and cancel's proof that a
+  /// token still names the event it was issued for.
+  struct SlotMeta {
+    std::uint64_t live_seq{0};
+    std::uint32_t next_free{kNilSlot};
+  };
+
+  /// (timestamp, seq_slot) as one 128-bit key: a single branch-friendly
+  /// compare in the sift loops instead of two data-dependent ones.
+  /// Timestamps are never negative (push clamps to now() and the epoch is
+  /// 0), so the uint64 reinterpretation preserves order.
+  static unsigned __int128 key_of(const HeapEntry& e) {
+    return (static_cast<unsigned __int128>(static_cast<std::uint64_t>(e.at_ns)) << 64) |
+           e.seq_slot;
+  }
+  static bool entry_less(const HeapEntry& a, const HeapEntry& b) {
+    return key_of(a) < key_of(b);
+  }
+  std::uint32_t alloc_slot();
+  void free_slot(std::uint32_t index);
+  void heap_push(HeapEntry entry);
+  HeapEntry heap_pop_top();
+  /// Drops lazily-cancelled entries off the top; afterwards the top entry
+  /// (if any) is live.
+  void purge_top();
+
+  // --- reference std::map queue (differential-testing oracle) ---
   struct Key {
     std::int64_t at_ns;
     std::uint64_t seq;
     friend auto operator<=>(const Key&, const Key&) = default;
   };
-  std::uint64_t push(util::TimePoint at, std::function<void()> fn);
+
+  std::uint64_t push(util::TimePoint at, tcpip::Callback&& fn);
   bool pop_and_run();
 
+  template <class F>
+  std::uint64_t emplace_event(util::TimePoint at, F&& f) {
+    if (policy_ == QueuePolicy::kReferenceMap) {
+      return push(at, tcpip::Callback{std::forward<F>(f)});
+    }
+    if (at < now_) at = now_;
+    const std::uint32_t slot = alloc_slot();
+    fns_[slot].emplace(std::forward<F>(f));
+    return arm_slot(at, slot);
+  }
+
+  /// Tags `slot` with a fresh seq and inserts it into the heap. The packed
+  /// word doubles as the token: seq starts at 1, so a token is never 0
+  /// (the universal "no timer armed" sentinel), and seq never repeats, so
+  /// tokens are unique for the loop's lifetime.
+  std::uint64_t arm_slot(util::TimePoint at, std::uint32_t slot) {
+    const std::uint64_t seq = next_seq_++;
+    ++live_;
+    meta_[slot].live_seq = seq;
+    const std::uint64_t seq_slot = (seq << kSlotBits) | slot;
+    heap_push(HeapEntry{at.ns(), seq_slot});
+    return seq_slot;
+  }
+
+  QueuePolicy policy_{QueuePolicy::kIndexedHeap};
   util::TimePoint now_;
-  std::uint64_t next_seq_{0};
-  std::uint64_t next_token_{1};
+  std::uint64_t next_seq_{1};  ///< starts at 1 so packed tokens are never 0
   std::uint64_t executed_{0};
-  std::map<Key, std::pair<std::uint64_t, std::function<void()>>> queue_;
+  std::size_t live_{0};  ///< scheduled and not yet run or cancelled
+  ExecutedHook hook_;
+
+  std::vector<HeapEntry> heap_;
+  std::vector<SlotMeta> meta_;
+  std::vector<tcpip::Callback> fns_;  ///< parallel to meta_
+  std::uint32_t free_head_{kNilSlot};
+
+  std::uint64_t next_token_{1};
+  std::map<Key, std::pair<std::uint64_t, tcpip::Callback>> map_queue_;
   std::map<std::uint64_t, Key> by_token_;
 };
 

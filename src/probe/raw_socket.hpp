@@ -68,10 +68,13 @@ class SimRawSocket final : public RawSocket {
 
   tcpip::Ipv4Address local_address() const override { return local_; }
 
-  /// Network-side ingress: packets arriving at the probe host.
+  /// Network-side ingress: packets arriving at the probe host. The packet
+  /// dies here (handlers see it by const ref); its payload buffer goes
+  /// back to the pool.
   void deliver(tcpip::Packet pkt) {
     if (pkt.ip.dst != local_) return;
     dispatch(pkt);
+    tcpip::recycle(std::move(pkt));
   }
 
  private:

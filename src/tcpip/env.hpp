@@ -4,11 +4,23 @@
 // trivial manual clock).
 #pragma once
 
-#include <functional>
+#include <cstdint>
 
+#include "util/inplace_function.hpp"
 #include "util/time.hpp"
 
 namespace reorder::tcpip {
+
+/// Capacity of a scheduled callback's inline capture buffer. Sized for the
+/// largest hot-path capture: a netsim stage forwarding lambda carrying a
+/// whole tcpip::Packet by value (headers + payload vector + metadata), with
+/// headroom for the protocol timers (shared_from_this + completion function
+/// + generation). Compile-time enforced — an oversized capture fails the
+/// static_assert in InplaceFunction rather than silently allocating.
+inline constexpr std::size_t kCallbackCapacity = 192;
+
+/// Deferred-execution callback: move-only, never heap-allocates its capture.
+using Callback = util::InplaceFunction<void(), kCallbackCapacity>;
 
 /// Virtual time plus deferred execution. Implementations must run callbacks
 /// in timestamp order; ties in FIFO order of scheduling.
@@ -19,7 +31,8 @@ class Environment {
   virtual util::TimePoint now() const = 0;
 
   /// Runs `fn` after `delay` (>= 0). Returns a token that can be cancelled.
-  virtual std::uint64_t schedule(util::Duration delay, std::function<void()> fn) = 0;
+  /// Tokens are never zero, so callers can use 0 as "no timer armed".
+  virtual std::uint64_t schedule(util::Duration delay, Callback fn) = 0;
 
   /// Cancels a previously scheduled callback; no-op if already run.
   virtual void cancel(std::uint64_t token) = 0;

@@ -2,6 +2,7 @@
 
 #include <utility>
 
+#include "util/buffer_pool.hpp"
 #include "util/logging.hpp"
 
 namespace reorder::tcpip {
@@ -74,7 +75,9 @@ void Host::handle_icmp(const Packet& pkt) {
   reply.ip.protocol = IpProto::kIcmp;
   reply.ip.identification = ipid_->next(pkt.ip.src);
   reply.icmp = IcmpEcho{IcmpType::kEchoReply, pkt.icmp->identifier, pkt.icmp->sequence};
-  reply.payload = pkt.payload;  // echo semantics: payload is reflected
+  // Echo semantics: the payload is reflected (into a recycled buffer).
+  reply.payload = util::BufferPool::global().acquire(pkt.payload.size());
+  reply.payload.assign(pkt.payload.begin(), pkt.payload.end());
   reply.uid = next_packet_uid();
   reply.first_sent = env_.now();
   ++counters_.echo_replies;

@@ -2,10 +2,18 @@
 
 #include <cstdio>
 
+#include "util/buffer_pool.hpp"
+
 namespace reorder::tcpip {
 
 std::vector<std::uint8_t> Packet::to_wire() const {
-  std::vector<std::uint8_t> out;
+  std::vector<std::uint8_t> out = util::BufferPool::global().acquire(wire_size());
+  to_wire_into(out);
+  return out;
+}
+
+void Packet::to_wire_into(std::vector<std::uint8_t>& out) const {
+  out.clear();
   out.reserve(wire_size());
   util::ByteWriter w{out};
   if (is_icmp()) {
@@ -15,7 +23,6 @@ std::vector<std::uint8_t> Packet::to_wire() const {
     ip.serialize(w, tcp.wire_size() + payload.size());
     tcp.serialize(w, ip.src, ip.dst, payload);
   }
-  return out;
 }
 
 Packet::FromWire Packet::from_wire(std::span<const std::uint8_t> bytes) {
@@ -29,6 +36,7 @@ Packet::FromWire Packet::from_wire(std::span<const std::uint8_t> bytes) {
   if (ipp.header.protocol == IpProto::kIcmp) {
     const auto icmpp = IcmpEcho::parse(segment);
     out.packet.icmp = icmpp.header;
+    out.packet.payload = util::BufferPool::global().acquire(segment.size());
     out.packet.payload.assign(segment.begin() + static_cast<std::ptrdiff_t>(icmpp.header_len),
                               segment.end());
     out.checksums_ok = ipp.checksum_ok && icmpp.checksum_ok;
@@ -36,11 +44,14 @@ Packet::FromWire Packet::from_wire(std::span<const std::uint8_t> bytes) {
   }
   const auto tcpp = TcpHeader::parse(segment, ipp.header.src, ipp.header.dst);
   out.packet.tcp = tcpp.header;
+  out.packet.payload = util::BufferPool::global().acquire(segment.size());
   out.packet.payload.assign(segment.begin() + static_cast<std::ptrdiff_t>(tcpp.header_len),
                             segment.end());
   out.checksums_ok = ipp.checksum_ok && tcpp.checksum_ok;
   return out;
 }
+
+void recycle(Packet&& pkt) { util::BufferPool::global().release(std::move(pkt.payload)); }
 
 std::string Packet::describe() const {
   char buf[192];

@@ -48,7 +48,14 @@ struct Packet {
   }
 
   /// Serializes to standards-conformant wire bytes (checksums valid).
+  /// The returned buffer comes from util::BufferPool::global(); callers on
+  /// a hot path should hand it back with util::BufferPool::release (or use
+  /// to_wire_into with a reused scratch buffer).
   std::vector<std::uint8_t> to_wire() const;
+
+  /// Serializes into `out` (cleared first, capacity reused) — the
+  /// allocation-free form for per-packet call sites.
+  void to_wire_into(std::vector<std::uint8_t>& out) const;
 
   struct FromWire;
   /// Parses wire bytes back into a structured packet. Throws
@@ -67,5 +74,10 @@ struct Packet::FromWire {
 /// Allocates process-unique packet uids. Single-threaded simulators call
 /// this from one thread; ids only feed tracing, never behaviour.
 std::uint64_t next_packet_uid();
+
+/// Returns a dead packet's payload buffer to util::BufferPool::global().
+/// Terminal sinks (host ingress, probe delivery) call this so the payload
+/// capacity cycles back to the senders instead of hitting the allocator.
+void recycle(Packet&& pkt);
 
 }  // namespace reorder::tcpip

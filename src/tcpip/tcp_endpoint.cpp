@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "util/buffer_pool.hpp"
 #include "util/logging.hpp"
 
 namespace reorder::tcpip {
@@ -51,6 +52,7 @@ TcpEndpoint::TcpEndpoint(Environment& env, TcpBehavior behavior, ConnKey key, st
 TcpEndpoint::~TcpEndpoint() {
   cancel_delayed_ack();
   cancel_rto();
+  for (auto& [seq, buf] : reassembly_) util::BufferPool::global().release(std::move(buf));
 }
 
 void TcpEndpoint::on_segment(const Packet& pkt) {
@@ -196,8 +198,12 @@ void TcpEndpoint::process_payload(const Packet& pkt) {
     // Out-of-order segment. Queue it (if in window) and emit an immediate
     // duplicate ACK — the behaviour every measurement technique leverages.
     if (seq_in_window(seg_seq, rcv_nxt_, behavior_.receive_window)) {
-      auto [it, inserted] = reassembly_.try_emplace(seg_seq, pkt.payload);
-      if (inserted) ++counters_.ooo_segments_queued;
+      auto [it, inserted] = reassembly_.try_emplace(seg_seq);
+      if (inserted) {
+        it->second = util::BufferPool::global().acquire(pkt.payload.size());
+        it->second.assign(pkt.payload.begin(), pkt.payload.end());
+        ++counters_.ooo_segments_queued;
+      }
     }
     send_ack_now(/*duplicate=*/true);
     return;
@@ -277,6 +283,7 @@ void TcpEndpoint::drain_reassembly() {
       deliver(std::span<const std::uint8_t>{it->second}.subspan(trim));
       rcv_nxt_ = end;
     }
+    util::BufferPool::global().release(std::move(it->second));
     reassembly_.erase(it);
   }
 }
@@ -367,8 +374,8 @@ void TcpEndpoint::try_send() {
     h.seq = snd_nxt_;
     h.ack = rcv_nxt_;
     h.window = clamp_window(behavior_.receive_window);
-    std::vector<std::uint8_t> payload(send_buf_.begin() + offset,
-                                      send_buf_.begin() + offset + chunk);
+    std::vector<std::uint8_t> payload = util::BufferPool::global().acquire(chunk);
+    payload.assign(send_buf_.begin() + offset, send_buf_.begin() + offset + chunk);
     // Data segments carry the current ACK; any pending delayed ACK rides out.
     cancel_delayed_ack();
     unacked_in_order_ = 0;
@@ -449,8 +456,8 @@ void TcpEndpoint::retransmit_one() {
     h.seq = snd_una_;
     h.ack = rcv_nxt_;
     h.window = clamp_window(behavior_.receive_window);
-    std::vector<std::uint8_t> payload(send_buf_.begin() + offset,
-                                      send_buf_.begin() + offset + chunk);
+    std::vector<std::uint8_t> payload = util::BufferPool::global().acquire(chunk);
+    payload.assign(send_buf_.begin() + offset, send_buf_.begin() + offset + chunk);
     sender_(h, std::move(payload));
     return;
   }

@@ -33,13 +33,14 @@ void PcapWriter::u32(std::uint32_t v) {
 }
 
 void PcapWriter::write(const TraceRecord& record) {
-  const auto wire = record.packet.to_wire();
+  record.packet.to_wire_into(scratch_);
   const std::int64_t ns = record.at.ns();
   u32(static_cast<std::uint32_t>(ns / 1'000'000'000));
   u32(static_cast<std::uint32_t>((ns % 1'000'000'000) / 1'000));
-  u32(static_cast<std::uint32_t>(wire.size()));
-  u32(static_cast<std::uint32_t>(wire.size()));
-  out_.write(reinterpret_cast<const char*>(wire.data()), static_cast<std::streamsize>(wire.size()));
+  u32(static_cast<std::uint32_t>(scratch_.size()));
+  u32(static_cast<std::uint32_t>(scratch_.size()));
+  out_.write(reinterpret_cast<const char*>(scratch_.data()),
+             static_cast<std::streamsize>(scratch_.size()));
   ++packets_;
 }
 

@@ -6,6 +6,7 @@
 #include <cstdint>
 #include <ostream>
 #include <string>
+#include <vector>
 
 #include "trace/trace.hpp"
 
@@ -27,6 +28,7 @@ class PcapWriter {
   void u32(std::uint32_t v);
   std::ostream& out_;
   std::size_t packets_{0};
+  std::vector<std::uint8_t> scratch_;  ///< reused wire buffer, one per writer
 };
 
 /// Convenience: dumps a whole buffer to `path`. Returns false on I/O error.

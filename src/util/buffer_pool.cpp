@@ -1,0 +1,37 @@
+#include "util/buffer_pool.hpp"
+
+#include <utility>
+
+namespace reorder::util {
+
+std::vector<std::uint8_t> BufferPool::acquire(std::size_t reserve_hint) {
+  if (!free_.empty()) {
+    std::vector<std::uint8_t> buf = std::move(free_.back());
+    free_.pop_back();
+    buf.clear();
+    if (buf.capacity() < reserve_hint) buf.reserve(reserve_hint);
+    ++stats_.hits;
+    return buf;
+  }
+  ++stats_.misses;
+  std::vector<std::uint8_t> buf;
+  if (reserve_hint > 0) buf.reserve(reserve_hint);
+  return buf;
+}
+
+void BufferPool::release(std::vector<std::uint8_t>&& buf) noexcept {
+  if (buf.capacity() == 0) return;
+  if (free_.size() >= max_pooled_) {
+    ++stats_.dropped;
+    return;  // buf frees on scope exit
+  }
+  ++stats_.returned;
+  free_.push_back(std::move(buf));
+}
+
+BufferPool& BufferPool::global() {
+  thread_local BufferPool pool;
+  return pool;
+}
+
+}  // namespace reorder::util

@@ -1,0 +1,50 @@
+// Recycles byte-vector buffers so the simulation's steady state stops
+// paying one heap allocation per packet payload / wire image. Producers
+// acquire() a cleared vector (its old capacity intact), consumers release()
+// it back when the packet dies. The pool is deliberately dumb: LIFO, no
+// size classes — simulated payloads cluster around a few MSS-ish sizes, so
+// the top of the stack almost always has enough capacity already.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace reorder::util {
+
+class BufferPool {
+ public:
+  /// `max_pooled` bounds how many idle buffers the pool retains; extra
+  /// releases fall through to the allocator (keeps a burst from pinning
+  /// memory forever).
+  explicit BufferPool(std::size_t max_pooled = 256) : max_pooled_{max_pooled} {}
+
+  struct Stats {
+    std::uint64_t hits{0};      ///< acquire() served from the pool
+    std::uint64_t misses{0};    ///< acquire() had to allocate fresh
+    std::uint64_t returned{0};  ///< release() kept the buffer
+    std::uint64_t dropped{0};   ///< release() let the buffer free (pool full)
+  };
+
+  /// Returns an empty vector, reserving at least `reserve_hint` bytes.
+  std::vector<std::uint8_t> acquire(std::size_t reserve_hint = 0);
+
+  /// Takes a dead buffer back. Buffers without capacity are ignored (they
+  /// carry nothing worth recycling).
+  void release(std::vector<std::uint8_t>&& buf) noexcept;
+
+  std::size_t idle() const { return free_.size(); }
+  const Stats& stats() const { return stats_; }
+
+  /// The process-wide pool the packet hot path recycles through. One per
+  /// thread: the simulator is single-threaded by design, and thread_local
+  /// keeps concurrent test binaries from sharing unsynchronized state.
+  static BufferPool& global();
+
+ private:
+  std::vector<std::vector<std::uint8_t>> free_;
+  std::size_t max_pooled_;
+  Stats stats_;
+};
+
+}  // namespace reorder::util

@@ -2,18 +2,37 @@
 
 namespace reorder::util {
 
+namespace {
+inline std::uint64_t word_at(const std::uint8_t* p) {
+  return static_cast<std::uint64_t>(
+      static_cast<std::uint16_t>((static_cast<std::uint16_t>(p[0]) << 8) | p[1]));
+}
+}  // namespace
+
 void InternetChecksum::update(std::span<const std::uint8_t> data) {
   std::size_t i = 0;
-  if (have_odd_ && !data.empty()) {
+  const std::size_t n = data.size();
+  if (have_odd_ && n > 0) {
     // Complete the dangling high byte from the previous odd-length chunk.
     sum_ += static_cast<std::uint16_t>((static_cast<std::uint16_t>(odd_byte_) << 8) | data[0]);
     have_odd_ = false;
     i = 1;
   }
-  for (; i + 1 < data.size(); i += 2) {
-    sum_ += static_cast<std::uint16_t>((static_cast<std::uint16_t>(data[i]) << 8) | data[i + 1]);
+  // Accumulate big-endian 16-bit words into the 64-bit sum, eight words per
+  // unrolled step. One's-complement addition is associative, so the fold in
+  // finish() absorbs all carries; 2^48 words fit before sum_ could overflow
+  // — far beyond any packet.
+  const std::uint8_t* p = data.data();
+  while (i + 16 <= n) {
+    sum_ += word_at(p + i) + word_at(p + i + 2) + word_at(p + i + 4) + word_at(p + i + 6) +
+            word_at(p + i + 8) + word_at(p + i + 10) + word_at(p + i + 12) + word_at(p + i + 14);
+    i += 16;
   }
-  if (i < data.size()) {
+  while (i + 2 <= n) {
+    sum_ += word_at(p + i);
+    i += 2;
+  }
+  if (i < n) {
     have_odd_ = true;
     odd_byte_ = data[i];
   }

@@ -1,0 +1,145 @@
+// Unit tests for the two allocation-avoidance primitives the scheduler hot
+// path is built on: util::InplaceFunction (move-only small-buffer callback)
+// and util::BufferPool (payload vector recycling).
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "util/buffer_pool.hpp"
+#include "util/inplace_function.hpp"
+
+namespace reorder::util {
+namespace {
+
+using Fn = InplaceFunction<void(), 64>;
+
+TEST(InplaceFunction, DefaultIsEmpty) {
+  Fn f;
+  EXPECT_FALSE(static_cast<bool>(f));
+  Fn g{nullptr};
+  EXPECT_FALSE(static_cast<bool>(g));
+}
+
+TEST(InplaceFunction, InvokesCapturedState) {
+  int hits = 0;
+  Fn f = [&hits] { ++hits; };
+  ASSERT_TRUE(static_cast<bool>(f));
+  f();
+  f();
+  EXPECT_EQ(hits, 2);
+}
+
+TEST(InplaceFunction, MoveTransfersTargetAndEmptiesSource) {
+  int hits = 0;
+  Fn f = [&hits] { ++hits; };
+  Fn g = std::move(f);
+  EXPECT_FALSE(static_cast<bool>(f));  // NOLINT(bugprone-use-after-move)
+  ASSERT_TRUE(static_cast<bool>(g));
+  g();
+  EXPECT_EQ(hits, 1);
+}
+
+TEST(InplaceFunction, MoveAssignDestroysPreviousTarget) {
+  auto counter = std::make_shared<int>(0);
+  EXPECT_EQ(counter.use_count(), 1);
+  Fn f = [counter] { ++*counter; };
+  EXPECT_EQ(counter.use_count(), 2);
+  f = Fn{[] {}};
+  EXPECT_EQ(counter.use_count(), 1);  // old capture released
+}
+
+TEST(InplaceFunction, ResetReleasesCapture) {
+  auto counter = std::make_shared<int>(0);
+  Fn f = [counter] { ++*counter; };
+  EXPECT_EQ(counter.use_count(), 2);
+  f.reset();
+  EXPECT_EQ(counter.use_count(), 1);
+  EXPECT_FALSE(static_cast<bool>(f));
+}
+
+TEST(InplaceFunction, DestructorReleasesCapture) {
+  auto counter = std::make_shared<int>(0);
+  {
+    Fn f = [counter] { ++*counter; };
+    EXPECT_EQ(counter.use_count(), 2);
+  }
+  EXPECT_EQ(counter.use_count(), 1);
+}
+
+TEST(InplaceFunction, MoveOnlyCapturesWork) {
+  auto owned = std::make_unique<int>(41);
+  InplaceFunction<int(), 64> f = [p = std::move(owned)] { return *p + 1; };
+  InplaceFunction<int(), 64> g = std::move(f);
+  EXPECT_EQ(g(), 42);
+}
+
+TEST(InplaceFunction, ArgumentsAndReturnValues) {
+  InplaceFunction<int(int, int), 32> add = [](int a, int b) { return a + b; };
+  EXPECT_EQ(add(20, 22), 42);
+  // By-value move-only argument passes through.
+  InplaceFunction<int(std::unique_ptr<int>), 32> deref = [](std::unique_ptr<int> p) {
+    return *p;
+  };
+  EXPECT_EQ(deref(std::make_unique<int>(7)), 7);
+}
+
+TEST(InplaceFunction, SelfMoveAssignIsSafe) {
+  int hits = 0;
+  Fn f = [&hits] { ++hits; };
+  Fn& alias = f;
+  f = std::move(alias);
+  ASSERT_TRUE(static_cast<bool>(f));
+  f();
+  EXPECT_EQ(hits, 1);
+}
+
+TEST(BufferPool, AcquireFreshThenRecycled) {
+  BufferPool pool;
+  auto a = pool.acquire(100);
+  EXPECT_GE(a.capacity(), 100u);
+  EXPECT_TRUE(a.empty());
+  EXPECT_EQ(pool.stats().misses, 1u);
+
+  a.assign(100, 0x5a);
+  const auto* data = a.data();
+  pool.release(std::move(a));
+  EXPECT_EQ(pool.idle(), 1u);
+
+  auto b = pool.acquire(50);
+  EXPECT_EQ(b.data(), data);  // same buffer came back
+  EXPECT_TRUE(b.empty());     // but cleared
+  EXPECT_EQ(pool.stats().hits, 1u);
+  EXPECT_EQ(pool.idle(), 0u);
+}
+
+TEST(BufferPool, ReleaseIgnoresCapacityFreeBuffers) {
+  BufferPool pool;
+  pool.release(std::vector<std::uint8_t>{});
+  EXPECT_EQ(pool.idle(), 0u);
+}
+
+TEST(BufferPool, BoundsIdleBuffers) {
+  BufferPool pool{2};
+  for (int i = 0; i < 4; ++i) {
+    std::vector<std::uint8_t> buf;
+    buf.reserve(16);
+    pool.release(std::move(buf));
+  }
+  EXPECT_EQ(pool.idle(), 2u);
+  EXPECT_EQ(pool.stats().returned, 2u);
+  EXPECT_EQ(pool.stats().dropped, 2u);
+}
+
+TEST(BufferPool, AcquireGrowsRecycledBufferToHint) {
+  BufferPool pool;
+  std::vector<std::uint8_t> small;
+  small.reserve(8);
+  pool.release(std::move(small));
+  auto big = pool.acquire(4096);
+  EXPECT_GE(big.capacity(), 4096u);
+}
+
+}  // namespace
+}  // namespace reorder::util

@@ -43,6 +43,53 @@ TEST(Checksum, VerifiesToZeroWhenEmbedded) {
   EXPECT_EQ(internet_checksum(data), 0);
 }
 
+// Straight byte-pair accumulation — the implementation before the unrolled
+// word loop, kept as the differential reference.
+std::uint16_t reference_checksum(std::span<const std::uint8_t> data) {
+  std::uint64_t sum = 0;
+  std::size_t i = 0;
+  for (; i + 1 < data.size(); i += 2) {
+    sum += static_cast<std::uint16_t>((static_cast<std::uint16_t>(data[i]) << 8) | data[i + 1]);
+  }
+  if (i < data.size()) sum += static_cast<std::uint16_t>(data[i]) << 8;
+  while (sum >> 16) sum = (sum & 0xffff) + (sum >> 16);
+  return static_cast<std::uint16_t>(~sum & 0xffff);
+}
+
+TEST(Checksum, UnrolledMatchesReferenceOverRandomLengthsAndOffsets) {
+  Rng rng{97};
+  std::vector<std::uint8_t> data(4096);
+  for (auto& b : data) b = static_cast<std::uint8_t>(rng.below(256));
+  for (int trial = 0; trial < 500; ++trial) {
+    const std::size_t off = static_cast<std::size_t>(rng.below(512));
+    const std::size_t len =
+        static_cast<std::size_t>(rng.below(static_cast<std::uint64_t>(data.size() - off)));
+    const auto view = std::span{data}.subspan(off, len);
+    EXPECT_EQ(internet_checksum(view), reference_checksum(view))
+        << "off=" << off << " len=" << len;
+  }
+}
+
+TEST(Checksum, UnrolledMatchesReferenceUnderOddChunkedUpdates) {
+  Rng rng{131};
+  std::vector<std::uint8_t> data(2048);
+  for (auto& b : data) b = static_cast<std::uint8_t>(rng.below(256));
+  for (int trial = 0; trial < 200; ++trial) {
+    const std::size_t len = 1 + static_cast<std::size_t>(rng.below(2047));
+    const auto view = std::span{data}.subspan(0, len);
+    InternetChecksum c;
+    std::size_t off = 0;
+    while (off < len) {
+      // Deliberately odd-biased chunk sizes to exercise the dangling-byte
+      // carry between updates.
+      const std::size_t n = std::min<std::size_t>(1 + rng.below(33), len - off);
+      c.update(view.subspan(off, n));
+      off += n;
+    }
+    EXPECT_EQ(c.finish(), reference_checksum(view)) << "len=" << len;
+  }
+}
+
 TEST(Checksum, IncrementalMatchesOneShotAcrossChunkings) {
   std::vector<std::uint8_t> data(257);
   for (std::size_t i = 0; i < data.size(); ++i) data[i] = static_cast<std::uint8_t>(i * 37);
