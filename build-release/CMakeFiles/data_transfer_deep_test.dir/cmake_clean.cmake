@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/data_transfer_deep_test.dir/tests/data_transfer_deep_test.cpp.o"
+  "CMakeFiles/data_transfer_deep_test.dir/tests/data_transfer_deep_test.cpp.o.d"
+  "data_transfer_deep_test"
+  "data_transfer_deep_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/data_transfer_deep_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

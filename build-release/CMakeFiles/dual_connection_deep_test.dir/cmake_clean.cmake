@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dual_connection_deep_test.dir/tests/dual_connection_deep_test.cpp.o"
+  "CMakeFiles/dual_connection_deep_test.dir/tests/dual_connection_deep_test.cpp.o.d"
+  "dual_connection_deep_test"
+  "dual_connection_deep_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dual_connection_deep_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig6_timeseries.dir/bench/fig6_timeseries.cpp.o"
+  "CMakeFiles/fig6_timeseries.dir/bench/fig6_timeseries.cpp.o.d"
+  "fig6_timeseries"
+  "fig6_timeseries.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6_timeseries.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig7_spacing.dir/bench/fig7_spacing.cpp.o"
+  "CMakeFiles/fig7_spacing.dir/bench/fig7_spacing.cpp.o.d"
+  "fig7_spacing"
+  "fig7_spacing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig7_spacing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gap_behavior_test.dir/tests/gap_behavior_test.cpp.o"
+  "CMakeFiles/gap_behavior_test.dir/tests/gap_behavior_test.cpp.o.d"
+  "gap_behavior_test"
+  "gap_behavior_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gap_behavior_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

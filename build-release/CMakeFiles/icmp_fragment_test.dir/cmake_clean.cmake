@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/icmp_fragment_test.dir/tests/icmp_fragment_test.cpp.o"
+  "CMakeFiles/icmp_fragment_test.dir/tests/icmp_fragment_test.cpp.o.d"
+  "icmp_fragment_test"
+  "icmp_fragment_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/icmp_fragment_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

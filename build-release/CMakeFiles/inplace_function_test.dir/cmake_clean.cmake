@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/inplace_function_test.dir/tests/inplace_function_test.cpp.o"
+  "CMakeFiles/inplace_function_test.dir/tests/inplace_function_test.cpp.o.d"
+  "inplace_function_test"
+  "inplace_function_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/inplace_function_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

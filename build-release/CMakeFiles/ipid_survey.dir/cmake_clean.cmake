@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ipid_survey.dir/bench/ipid_survey.cpp.o"
+  "CMakeFiles/ipid_survey.dir/bench/ipid_survey.cpp.o.d"
+  "ipid_survey"
+  "ipid_survey.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ipid_survey.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

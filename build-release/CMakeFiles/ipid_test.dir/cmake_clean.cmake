@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ipid_test.dir/tests/ipid_test.cpp.o"
+  "CMakeFiles/ipid_test.dir/tests/ipid_test.cpp.o.d"
+  "ipid_test"
+  "ipid_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ipid_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ipid_validator_test.dir/tests/ipid_validator_test.cpp.o"
+  "CMakeFiles/ipid_validator_test.dir/tests/ipid_validator_test.cpp.o.d"
+  "ipid_validator_test"
+  "ipid_validator_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ipid_validator_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/load_balancer_test.dir/tests/load_balancer_test.cpp.o"
+  "CMakeFiles/load_balancer_test.dir/tests/load_balancer_test.cpp.o.d"
+  "load_balancer_test"
+  "load_balancer_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/load_balancer_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

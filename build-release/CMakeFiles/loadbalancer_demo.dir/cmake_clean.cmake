@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/loadbalancer_demo.dir/examples/loadbalancer_demo.cpp.o"
+  "CMakeFiles/loadbalancer_demo.dir/examples/loadbalancer_demo.cpp.o.d"
+  "loadbalancer_demo"
+  "loadbalancer_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/loadbalancer_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

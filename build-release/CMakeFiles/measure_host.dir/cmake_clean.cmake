@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/measure_host.dir/examples/measure_host.cpp.o"
+  "CMakeFiles/measure_host.dir/examples/measure_host.cpp.o.d"
+  "measure_host"
+  "measure_host.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/measure_host.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pairdiff_table.dir/bench/pairdiff_table.cpp.o"
+  "CMakeFiles/pairdiff_table.dir/bench/pairdiff_table.cpp.o.d"
+  "pairdiff_table"
+  "pairdiff_table.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pairdiff_table.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/related_work_bennett.dir/bench/related_work_bennett.cpp.o"
+  "CMakeFiles/related_work_bennett.dir/bench/related_work_bennett.cpp.o.d"
+  "related_work_bennett"
+  "related_work_bennett.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/related_work_bennett.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

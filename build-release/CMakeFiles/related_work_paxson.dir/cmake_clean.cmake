@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/related_work_paxson.dir/bench/related_work_paxson.cpp.o"
+  "CMakeFiles/related_work_paxson.dir/bench/related_work_paxson.cpp.o.d"
+  "related_work_paxson"
+  "related_work_paxson.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/related_work_paxson.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

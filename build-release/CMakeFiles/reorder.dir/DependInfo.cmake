@@ -1,0 +1,73 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/data_transfer_test.cpp" "CMakeFiles/reorder.dir/src/core/data_transfer_test.cpp.o" "gcc" "CMakeFiles/reorder.dir/src/core/data_transfer_test.cpp.o.d"
+  "/root/repo/src/core/dual_connection_test.cpp" "CMakeFiles/reorder.dir/src/core/dual_connection_test.cpp.o" "gcc" "CMakeFiles/reorder.dir/src/core/dual_connection_test.cpp.o.d"
+  "/root/repo/src/core/ground_truth.cpp" "CMakeFiles/reorder.dir/src/core/ground_truth.cpp.o" "gcc" "CMakeFiles/reorder.dir/src/core/ground_truth.cpp.o.d"
+  "/root/repo/src/core/ipid_validator.cpp" "CMakeFiles/reorder.dir/src/core/ipid_validator.cpp.o" "gcc" "CMakeFiles/reorder.dir/src/core/ipid_validator.cpp.o.d"
+  "/root/repo/src/core/metrics.cpp" "CMakeFiles/reorder.dir/src/core/metrics.cpp.o" "gcc" "CMakeFiles/reorder.dir/src/core/metrics.cpp.o.d"
+  "/root/repo/src/core/path_builder.cpp" "CMakeFiles/reorder.dir/src/core/path_builder.cpp.o" "gcc" "CMakeFiles/reorder.dir/src/core/path_builder.cpp.o.d"
+  "/root/repo/src/core/ping_burst_adapter.cpp" "CMakeFiles/reorder.dir/src/core/ping_burst_adapter.cpp.o" "gcc" "CMakeFiles/reorder.dir/src/core/ping_burst_adapter.cpp.o.d"
+  "/root/repo/src/core/ping_burst_test.cpp" "CMakeFiles/reorder.dir/src/core/ping_burst_test.cpp.o" "gcc" "CMakeFiles/reorder.dir/src/core/ping_burst_test.cpp.o.d"
+  "/root/repo/src/core/result_sink.cpp" "CMakeFiles/reorder.dir/src/core/result_sink.cpp.o" "gcc" "CMakeFiles/reorder.dir/src/core/result_sink.cpp.o.d"
+  "/root/repo/src/core/result_store.cpp" "CMakeFiles/reorder.dir/src/core/result_store.cpp.o" "gcc" "CMakeFiles/reorder.dir/src/core/result_store.cpp.o.d"
+  "/root/repo/src/core/scenario.cpp" "CMakeFiles/reorder.dir/src/core/scenario.cpp.o" "gcc" "CMakeFiles/reorder.dir/src/core/scenario.cpp.o.d"
+  "/root/repo/src/core/single_connection_test.cpp" "CMakeFiles/reorder.dir/src/core/single_connection_test.cpp.o" "gcc" "CMakeFiles/reorder.dir/src/core/single_connection_test.cpp.o.d"
+  "/root/repo/src/core/survey_engine.cpp" "CMakeFiles/reorder.dir/src/core/survey_engine.cpp.o" "gcc" "CMakeFiles/reorder.dir/src/core/survey_engine.cpp.o.d"
+  "/root/repo/src/core/survey_testbed.cpp" "CMakeFiles/reorder.dir/src/core/survey_testbed.cpp.o" "gcc" "CMakeFiles/reorder.dir/src/core/survey_testbed.cpp.o.d"
+  "/root/repo/src/core/syn_test.cpp" "CMakeFiles/reorder.dir/src/core/syn_test.cpp.o" "gcc" "CMakeFiles/reorder.dir/src/core/syn_test.cpp.o.d"
+  "/root/repo/src/core/test_registry.cpp" "CMakeFiles/reorder.dir/src/core/test_registry.cpp.o" "gcc" "CMakeFiles/reorder.dir/src/core/test_registry.cpp.o.d"
+  "/root/repo/src/core/testbed.cpp" "CMakeFiles/reorder.dir/src/core/testbed.cpp.o" "gcc" "CMakeFiles/reorder.dir/src/core/testbed.cpp.o.d"
+  "/root/repo/src/core/verdict.cpp" "CMakeFiles/reorder.dir/src/core/verdict.cpp.o" "gcc" "CMakeFiles/reorder.dir/src/core/verdict.cpp.o.d"
+  "/root/repo/src/netsim/event_loop.cpp" "CMakeFiles/reorder.dir/src/netsim/event_loop.cpp.o" "gcc" "CMakeFiles/reorder.dir/src/netsim/event_loop.cpp.o.d"
+  "/root/repo/src/netsim/link.cpp" "CMakeFiles/reorder.dir/src/netsim/link.cpp.o" "gcc" "CMakeFiles/reorder.dir/src/netsim/link.cpp.o.d"
+  "/root/repo/src/netsim/load_balancer.cpp" "CMakeFiles/reorder.dir/src/netsim/load_balancer.cpp.o" "gcc" "CMakeFiles/reorder.dir/src/netsim/load_balancer.cpp.o.d"
+  "/root/repo/src/netsim/striped_link.cpp" "CMakeFiles/reorder.dir/src/netsim/striped_link.cpp.o" "gcc" "CMakeFiles/reorder.dir/src/netsim/striped_link.cpp.o.d"
+  "/root/repo/src/netsim/swap_shaper.cpp" "CMakeFiles/reorder.dir/src/netsim/swap_shaper.cpp.o" "gcc" "CMakeFiles/reorder.dir/src/netsim/swap_shaper.cpp.o.d"
+  "/root/repo/src/probe/packet_factory.cpp" "CMakeFiles/reorder.dir/src/probe/packet_factory.cpp.o" "gcc" "CMakeFiles/reorder.dir/src/probe/packet_factory.cpp.o.d"
+  "/root/repo/src/probe/probe_host.cpp" "CMakeFiles/reorder.dir/src/probe/probe_host.cpp.o" "gcc" "CMakeFiles/reorder.dir/src/probe/probe_host.cpp.o.d"
+  "/root/repo/src/probe/prober.cpp" "CMakeFiles/reorder.dir/src/probe/prober.cpp.o" "gcc" "CMakeFiles/reorder.dir/src/probe/prober.cpp.o.d"
+  "/root/repo/src/report/builders.cpp" "CMakeFiles/reorder.dir/src/report/builders.cpp.o" "gcc" "CMakeFiles/reorder.dir/src/report/builders.cpp.o.d"
+  "/root/repo/src/report/csv.cpp" "CMakeFiles/reorder.dir/src/report/csv.cpp.o" "gcc" "CMakeFiles/reorder.dir/src/report/csv.cpp.o.d"
+  "/root/repo/src/report/json.cpp" "CMakeFiles/reorder.dir/src/report/json.cpp.o" "gcc" "CMakeFiles/reorder.dir/src/report/json.cpp.o.d"
+  "/root/repo/src/report/jsonl.cpp" "CMakeFiles/reorder.dir/src/report/jsonl.cpp.o" "gcc" "CMakeFiles/reorder.dir/src/report/jsonl.cpp.o.d"
+  "/root/repo/src/report/sinks.cpp" "CMakeFiles/reorder.dir/src/report/sinks.cpp.o" "gcc" "CMakeFiles/reorder.dir/src/report/sinks.cpp.o.d"
+  "/root/repo/src/report/table.cpp" "CMakeFiles/reorder.dir/src/report/table.cpp.o" "gcc" "CMakeFiles/reorder.dir/src/report/table.cpp.o.d"
+  "/root/repo/src/stats/ecdf.cpp" "CMakeFiles/reorder.dir/src/stats/ecdf.cpp.o" "gcc" "CMakeFiles/reorder.dir/src/stats/ecdf.cpp.o.d"
+  "/root/repo/src/stats/histogram.cpp" "CMakeFiles/reorder.dir/src/stats/histogram.cpp.o" "gcc" "CMakeFiles/reorder.dir/src/stats/histogram.cpp.o.d"
+  "/root/repo/src/stats/pair_difference.cpp" "CMakeFiles/reorder.dir/src/stats/pair_difference.cpp.o" "gcc" "CMakeFiles/reorder.dir/src/stats/pair_difference.cpp.o.d"
+  "/root/repo/src/stats/special.cpp" "CMakeFiles/reorder.dir/src/stats/special.cpp.o" "gcc" "CMakeFiles/reorder.dir/src/stats/special.cpp.o.d"
+  "/root/repo/src/stats/students_t.cpp" "CMakeFiles/reorder.dir/src/stats/students_t.cpp.o" "gcc" "CMakeFiles/reorder.dir/src/stats/students_t.cpp.o.d"
+  "/root/repo/src/stats/summary.cpp" "CMakeFiles/reorder.dir/src/stats/summary.cpp.o" "gcc" "CMakeFiles/reorder.dir/src/stats/summary.cpp.o.d"
+  "/root/repo/src/tcpip/fragment.cpp" "CMakeFiles/reorder.dir/src/tcpip/fragment.cpp.o" "gcc" "CMakeFiles/reorder.dir/src/tcpip/fragment.cpp.o.d"
+  "/root/repo/src/tcpip/host.cpp" "CMakeFiles/reorder.dir/src/tcpip/host.cpp.o" "gcc" "CMakeFiles/reorder.dir/src/tcpip/host.cpp.o.d"
+  "/root/repo/src/tcpip/icmp.cpp" "CMakeFiles/reorder.dir/src/tcpip/icmp.cpp.o" "gcc" "CMakeFiles/reorder.dir/src/tcpip/icmp.cpp.o.d"
+  "/root/repo/src/tcpip/ipid.cpp" "CMakeFiles/reorder.dir/src/tcpip/ipid.cpp.o" "gcc" "CMakeFiles/reorder.dir/src/tcpip/ipid.cpp.o.d"
+  "/root/repo/src/tcpip/ipv4.cpp" "CMakeFiles/reorder.dir/src/tcpip/ipv4.cpp.o" "gcc" "CMakeFiles/reorder.dir/src/tcpip/ipv4.cpp.o.d"
+  "/root/repo/src/tcpip/packet.cpp" "CMakeFiles/reorder.dir/src/tcpip/packet.cpp.o" "gcc" "CMakeFiles/reorder.dir/src/tcpip/packet.cpp.o.d"
+  "/root/repo/src/tcpip/tcp_endpoint.cpp" "CMakeFiles/reorder.dir/src/tcpip/tcp_endpoint.cpp.o" "gcc" "CMakeFiles/reorder.dir/src/tcpip/tcp_endpoint.cpp.o.d"
+  "/root/repo/src/tcpip/tcp_header.cpp" "CMakeFiles/reorder.dir/src/tcpip/tcp_header.cpp.o" "gcc" "CMakeFiles/reorder.dir/src/tcpip/tcp_header.cpp.o.d"
+  "/root/repo/src/trace/analyzer.cpp" "CMakeFiles/reorder.dir/src/trace/analyzer.cpp.o" "gcc" "CMakeFiles/reorder.dir/src/trace/analyzer.cpp.o.d"
+  "/root/repo/src/trace/pcap_writer.cpp" "CMakeFiles/reorder.dir/src/trace/pcap_writer.cpp.o" "gcc" "CMakeFiles/reorder.dir/src/trace/pcap_writer.cpp.o.d"
+  "/root/repo/src/trace/trace.cpp" "CMakeFiles/reorder.dir/src/trace/trace.cpp.o" "gcc" "CMakeFiles/reorder.dir/src/trace/trace.cpp.o.d"
+  "/root/repo/src/util/buffer_pool.cpp" "CMakeFiles/reorder.dir/src/util/buffer_pool.cpp.o" "gcc" "CMakeFiles/reorder.dir/src/util/buffer_pool.cpp.o.d"
+  "/root/repo/src/util/checksum.cpp" "CMakeFiles/reorder.dir/src/util/checksum.cpp.o" "gcc" "CMakeFiles/reorder.dir/src/util/checksum.cpp.o.d"
+  "/root/repo/src/util/flags.cpp" "CMakeFiles/reorder.dir/src/util/flags.cpp.o" "gcc" "CMakeFiles/reorder.dir/src/util/flags.cpp.o.d"
+  "/root/repo/src/util/logging.cpp" "CMakeFiles/reorder.dir/src/util/logging.cpp.o" "gcc" "CMakeFiles/reorder.dir/src/util/logging.cpp.o.d"
+  "/root/repo/src/util/random.cpp" "CMakeFiles/reorder.dir/src/util/random.cpp.o" "gcc" "CMakeFiles/reorder.dir/src/util/random.cpp.o.d"
+  "/root/repo/src/util/time.cpp" "CMakeFiles/reorder.dir/src/util/time.cpp.o" "gcc" "CMakeFiles/reorder.dir/src/util/time.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/result_pipeline_test.dir/tests/result_pipeline_test.cpp.o"
+  "CMakeFiles/result_pipeline_test.dir/tests/result_pipeline_test.cpp.o.d"
+  "result_pipeline_test"
+  "result_pipeline_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/result_pipeline_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/shaper_test.dir/tests/shaper_test.cpp.o"
+  "CMakeFiles/shaper_test.dir/tests/shaper_test.cpp.o.d"
+  "shaper_test"
+  "shaper_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/shaper_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/single_connection_deep_test.dir/tests/single_connection_deep_test.cpp.o"
+  "CMakeFiles/single_connection_deep_test.dir/tests/single_connection_deep_test.cpp.o.d"
+  "single_connection_deep_test"
+  "single_connection_deep_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/single_connection_deep_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/survey.dir/examples/survey.cpp.o"
+  "CMakeFiles/survey.dir/examples/survey.cpp.o.d"
+  "survey"
+  "survey.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/survey.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

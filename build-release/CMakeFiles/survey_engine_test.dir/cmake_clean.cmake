@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/survey_engine_test.dir/tests/survey_engine_test.cpp.o"
+  "CMakeFiles/survey_engine_test.dir/tests/survey_engine_test.cpp.o.d"
+  "survey_engine_test"
+  "survey_engine_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/survey_engine_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/survey_fleet.dir/examples/survey_fleet.cpp.o"
+  "CMakeFiles/survey_fleet.dir/examples/survey_fleet.cpp.o.d"
+  "survey_fleet"
+  "survey_fleet.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/survey_fleet.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

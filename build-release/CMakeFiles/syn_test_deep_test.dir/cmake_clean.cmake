@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/syn_test_deep_test.dir/tests/syn_test_deep_test.cpp.o"
+  "CMakeFiles/syn_test_deep_test.dir/tests/syn_test_deep_test.cpp.o.d"
+  "syn_test_deep_test"
+  "syn_test_deep_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/syn_test_deep_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tcp_endpoint_test.dir/tests/tcp_endpoint_test.cpp.o"
+  "CMakeFiles/tcp_endpoint_test.dir/tests/tcp_endpoint_test.cpp.o.d"
+  "tcp_endpoint_test"
+  "tcp_endpoint_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tcp_endpoint_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_registry_test.dir/tests/test_registry_test.cpp.o"
+  "CMakeFiles/test_registry_test.dir/tests/test_registry_test.cpp.o.d"
+  "test_registry_test"
+  "test_registry_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_registry_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

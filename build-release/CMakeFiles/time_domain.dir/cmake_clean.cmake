@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/time_domain.dir/examples/time_domain.cpp.o"
+  "CMakeFiles/time_domain.dir/examples/time_domain.cpp.o.d"
+  "time_domain"
+  "time_domain.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/time_domain.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

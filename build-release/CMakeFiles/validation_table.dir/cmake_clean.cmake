@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/validation_table.dir/bench/validation_table.cpp.o"
+  "CMakeFiles/validation_table.dir/bench/validation_table.cpp.o.d"
+  "validation_table"
+  "validation_table.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/validation_table.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

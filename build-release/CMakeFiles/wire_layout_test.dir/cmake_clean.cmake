@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wire_layout_test.dir/tests/wire_layout_test.cpp.o"
+  "CMakeFiles/wire_layout_test.dir/tests/wire_layout_test.cpp.o.d"
+  "wire_layout_test"
+  "wire_layout_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wire_layout_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
