@@ -13,8 +13,11 @@
 //     lane count — how the Fig. 7 decay shape depends on the cross-traffic
 //     model (exponential: memoryless tail; uniform: hard cutoff).
 #include <cstdio>
+#include <string>
 
 #include "bench_common.hpp"
+#include "core/result_sink.hpp"
+#include "metrics/engine.hpp"
 #include "report/table.hpp"
 
 namespace {
@@ -27,6 +30,10 @@ void study_a(BenchArtifact& artifact) {
   std::printf("A. swap-shaper hold vs sample pacing (SYN test, true p = 0.15)\n");
   report::Table table = report::Table::with_headers({"hold (ms)", "pacing (ms)", "measured",
                                                      "bias"});
+  // Every cell's run streams into the engine (one key per cell); the
+  // measured rate is read back from the aggregate snapshot.
+  metrics::MetricEngine engine;
+  metrics::EngineSink sink{engine};
   for (const int hold_ms : {10, 50}) {
     for (const int pacing_ms : {5, 20, 60, 120}) {
       core::TestbedConfig cfg;
@@ -39,7 +46,10 @@ void study_a(BenchArtifact& artifact) {
       run.samples = 2000;  // +-1.6% at 2 sigma; the bias signal is ~2.3%
       run.sample_spacing = Duration::millis(pacing_ms);
       const auto result = bed.run_sync(*test, run, 3000);
-      const double measured = result.forward.rate_or(0.0);
+      const std::string cell =
+          "hold" + std::to_string(hold_ms) + "/pace" + std::to_string(pacing_ms);
+      core::publish_result(sink, cell, result.test_name, util::TimePoint::epoch(), result);
+      const double measured = engine.aggregate(cell, result.test_name, true).rate_or(0.0);
       table.row({report::integer(hold_ms), report::integer(pacing_ms),
                  report::fixed(measured, 3), report::signed_fixed(measured - 0.15, 3)});
 
@@ -104,7 +114,8 @@ void study_b(BenchArtifact& artifact) {
               "     the reversed variant is usable everywhere.\n\n");
 }
 
-double striped_rate(sim::BacklogModel model, std::size_t lanes, int gap_us, std::uint64_t seed) {
+double striped_rate(metrics::MetricEngine& engine, const std::string& cell,
+                    sim::BacklogModel model, std::size_t lanes, int gap_us, std::uint64_t seed) {
   core::TestbedConfig cfg;
   cfg.seed = seed;
   auto striped = sim::StripedLinkConfig{};
@@ -120,11 +131,14 @@ double striped_rate(sim::BacklogModel model, std::size_t lanes, int gap_us, std:
   run.inter_packet_gap = Duration::micros(gap_us);
   run.sample_spacing = Duration::millis(2);
   const auto result = bed.run_sync(*test, run, 3000);
-  return result.forward.rate_or(0.0);
+  metrics::EngineSink sink{engine};
+  core::publish_result(sink, cell, result.test_name, util::TimePoint::epoch(), result);
+  return engine.aggregate(cell, result.test_name, true).rate_or(0.0);
 }
 
 void study_c(BenchArtifact& artifact) {
   std::printf("C. striped-link occupancy model and lane count (rate vs gap)\n");
+  metrics::MetricEngine engine;
   report::Table table{std::vector<report::Column>{{"model/lanes", report::Align::kLeft},
                                                   {"0us", report::Align::kRight},
                                                   {"25us", report::Align::kRight},
@@ -140,7 +154,8 @@ void study_c(BenchArtifact& artifact) {
                           Variant{"exponential, 4 lanes", sim::BacklogModel::kExponential, 4}}) {
     std::vector<std::string> cells{v.label};
     for (const int gap : {0, 25, 50, 100}) {
-      const double rate = striped_rate(v.model, v.lanes, gap,
+      const std::string cell = std::string{v.label} + "/gap" + std::to_string(gap);
+      const double rate = striped_rate(engine, cell, v.model, v.lanes, gap,
                                        3300 + static_cast<std::uint64_t>(v.lanes * 7 + gap));
       cells.push_back(report::fixed(rate, 4));
 

@@ -9,8 +9,11 @@
 // smaller reverse probability — the same qualitative shape the paper's
 // vantage point produced.
 #include <cstdio>
+#include <string>
 
 #include "bench_common.hpp"
+#include "core/result_sink.hpp"
+#include "metrics/engine.hpp"
 #include "report/builders.hpp"
 #include "util/random.hpp"
 
@@ -47,6 +50,11 @@ int main() {
   report::RateCdfReport cdf{{0.0, 0.005, 0.01, 0.02, 0.03, 0.05, 0.08, 0.10, 0.15, 0.20, 0.30,
                              0.40}};
 
+  // Every measurement streams into one metrics engine (target = host);
+  // the per-path pooling below is a snapshot read, not a hand loop.
+  metrics::MetricEngine engine;
+  metrics::EngineSink engine_sink{engine};
+
   for (int host = 0; host < kHosts; ++host) {
     const PathTruth truth = draw_path(population_rng);
     core::TestbedConfig cfg;
@@ -57,23 +65,23 @@ int main() {
     cfg.remote.behavior.immediate_ack_on_hole_fill = true;
     core::Testbed bed{cfg};
 
-    core::ReorderEstimate fwd;
-    core::ReorderEstimate rev;
+    const std::string target = "host-" + std::to_string(host);
     auto test = make_test("syn", bed);
     for (int m = 0; m < kMeasurementsPerHost; ++m) {
       core::TestRunConfig run;
       run.samples = kSamplesPerMeasurement;
+      const util::TimePoint at = bed.loop().now();
       const auto result = bed.run_sync(*test, run);
-      if (!result.admissible) continue;
-      fwd += result.forward;
-      rev += result.reverse;
+      core::publish_result(engine_sink, target, result.test_name, at, result,
+                           static_cast<std::size_t>(m));
       bed.loop().advance(util::Duration::seconds(2));
     }
-    cdf.add_path(fwd.rate_or(0.0), rev.rate_or(0.0));
+    cdf.add_target(engine, target);
   }
 
   cdf.table().print();
   cdf.emit_jsonl(artifact.jsonl());
+  engine.emit_jsonl(artifact.jsonl());
 
   std::printf("\npaths measured:              %zu   (paper: 50)\n", cdf.paths());
   std::printf("paths with some reordering:  %d (%.0f%%)   (paper: >40%%)\n",

@@ -8,8 +8,11 @@
 // the two tests are interleaved exactly as the round-robin prober would.
 #include <cmath>
 #include <cstdio>
+#include <vector>
 
 #include "bench_common.hpp"
+#include "core/result_sink.hpp"
+#include "metrics/engine.hpp"
 #include "report/table.hpp"
 
 namespace {
@@ -47,32 +50,60 @@ int main() {
   auto single = make_test("single", bed);
   auto syn = make_test("syn", bed);
 
-  report::Table table = report::Table::with_headers({"t(min)", "process", "single-conn", "syn"});
+  // The interleaved measurements stream into a metrics engine; the table
+  // and comparison below are built from its per-test rate series.
+  metrics::MetricEngine engine;
+  metrics::EngineSink engine_sink{engine};
+  const std::string target = "apple-like";
 
-  double max_gap = 0.0;
+  std::vector<double> t_minutes;
+  // Per-step rates, read back from the engine's growing rate series
+  // after each step. The series holds only measurements with usable
+  // samples, so alignment is by growth, not by step index: a step whose
+  // measurement produced no usable rate records 0.0 in its own row
+  // instead of shifting every later row.
+  std::vector<double> single_by_step;
+  std::vector<double> syn_by_step;
+  std::size_t single_seen = 0;
+  std::size_t syn_seen = 0;
   for (int step = 0; step < kPoints; ++step) {
     bed.forward_shaper()->set_swap_probability(process_rate(step));
 
     core::TestRunConfig run;
     run.samples = kSamplesPerMeasurement;
-    const auto single_result = bed.run_sync(*single, run);
-    const auto syn_result = bed.run_sync(*syn, run);
-    const double t_min = bed.loop().now().seconds_f() / 60.0;
-    const double single_rate = single_result.forward.rate_or(0.0);
-    const double syn_rate = syn_result.forward.rate_or(0.0);
-    table.row({report::fixed(t_min, 1), report::fixed(process_rate(step), 3),
+    for (auto* test : {single.get(), syn.get()}) {
+      const util::TimePoint at = bed.loop().now();
+      const auto result = bed.run_sync(*test, run);
+      core::publish_result(engine_sink, target, result.test_name, at, result,
+                           static_cast<std::size_t>(2 * step) + (test == syn.get() ? 1 : 0));
+      const auto series = engine.rate_series(target, result.test_name, /*forward=*/true);
+      auto& by_step = test == syn.get() ? syn_by_step : single_by_step;
+      auto& seen = test == syn.get() ? syn_seen : single_seen;
+      by_step.push_back(series.size() > seen ? series.back() : 0.0);
+      seen = series.size();
+    }
+    t_minutes.push_back(bed.loop().now().seconds_f() / 60.0);
+    bed.loop().advance(Duration::seconds(30));
+  }
+
+  report::Table table = report::Table::with_headers({"t(min)", "process", "single-conn", "syn"});
+  double max_gap = 0.0;
+  for (int step = 0; step < kPoints; ++step) {
+    const auto i = static_cast<std::size_t>(step);
+    const double single_rate = single_by_step[i];
+    const double syn_rate = syn_by_step[i];
+    table.row({report::fixed(t_minutes[i], 1), report::fixed(process_rate(step), 3),
                report::fixed(single_rate, 3), report::fixed(syn_rate, 3)});
 
     report::Json row = report::Json::object();
     row.set("type", "row");
-    row.set("t_min", t_min);
+    row.set("t_min", t_minutes[i]);
     row.set("process_rate", process_rate(step));
     row.set("single_rate", single_rate);
     row.set("syn_rate", syn_rate);
     artifact.write(row);
 
     max_gap = std::max(max_gap, std::fabs(single_rate - syn_rate));
-    bed.loop().advance(Duration::seconds(30));
   }
 
   table.print();
@@ -81,6 +112,7 @@ int main() {
   summary.set("type", "summary");
   summary.set("max_single_vs_syn_gap", max_gap);
   artifact.write(summary);
+  engine.emit_jsonl(artifact.jsonl());
 
   std::printf("\nlargest single-vs-syn gap in a window: %.3f\n", max_gap);
   std::printf("(paper: the two tests track one another; residual gaps reflect\n"

@@ -16,7 +16,6 @@
 
 #include "bench_common.hpp"
 #include "core/metrics.hpp"
-#include "core/result_store.hpp"
 #include "core/scenario.hpp"
 #include "report/builders.hpp"
 
@@ -51,10 +50,9 @@ int main() {
        gap_us += (gap_us < kFineLimitUs ? kFineStepUs : kCoarseStepUs)) {
     spec.gap_sweep.push_back(Duration::micros(gap_us));
   }
-  // The scenario runner streams every cell into the columnar store; the
-  // time-domain profile is then assembled from the store's sample columns.
-  core::ResultStore store;
-  const core::ScenarioResult sweep = core::run_scenario(spec, &store);
+  // The scenario runner streams every cell into its metrics engine; the
+  // time-domain profile is a snapshot read of the per-gap accumulators.
+  const core::ScenarioResult sweep = core::run_scenario(spec);
   for (const auto& m : sweep.measurements) {
     if (!m.result.admissible) {
       std::printf("inadmissible: %s\n", m.result.note.c_str());
@@ -62,10 +60,10 @@ int main() {
     }
   }
 
-  report::TimeDomainReport report{store.time_domain(spec.name, "dual-connection"),
-                                  kPrintEveryUs};
+  report::TimeDomainReport report{sweep.time_domain("dual-connection"), kPrintEveryUs};
   report.table().print();
   report.emit_jsonl(artifact.jsonl());
+  sweep.metrics->emit_jsonl(artifact.jsonl());
 
   const auto& profile = report.profile();
   const double r0 = profile.interpolate_rate(Duration::micros(0)).value_or(0.0);

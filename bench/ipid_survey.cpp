@@ -7,6 +7,8 @@
 #include <map>
 
 #include "bench_common.hpp"
+#include "core/result_sink.hpp"
+#include "metrics/engine.hpp"
 #include "report/table.hpp"
 
 namespace {
@@ -41,9 +43,11 @@ int main() {
   BenchArtifact artifact{"ipid_survey", "§IV-B host exclusions"};
 
   std::map<std::string, int> verdict_counts;
-  int admissible = 0;
-  int total = 0;
   std::uint64_t seed = 9300;
+  // Admissibility totals come from the metrics engine (one key per host
+  // type): every run is published, the engine counts what was admissible.
+  metrics::MetricEngine engine;
+  metrics::EngineSink engine_sink{engine};
 
   report::Table table{std::vector<report::Column>{{"host type", report::Align::kLeft},
                                                   {"validator verdict", report::Align::kLeft},
@@ -62,10 +66,10 @@ int main() {
       core::TestRunConfig run;
       run.samples = 5;
       const auto result = bed.run_sync(*test, run);
+      core::publish_result(engine_sink, spec.label, result.test_name, util::TimePoint::epoch(),
+                           result, static_cast<std::size_t>(i));
       const auto verdict = test->last_validation().verdict;
       ++verdict_counts[core::to_string(verdict)];
-      admissible += result.admissible ? 1 : 0;
-      ++total;
       if (i == 0) {
         table.row({spec.label, core::to_string(verdict), result.admissible ? "runs" : "ruled out"});
       }
@@ -81,7 +85,15 @@ int main() {
   }
   table.print();
 
-  std::printf("\nVerdict totals over %d hosts:\n", total);
+  // Snapshot reads off the engine: measured / admissible per host type.
+  std::uint64_t admissible = 0;
+  std::uint64_t total = 0;
+  for (const auto& [target, test] : engine.keys()) {
+    total += engine.measurements(target, test);
+    admissible += engine.admissible_measurements(target, test);
+  }
+
+  std::printf("\nVerdict totals over %llu hosts:\n", static_cast<unsigned long long>(total));
   report::Table totals{std::vector<report::Column>{{"verdict", report::Align::kLeft},
                                                    {"hosts", report::Align::kRight}}};
   for (const auto& [name, count] : verdict_counts) {
@@ -96,8 +108,11 @@ int main() {
   summary.set("ruled_out_load_balancer", verdict_counts["disjoint (load balancer)"]);
   summary.set("ruled_out_constant_zero", verdict_counts["constant-zero"]);
   artifact.write(summary);
+  engine.emit_jsonl(artifact.jsonl());
 
-  std::printf("\nadmissible for the dual test:  %d / %d\n", admissible, total);
+  std::printf("\nadmissible for the dual test:  %llu / %llu\n",
+              static_cast<unsigned long long>(admissible),
+              static_cast<unsigned long long>(total));
   std::printf("ruled out (load balancer):     %d   (paper: 8)\n",
               verdict_counts["disjoint (load balancer)"]);
   std::printf("ruled out (constant zero):     %d   (paper: 9)\n",

@@ -10,6 +10,7 @@
 #include "bench_common.hpp"
 #include "core/test_registry.hpp"
 #include "core/testbed.hpp"
+#include "metrics/engine.hpp"
 #include "netsim/event_loop.hpp"
 #include "netsim/link.hpp"
 #include "netsim/path.hpp"
@@ -224,6 +225,74 @@ void BM_StudentTCritical(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_StudentTCritical);
+
+// Metrics-engine hot path: folding one completed measurement (and its
+// samples) into a (target, test) suite — what every measurement a
+// million-path survey completes pays.
+void BM_MetricEngineObserve(benchmark::State& state) {
+  util::Rng rng{17};
+  core::TestRunResult result;
+  result.test_name = "bench";
+  for (int i = 0; i < state.range(0); ++i) {
+    core::SampleResult s;
+    s.forward = rng.bernoulli(0.2) ? core::Ordering::kReordered : core::Ordering::kInOrder;
+    s.reverse = core::Ordering::kInOrder;
+    s.started = util::TimePoint::from_ns(i * 1000);
+    s.completed = util::TimePoint::from_ns(i * 1000 + 800);
+    s.gap = util::Duration::micros(i % 8);
+    result.samples.push_back(s);
+  }
+  result.aggregate();
+
+  metrics::MetricEngine engine;
+  std::size_t index = 0;
+  for (auto _ : state) {
+    engine.observe_measurement(core::MeasurementEvent{"host", "test", index++,
+                                                      util::TimePoint::epoch(), result});
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_MetricEngineObserve)->Arg(15)->Arg(100);
+
+// Cross-shard fold: merging two populated per-shard engines (3 targets x
+// 2 tests, 64 measurements each) into a fresh survey-wide engine.
+void BM_MetricEngineMerge(benchmark::State& state) {
+  util::Rng rng{23};
+  const auto build_shard = [&rng] {
+    metrics::MetricEngine shard;
+    for (int t = 0; t < 3; ++t) {
+      const std::string target = "host-" + std::to_string(t);
+      for (const char* test : {"syn", "single-connection"}) {
+        for (std::size_t m = 0; m < 64; ++m) {
+          core::TestRunResult result;
+          result.test_name = test;
+          for (int i = 0; i < 15; ++i) {
+            core::SampleResult s;
+            s.forward =
+                rng.bernoulli(0.2) ? core::Ordering::kReordered : core::Ordering::kInOrder;
+            s.completed = util::TimePoint::from_ns(800);
+            s.gap = util::Duration::micros(i % 8);
+            result.samples.push_back(s);
+          }
+          result.aggregate();
+          shard.observe_measurement(
+              core::MeasurementEvent{target, test, m, util::TimePoint::epoch(), result});
+        }
+      }
+    }
+    return shard;
+  };
+  const metrics::MetricEngine shard_a = build_shard();
+  const metrics::MetricEngine shard_b = build_shard();
+  for (auto _ : state) {
+    metrics::MetricEngine merged;
+    merged.merge(shard_a);
+    merged.merge(shard_b);
+    benchmark::DoNotOptimize(merged.key_count());
+  }
+  state.SetItemsProcessed(state.iterations() * 2 * 6);  // suites folded per iteration
+}
+BENCHMARK(BM_MetricEngineMerge);
 
 void BM_FullMeasurementSample(benchmark::State& state) {
   // One complete single-connection measurement (connect + N samples +

@@ -16,6 +16,7 @@
 
 #include "bench_common.hpp"
 #include "core/survey_engine.hpp"
+#include "metrics/engine.hpp"
 #include "report/builders.hpp"
 
 namespace {
@@ -69,21 +70,15 @@ int main() {
     run.samples = kSamples;
     session.run(run, kRounds, Duration::seconds(1));
 
+    // Host-level paired verdicts come straight from the survey engine's
+    // metric snapshots (rate series + paired test live behind compare()).
     const auto& registry = core::TestRegistry::global();
     for (std::size_t a = 0; a < tests.size(); ++a) {
       for (std::size_t b = a + 1; b < tests.size(); ++b) {
         for (const bool forward : {true, false}) {
           if (forward && (tests[a] == "data-transfer" || tests[b] == "data-transfer")) continue;
-          const auto sa = session.rate_series("host", registry.canonical_name(tests[a]), forward);
-          const auto sb = session.rate_series("host", registry.canonical_name(tests[b]), forward);
-          const std::size_t n = std::min(sa.size(), sb.size());
-          if (n < 2) continue;
-          auto ta = sa;
-          auto tb = sb;
-          ta.resize(n);
-          tb.resize(n);
-          const auto r = stats::pair_difference_test(ta, tb, 0.999);
-          report.add(tests[a], tests[b], forward, r.null_supported);
+          report.add_compare(session.metrics(), "host", registry.canonical_name(tests[a]),
+                             registry.canonical_name(tests[b]), forward, 0.999);
         }
       }
     }
@@ -92,6 +87,7 @@ int main() {
       const auto syn = session.aggregate("host", "syn", false);
       if (syn.rate_or(0.0) > 0) dt_ratio.add(dt.rate_or(0.0) / *syn.rate());
     }
+    session.metrics().emit_jsonl(artifact.jsonl());
   }
 
   report.table().print();

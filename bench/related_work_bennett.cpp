@@ -14,9 +14,12 @@
 //     function of the burst length, not just of the path;
 //  3. (operationally) ICMP rate limiting silently starves the measurement.
 #include <cstdio>
+#include <string>
 
 #include "bench_common.hpp"
 #include "core/ping_burst_adapter.hpp"
+#include "core/result_sink.hpp"
+#include "metrics/engine.hpp"
 #include "report/table.hpp"
 
 namespace {
@@ -80,6 +83,10 @@ int main() {
     double fwd;
     double rev;
   };
+  // Dual-test estimates stream into the metrics engine (one key per
+  // asymmetric path) and are read back as aggregate snapshots.
+  metrics::MetricEngine engine;
+  metrics::EngineSink engine_sink{engine};
   for (const Case c : {Case{0.20, 0.0}, Case{0.0, 0.20}, Case{0.10, 0.10}}) {
     core::TestbedConfig cfg;
     cfg.seed = 2100 + static_cast<std::uint64_t>(c.fwd * 100 + c.rev);
@@ -96,9 +103,12 @@ int main() {
 
     char label[32];
     std::snprintf(label, sizeof label, "%.2f / %.2f", c.fwd, c.rev);
+    core::publish_result(engine_sink, label, d.test_name, util::TimePoint::epoch(), d);
+    const auto dual_fwd = engine.aggregate(label, d.test_name, true);
+    const auto dual_rev = engine.aggregate(label, d.test_name, false);
     table.row({label, report::fixed(ping.pair_rate(), 3),
-               report::fixed(d.forward.rate_or(0.0), 3),
-               report::fixed(d.reverse.rate_or(0.0), 3)});
+               report::fixed(dual_fwd.rate_or(0.0), 3),
+               report::fixed(dual_rev.rate_or(0.0), 3)});
 
     report::Json row = report::Json::object();
     row.set("type", "row");
@@ -106,11 +116,12 @@ int main() {
     row.set("true_fwd", c.fwd);
     row.set("true_rev", c.rev);
     row.set("ping_rate", ping.pair_rate());
-    row.set("dual_fwd", d.forward.rate_or(0.0));
-    row.set("dual_rev", d.reverse.rate_or(0.0));
+    row.set("dual_fwd", dual_fwd.rate_or(0.0));
+    row.set("dual_rev", dual_rev.rate_or(0.0));
     artifact.write(row);
   }
   table.print();
+  engine.emit_jsonl(artifact.jsonl());
   std::printf("  -> the ping estimate cannot distinguish the three paths' directions;\n"
               "     the dual-connection test attributes each direction correctly.\n\n");
 

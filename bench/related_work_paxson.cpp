@@ -14,6 +14,7 @@
 #include <cstdio>
 
 #include "bench_common.hpp"
+#include "metrics/sequence_metrics.hpp"
 #include "report/table.hpp"
 #include "trace/analyzer.hpp"
 #include "util/random.hpp"
@@ -35,8 +36,12 @@ int main() {
 
   util::Rng rng{1997};
   int sessions_with_reordering = 0;
-  std::uint64_t data_segments = 0;
-  std::uint64_t data_out_of_order = 0;
+  // Survey-wide totals accumulate by MERGING each session's streaming
+  // sequence metrics — the per-shard pattern: one accumulator per
+  // session, folded into fleet-wide ones, exactly.
+  metrics::SequenceExtentMetric total_extent;
+  metrics::NReorderingMetric total_n;
+  metrics::BufferDensityMetric total_rbd;
 
   report::Table table =
       report::Table::with_headers({"session", "true p", "segments", "out-of-order"});
@@ -61,28 +66,45 @@ int main() {
     const auto result = bed.run_sync(*transfer, core::TestRunConfig{}, 3000);
     if (!result.admissible) continue;
 
-    const auto stats =
-        trace::analyze_tcp_stream(bed.probe_ingress_trace(), core::kHttpPort,
-                                  bed.probe_ingress_trace().records().empty()
-                                      ? 0
-                                      : bed.probe_ingress_trace().records()[0].packet.tcp.dst_port);
-    data_segments += stats.data_segments;
-    data_out_of_order += stats.out_of_order;
-    if (stats.out_of_order > 0) ++sessions_with_reordering;
+    // The passive observer's view: the arrival sequence of data segments
+    // at the receiver tap, streamed through this session's sequence
+    // metrics (RFC 4737 reordering, RFC 5236 n-reordering, resequencing
+    // buffer occupancy).
+    const std::uint16_t client_port = bed.probe_ingress_trace().records().empty()
+                                          ? 0
+                                          : bed.probe_ingress_trace().records()[0].packet.tcp.dst_port;
+    const auto arrival =
+        trace::data_arrival_sequence(bed.probe_ingress_trace(), core::kHttpPort, client_port);
+    metrics::SequenceExtentMetric session_extent;
+    metrics::NReorderingMetric session_n;
+    metrics::BufferDensityMetric session_rbd;
+    metrics::observe_sequence(session_extent, arrival);
+    metrics::observe_sequence(session_n, arrival);
+    metrics::observe_sequence(session_rbd, arrival);
+
+    if (session_extent.reordered() > 0) ++sessions_with_reordering;
     table.row({report::integer(s), report::fixed(p, 3),
-               report::integer(static_cast<std::int64_t>(stats.data_segments)),
-               report::integer(static_cast<std::int64_t>(stats.out_of_order))});
+               report::integer(static_cast<std::int64_t>(session_extent.packets())),
+               report::integer(static_cast<std::int64_t>(session_extent.reordered()))});
 
     report::Json row = report::Json::object();
     row.set("type", "row");
     row.set("session", s);
     row.set("true_p", p);
-    row.set("data_segments", stats.data_segments);
-    row.set("out_of_order", stats.out_of_order);
-    row.set("retransmissions", stats.retransmissions);
+    row.set("data_segments", session_extent.packets());
+    row.set("out_of_order", session_extent.reordered());
+    row.set("max_extent", static_cast<std::uint64_t>(session_extent.max_extent()));
+    row.set("max_buffer_occupancy", session_rbd.max_occupancy());
     artifact.write(row);
+
+    total_extent.merge(session_extent);
+    total_n.merge(session_n);
+    total_rbd.merge(session_rbd);
   }
   table.print();
+
+  const std::uint64_t data_segments = total_extent.packets();
+  const std::uint64_t data_out_of_order = total_extent.reordered();
 
   std::printf("\nsessions with >= 1 reordering event: %d / %d (%.0f%%)   "
               "(Paxson: 12%% and 36%%)\n",
@@ -99,6 +121,10 @@ int main() {
   summary.set("sessions_with_reordering", sessions_with_reordering);
   summary.set("data_segments", data_segments);
   summary.set("data_out_of_order", data_out_of_order);
+  // The merged (survey-wide) sequence metrics, verbatim.
+  summary.set("sequence_extent", total_extent.to_json());
+  summary.set("n_reordering", total_n.to_json());
+  summary.set("buffer_density", total_rbd.to_json());
 
   // The transport-bias critique: on a time-dependent (striped) path the
   // passive 1460-byte transfer sees systematically less reordering than

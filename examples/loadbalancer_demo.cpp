@@ -64,8 +64,9 @@ int main(int argc, char** argv) {
   auto syn = core::make_registered_test(bed.probe(), bed.remote_addr(), core::TestSpec{"syn"});
   const auto syn_result = bed.run_sync(*syn, run);
   std::printf("\n[syn]\n");
-  std::printf("  forward rate: %.3f (true %.3f) from %d usable samples\n",
-              syn_result.forward.rate_or(0.0), fwd_swap, syn_result.forward.usable());
+  std::printf("  forward rate: %.3f (true %.3f) from %llu usable samples\n",
+              syn_result.forward.rate_or(0.0), fwd_swap,
+              static_cast<unsigned long long>(syn_result.forward.usable()));
   std::printf("  reverse rate: %.3f\n", syn_result.reverse.rate_or(0.0));
 
   // 3. Show the balancer's flow counts so the mechanism is visible.

@@ -15,6 +15,7 @@
 #include "core/result_sink.hpp"
 #include "core/test_registry.hpp"
 #include "core/testbed.hpp"
+#include "metrics/engine.hpp"
 #include "report/sinks.hpp"
 #include "report/table.hpp"
 #include "util/flags.hpp"
@@ -75,7 +76,9 @@ int main(int argc, char** argv) {
   table.print();
 
   // 5. Optionally stream the same result machine-readably: publish_result
-  //    feeds any ResultSink the exact event stream a survey would.
+  //    feeds any ResultSink the exact event stream a survey would — here
+  //    the JSONL sink and a metrics engine side by side, with the
+  //    engine's snapshot appended as a `metrics` record.
   if (!jsonl_path.empty()) {
     std::ofstream file{jsonl_path};
     if (!file) {
@@ -84,8 +87,14 @@ int main(int argc, char** argv) {
     }
     report::JsonlWriter writer{file};
     report::JsonlResultSink sink{writer};
-    core::publish_result(sink, bed.remote_addr().to_string(), result.test_name,
+    metrics::MetricEngine engine;
+    metrics::EngineSink engine_sink{engine};
+    core::SinkFanout fanout;
+    fanout.add(sink);
+    fanout.add(engine_sink);
+    core::publish_result(fanout, bed.remote_addr().to_string(), result.test_name,
                          util::TimePoint::epoch(), result);
+    engine.emit_jsonl(writer);
     std::printf("\nstreamed %zu JSONL records to %s\n", writer.lines_written(),
                 jsonl_path.c_str());
   }

@@ -60,14 +60,15 @@ int main(int argc, char** argv) {
     run.samples = static_cast<int>(samples);
     session.run(run, static_cast<int>(rounds), Duration::seconds(1));
 
-    // Pool both techniques, as the paper's per-path summary does.
+    // Pool both techniques, as the paper's per-path summary does — all
+    // snapshot reads of the survey engine's metric accumulators.
     core::ReorderEstimate pooled_fwd;
     core::ReorderEstimate pooled_rev;
     for (const char* test : {"single-connection", "syn"}) {
       pooled_fwd += session.aggregate("host", test, true);
       pooled_rev += session.aggregate("host", test, false);
     }
-    cdf.add_path(pooled_fwd.rate_or(0.0), pooled_rev.rate_or(0.0));
+    cdf.add_target(session.metrics(), "host");
     per_host.row({report::integer(h), report::fixed(true_fwd, 3), report::fixed(true_rev, 3),
                   report::fixed(pooled_fwd.rate_or(0.0), 3),
                   report::fixed(pooled_rev.rate_or(0.0), 3)});

@@ -118,6 +118,8 @@ int main(int argc, char** argv) {
   run.samples = static_cast<int>(samples);
   engine.run(run, static_cast<int>(rounds), Duration::seconds(1));
 
+  // Per-target summaries are snapshot reads of the engine's metric
+  // accumulators (updated mid-survey, in event-loop order).
   report::Table table =
       report::Table::with_headers({"target", "true fwd", "single-conn", "syn"});
   stats::Ecdf fwd_rates;
@@ -146,6 +148,9 @@ int main(int argc, char** argv) {
               static_cast<long long>(targets));
   std::printf("median measured forward rate: %.4f\n", fwd_rates.quantile(0.5));
   if (jsonl_writer.has_value()) {
+    // Close the stream with the engine's per-(target, test) metric
+    // snapshots — the JSONL `metrics` record type.
+    engine.metrics().emit_jsonl(*jsonl_writer);
     std::printf("streamed %zu JSONL records to %s\n", jsonl_writer->lines_written(),
                 jsonl_path.c_str());
   }

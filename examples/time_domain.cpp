@@ -9,7 +9,6 @@
 #include <cstdio>
 
 #include "core/metrics.hpp"
-#include "core/result_store.hpp"
 #include "core/scenario.hpp"
 #include "report/table.hpp"
 #include "util/flags.hpp"
@@ -40,10 +39,9 @@ int main(int argc, char** argv) {
     spec.gap_sweep.push_back(Duration::micros(gap));
   }
   spec.between_measurements = Duration::millis(1);
-  // Stream the sweep into a columnar store; the per-gap profile is then
-  // assembled from its sample columns rather than re-looped by hand.
-  core::ResultStore store;
-  const core::ScenarioResult sweep = core::run_scenario(spec, &store);
+  // The scenario runner streams the sweep into its metrics engine; the
+  // per-gap profile is a snapshot read of the incremental accumulators.
+  const core::ScenarioResult sweep = core::run_scenario(spec);
   for (const auto& m : sweep.measurements) {
     if (!m.result.admissible) {
       std::printf("inadmissible: %s\n", m.result.note.c_str());
@@ -51,7 +49,7 @@ int main(int argc, char** argv) {
     }
   }
 
-  const core::TimeDomainProfile profile = store.time_domain(spec.name, "dual-connection");
+  const core::TimeDomainProfile profile = sweep.time_domain("dual-connection");
   report::Table table{std::vector<report::Column>{{"gap(us)", report::Align::kLeft},
                                                   {"rate", report::Align::kRight},
                                                   {"histogram", report::Align::kLeft}}};

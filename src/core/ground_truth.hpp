@@ -22,6 +22,19 @@ struct TruthComparison {
   int verified_samples{0};  ///< sample-direction verdicts with usable truth
 
   int mismatches() const { return fwd_mismatches + rev_mismatches; }
+  /// Pools another run's comparison — associative, so per-run (or
+  /// per-shard) truth checks combine into survey-wide totals the same
+  /// way the metric accumulators do.
+  TruthComparison& operator+=(const TruthComparison& o) {
+    reported_fwd += o.reported_fwd;
+    actual_fwd += o.actual_fwd;
+    reported_rev += o.reported_rev;
+    actual_rev += o.actual_rev;
+    fwd_mismatches += o.fwd_mismatches;
+    rev_mismatches += o.rev_mismatches;
+    verified_samples += o.verified_samples;
+    return *this;
+  }
   /// Fraction of verified sample verdicts the traces confirmed (the
   /// paper's "99.99% of samples correct" number); empty with no data.
   std::optional<double> confirmed_fraction() const {

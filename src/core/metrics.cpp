@@ -37,6 +37,10 @@ void TimeDomainProfile::add(util::Duration gap, Ordering forward_verdict) {
   by_gap_[gap.ns()].add(forward_verdict);
 }
 
+void TimeDomainProfile::merge(const TimeDomainProfile& other) {
+  for (const auto& [ns, est] : other.by_gap_) by_gap_[ns] += est;
+}
+
 std::vector<TimeDomainProfile::Point> TimeDomainProfile::points() const {
   std::vector<Point> out;
   out.reserve(by_gap_.size());

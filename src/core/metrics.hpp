@@ -42,6 +42,10 @@ class TimeDomainProfile {
  public:
   void add(util::Duration gap, Ordering forward_verdict);
 
+  /// Sums another profile's per-gap verdict counts into this one —
+  /// associative and exact, so per-shard profiles combine losslessly.
+  void merge(const TimeDomainProfile& other);
+
   struct Point {
     util::Duration gap;
     ReorderEstimate estimate;

@@ -14,13 +14,14 @@ void PingBurstAdapter::run(const TestRunConfig& config, std::function<void(TestR
                last_ = r;
                TestRunResult out;
                out.test_name = name();
-               out.forward.in_order = static_cast<int>(r.adjacent_pairs - r.adjacent_exchanged);
-               out.forward.reordered = static_cast<int>(r.adjacent_exchanged);
+               out.forward.in_order =
+                   static_cast<std::uint64_t>(r.adjacent_pairs - r.adjacent_exchanged);
+               out.forward.reordered = static_cast<std::uint64_t>(r.adjacent_exchanged);
                // Same unit as the pair counts above: adjacent pairs a
                // complete run would have produced but lost replies ate.
                const std::int64_t expected_pairs =
                    static_cast<std::int64_t>(r.bursts) * std::max(0, burst_size_ - 1);
-               out.forward.lost = static_cast<int>(
+               out.forward.lost = static_cast<std::uint64_t>(
                    std::max<std::int64_t>(0, expected_pairs -
                                                  static_cast<std::int64_t>(r.adjacent_pairs)));
                out.admissible = r.replies_received > 0;

@@ -22,9 +22,9 @@ void ResultStore::on_sample(const SampleEvent& e) {
 }
 
 void ResultStore::on_measurement(const MeasurementEvent& e) {
+  engine_.observe_measurement(e);
   const std::uint32_t target = intern(e.target);
   const std::uint32_t test = intern(e.test);
-  const std::size_t row = m_at_ns_.size();
   m_target_.push_back(target);
   m_test_.push_back(test);
   m_at_ns_.push_back(e.at.ns());
@@ -36,7 +36,6 @@ void ResultStore::on_measurement(const MeasurementEvent& e) {
   m_samples_begin_.push_back(samples_claimed_);
   m_samples_end_.push_back(s_gap_ns_.size());
   samples_claimed_ = s_gap_ns_.size();
-  by_key_[{target, test}].push_back(row);
 }
 
 std::vector<std::string> ResultStore::targets() const {
@@ -78,66 +77,6 @@ ResultStore::MeasurementRow ResultStore::measurement(std::size_t i) const {
 
 ResultStore::SampleColumns ResultStore::samples() const {
   return SampleColumns{s_forward_, s_reverse_, s_gap_ns_, s_started_ns_, s_completed_ns_};
-}
-
-const std::vector<std::size_t>* ResultStore::rows_for(const std::string& target,
-                                                      const std::string& test) const {
-  const auto t = lookup_.find(target);
-  const auto s = lookup_.find(test);
-  if (t == lookup_.end() || s == lookup_.end()) return nullptr;
-  const auto it = by_key_.find({t->second, s->second});
-  return it == by_key_.end() ? nullptr : &it->second;
-}
-
-std::vector<double> ResultStore::rate_series(const std::string& target, const std::string& test,
-                                             bool forward) const {
-  std::vector<double> out;
-  const auto* rows = rows_for(target, test);
-  if (rows == nullptr) return out;
-  for (const std::size_t row : *rows) {
-    if (m_admissible_[row] == 0) continue;
-    const ReorderEstimate& est = forward ? m_forward_[row] : m_reverse_[row];
-    if (const auto rate = est.rate()) out.push_back(*rate);
-  }
-  return out;
-}
-
-ReorderEstimate ResultStore::aggregate(const std::string& target, const std::string& test,
-                                       bool forward) const {
-  ReorderEstimate total;
-  const auto* rows = rows_for(target, test);
-  if (rows == nullptr) return total;
-  for (const std::size_t row : *rows) {
-    if (m_admissible_[row] == 0) continue;
-    total += forward ? m_forward_[row] : m_reverse_[row];
-  }
-  return total;
-}
-
-stats::PairDifferenceResult ResultStore::compare(const std::string& target,
-                                                 const std::string& test_a,
-                                                 const std::string& test_b, bool forward,
-                                                 double confidence) const {
-  auto a = rate_series(target, test_a, forward);
-  auto b = rate_series(target, test_b, forward);
-  const std::size_t n = std::min(a.size(), b.size());
-  a.resize(n);
-  b.resize(n);
-  return stats::pair_difference_test(a, b, confidence);
-}
-
-TimeDomainProfile ResultStore::time_domain(const std::string& target,
-                                           const std::string& test) const {
-  TimeDomainProfile profile;
-  const auto* rows = rows_for(target, test);
-  if (rows == nullptr) return profile;
-  for (const std::size_t row : *rows) {
-    if (m_admissible_[row] == 0) continue;
-    for (std::size_t i = m_samples_begin_[row]; i < m_samples_end_[row]; ++i) {
-      profile.add(util::Duration::nanos(s_gap_ns_[i]), static_cast<Ordering>(s_forward_[i]));
-    }
-  }
-  return profile;
 }
 
 }  // namespace reorder::core

@@ -1,18 +1,19 @@
-// Columnar result storage — the query side of the streaming pipeline.
+// Columnar result storage — the archive side of the streaming pipeline.
 //
 // ResultStore is "just one sink": it subscribes to the same event stream
 // every other sink sees and lays the data out as structure-of-arrays —
 // per-measurement columns (timestamps, admissibility, per-direction
 // verdict counts) and per-sample columns (forward/reverse verdicts,
 // inter-packet gaps, start/completion timestamps) — indexed by
-// (target, test). The session-era query API (rate_series / aggregate /
-// compare) lives here, on top of the columns, so SurveyEngine's old
-// poll-only map is gone without any caller noticing.
+// (target, test). The columnar layout is what the ROADMAP's scale target
+// wants: a survey over millions of paths appends fixed-width rows and
+// report emitters can stream any column without touching the others.
 //
-// The columnar layout is what the ROADMAP's scale target wants: a survey
-// over millions of paths appends fixed-width rows, aggregation is a
-// linear scan over contiguous ints, and report emitters can stream any
-// column without touching the others.
+// The session-era query API (rate_series / aggregate / compare /
+// time_domain) no longer scans those columns: the store feeds the same
+// event stream into an embedded metrics::MetricEngine and every query is
+// a snapshot read of the incremental accumulators — the one metrics
+// implementation shared by sinks, surveys and reports.
 #pragma once
 
 #include <cstdint>
@@ -23,6 +24,7 @@
 
 #include "core/metrics.hpp"
 #include "core/result_sink.hpp"
+#include "metrics/engine.hpp"
 #include "stats/pair_difference.hpp"
 
 namespace reorder::core {
@@ -70,30 +72,40 @@ class ResultStore final : public ResultSink {
   SampleColumns samples() const;
 
   // ------------------------------------------------- session-era queries
+  // All delegate to the embedded metric engine's snapshots.
   /// Mean reordering rate per admissible measurement of (target, test),
   /// in completion order — the paired series for the §IV-B comparison.
   std::vector<double> rate_series(const std::string& target, const std::string& test,
-                                  bool forward) const;
+                                  bool forward) const {
+    return engine_.rate_series(target, test, forward);
+  }
 
   /// Pooled estimate over every admissible measurement of (target, test).
   ReorderEstimate aggregate(const std::string& target, const std::string& test,
-                            bool forward) const;
+                            bool forward) const {
+    return engine_.aggregate(target, test, forward);
+  }
 
   /// Paired comparison of two tests on one target (paper: 99.9% CI).
   /// Series are truncated to the shorter length; needs >= 2 measurements.
   stats::PairDifferenceResult compare(const std::string& target, const std::string& test_a,
                                       const std::string& test_b, bool forward,
-                                      double confidence = 0.999) const;
+                                      double confidence = 0.999) const {
+    return engine_.compare(target, test_a, test_b, forward, confidence);
+  }
 
-  /// The §IV-C time-domain profile of (target, test), assembled straight
-  /// from the gap and forward-verdict columns of admissible measurements.
-  TimeDomainProfile time_domain(const std::string& target, const std::string& test) const;
+  /// The §IV-C time-domain profile of (target, test), from the engine's
+  /// incremental per-gap accumulators over admissible measurements.
+  TimeDomainProfile time_domain(const std::string& target, const std::string& test) const {
+    return engine_.time_domain(target, test);
+  }
+
+  /// The embedded streaming metrics engine (snapshot reads; per-key
+  /// suites, JSONL `metrics` records, cross-shard merge).
+  const metrics::MetricEngine& metrics() const { return engine_; }
 
  private:
   std::uint32_t intern(std::string_view name);
-  /// Measurement row indices for (target, test), or nullptr.
-  const std::vector<std::size_t>* rows_for(const std::string& target,
-                                           const std::string& test) const;
 
   // Interned names: ids index names_; lookup_ maps name -> id.
   std::vector<std::string> names_;
@@ -119,8 +131,8 @@ class ResultStore final : public ResultSink {
   /// belong to the measurement currently being published.
   std::size_t samples_claimed_{0};
 
-  /// (target id, test id) -> measurement rows, in completion order.
-  std::map<std::pair<std::uint32_t, std::uint32_t>, std::vector<std::size_t>> by_key_;
+  /// Incremental accumulators behind every query above.
+  metrics::MetricEngine engine_;
 };
 
 }  // namespace reorder::core

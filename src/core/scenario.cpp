@@ -5,22 +5,18 @@
 namespace reorder::core {
 
 ReorderEstimate ScenarioResult::aggregate(const std::string& test, bool forward) const {
-  ReorderEstimate total;
-  for (const auto& m : measurements) {
-    if (m.test != test || !m.result.admissible) continue;
-    total += forward ? m.result.forward : m.result.reverse;
-  }
-  return total;
+  if (metrics == nullptr) return {};
+  return metrics->aggregate(scenario, test, forward);
 }
 
 std::vector<double> ScenarioResult::rate_series(const std::string& test, bool forward) const {
-  std::vector<double> out;
-  for (const auto& m : measurements) {
-    if (m.test != test || !m.result.admissible) continue;
-    const ReorderEstimate& est = forward ? m.result.forward : m.result.reverse;
-    if (const auto rate = est.rate()) out.push_back(*rate);
-  }
-  return out;
+  if (metrics == nullptr) return {};
+  return metrics->rate_series(scenario, test, forward);
+}
+
+TimeDomainProfile ScenarioResult::time_domain(const std::string& test) const {
+  if (metrics == nullptr) return {};
+  return metrics->time_domain(scenario, test);
 }
 
 const ScenarioMeasurement* ScenarioResult::first(const std::string& test) const {
@@ -36,15 +32,19 @@ ScenarioResult run_scenario(Testbed& bed, const ScenarioSpec& spec, ResultSink* 
   }
   ScenarioResult out;
   out.scenario = spec.name;
+  // The runner always streams into a metrics engine (the result's query
+  // backend); a caller-supplied sink sees the same events after it.
+  out.metrics = std::make_shared<metrics::MetricEngine>();
+  metrics::EngineSink engine_sink{*out.metrics};
+  SinkFanout fanout;
+  fanout.add(engine_sink);
+  if (sink != nullptr) fanout.add(*sink);
+  ResultSink& sinks = fanout;
   // Bracket the stream like the survey engine does: sinks may key on
   // survey_end to know a capture is complete.
-  if (sink != nullptr) {
-    sink->on_survey_begin(SurveyEvent{1, spec.rounds, 0, bed.loop().now()});
-  }
+  sinks.on_survey_begin(SurveyEvent{1, spec.rounds, 0, bed.loop().now()});
   const auto finish = [&]() -> ScenarioResult {
-    if (sink != nullptr) {
-      sink->on_survey_end(SurveyEvent{1, spec.rounds, out.measurements.size(), bed.loop().now()});
-    }
+    sinks.on_survey_end(SurveyEvent{1, spec.rounds, out.measurements.size(), bed.loop().now()});
     return std::move(out);
   };
 
@@ -67,9 +67,7 @@ ScenarioResult run_scenario(Testbed& bed, const ScenarioSpec& spec, ResultSink* 
         m.round = round;
         const util::TimePoint started = bed.loop().now();
         m.result = bed.run_sync(*test, run, spec.deadline_s);
-        if (sink != nullptr) {
-          publish_result(*sink, spec.name, m.test, started, m.result, out.measurements.size());
-        }
+        publish_result(sinks, spec.name, m.test, started, m.result, out.measurements.size());
         out.measurements.push_back(std::move(m));
         if (spec.stop_on_inadmissible && !out.measurements.back().result.admissible) {
           return finish();

@@ -6,12 +6,14 @@
 // topologies the paper's evaluation keeps returning to.
 #pragma once
 
+#include <memory>
 #include <string>
 #include <vector>
 
 #include "core/result_sink.hpp"
 #include "core/test_registry.hpp"
 #include "core/testbed.hpp"
+#include "metrics/engine.hpp"
 
 namespace reorder::core {
 
@@ -49,6 +51,11 @@ struct ScenarioMeasurement {
 struct ScenarioResult {
   std::string scenario;
   std::vector<ScenarioMeasurement> measurements;
+  /// The streaming metrics engine the runner fed while the grid executed
+  /// (target = scenario name, one suite per test). Every aggregate query
+  /// below is a snapshot read of it; richer metrics (time-domain,
+  /// densities, tail sketches) are available directly.
+  std::shared_ptr<metrics::MetricEngine> metrics;
 
   /// Pooled per-direction counts over every admissible measurement of
   /// `test` (all gaps, all rounds).
@@ -56,6 +63,9 @@ struct ScenarioResult {
 
   /// Mean rate per admissible measurement of `test`, in run order.
   std::vector<double> rate_series(const std::string& test, bool forward) const;
+
+  /// The §IV-C time-domain profile of `test` over the whole sweep.
+  TimeDomainProfile time_domain(const std::string& test) const;
 
   /// The first measurement of `test`, or nullptr.
   const ScenarioMeasurement* first(const std::string& test) const;

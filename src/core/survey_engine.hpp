@@ -60,8 +60,13 @@ class SurveyEngine {
   /// a survey is running.
   void add_sink(ResultSink& sink);
 
-  /// The columnar store every query below reads from.
+  /// The columnar archive (row/column access for report emitters).
   const ResultStore& store() const { return store_; }
+
+  /// The streaming metrics engine every query below reads from: one
+  /// metric suite per (target, test), updated mid-survey in event-loop
+  /// order, mergeable with other shards' engines.
+  const metrics::MetricEngine& metrics() const { return store_.metrics(); }
 
   /// Registers a target whose test suite is built through the global
   /// TestRegistry.

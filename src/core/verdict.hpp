@@ -40,12 +40,15 @@ struct SampleResult {
   std::uint64_t rev_uid_second{0};
 };
 
-/// Aggregated verdict counts for one direction.
+/// Aggregated verdict counts for one direction. Counters are 64-bit:
+/// survey-scale accumulators pool estimates across millions of
+/// measurements, which overflows 32-bit counts long before the survey
+/// ends.
 struct ReorderEstimate {
-  int in_order{0};
-  int reordered{0};
-  int ambiguous{0};
-  int lost{0};
+  std::uint64_t in_order{0};
+  std::uint64_t reordered{0};
+  std::uint64_t ambiguous{0};
+  std::uint64_t lost{0};
 
   void add(Ordering o);
   /// Accumulates another estimate's counts (pooling across measurements).
@@ -56,22 +59,23 @@ struct ReorderEstimate {
     lost += o.lost;
     return *this;
   }
-  int usable() const { return in_order + reordered; }
-  int total() const { return usable() + ambiguous + lost; }
+  std::uint64_t usable() const { return in_order + reordered; }
+  std::uint64_t total() const { return usable() + ambiguous + lost; }
   /// Reordering rate over usable samples (the paper's reported quantity).
   /// Empty when no sample was usable — "no data" is not a clean path, and
   /// conflating the two (the old 0.0 return) silently misfiled dead
   /// measurements as reorder-free ones.
   std::optional<double> rate() const {
     if (usable() == 0) return std::nullopt;
-    return static_cast<double>(reordered) / usable();
+    return static_cast<double>(reordered) / static_cast<double>(usable());
   }
   /// rate(), or `fallback` when there is no usable sample — for display
   /// paths that render the no-data case as a number.
   double rate_or(double fallback = 0.0) const { return rate().value_or(fallback); }
   /// Wilson interval on the rate at normal quantile z.
   stats::Proportion proportion(double z = 1.96) const {
-    return stats::wilson_interval(reordered, usable(), z);
+    return stats::wilson_interval(static_cast<std::int64_t>(reordered),
+                                  static_cast<std::int64_t>(usable()), z);
   }
 };
 

@@ -1,0 +1,179 @@
+#include "metrics/engine.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "metrics/pair_metrics.hpp"
+
+namespace reorder::metrics {
+
+MetricSuite default_suite(std::string_view target, std::string_view test) {
+  (void)target;
+  (void)test;
+  MetricSuite suite;
+  suite.add(std::make_unique<PairRateMetric>())
+      .add(std::make_unique<RateSeriesMetric>())
+      .add(std::make_unique<TimeDomainMetric>())
+      .add(std::make_unique<RateEcdfMetric>())
+      .add(std::make_unique<LateTimeMetric>());
+  return suite;
+}
+
+MetricEngine::Entry& MetricEngine::entry(std::string_view target, std::string_view test) {
+  const auto it = index_.find(std::make_pair(std::string{target}, std::string{test}));
+  if (it != index_.end()) return entries_[it->second];
+  Entry e;
+  e.target = std::string{target};
+  e.test = std::string{test};
+  e.suite = factory_(target, test);
+  entries_.push_back(std::move(e));
+  index_.emplace(std::make_pair(entries_.back().target, entries_.back().test),
+                 entries_.size() - 1);
+  return entries_.back();
+}
+
+const MetricEngine::Entry* MetricEngine::find(const std::string& target,
+                                              const std::string& test) const {
+  const auto it = index_.find(std::make_pair(target, test));
+  return it == index_.end() ? nullptr : &entries_[it->second];
+}
+
+void MetricEngine::observe_measurement(const core::MeasurementEvent& e) {
+  Entry& en = entry(e.target, e.test);
+  ++en.measurements;
+  if (!e.result.admissible) return;
+  ++en.admissible;
+  // Replay the measurement's samples (the queries' per-sample data is
+  // gated on the measurement being admissible, known only now). Each
+  // usable forward verdict is also fed as the degenerate length-2
+  // arrival sequence, so sequence metrics plugged in via the suite
+  // factory accumulate from pair streams too (closed per sample — the
+  // boundary the mergeability contract needs).
+  for (std::size_t i = 0; i < e.result.samples.size(); ++i) {
+    const core::SampleResult& sample = e.result.samples[i];
+    en.suite.observe(
+        core::SampleEvent{e.target, e.test, e.measurement_index, i, e.at, sample});
+    if (sample.forward == core::Ordering::kInOrder) {
+      en.suite.observe_arrival(0);
+      en.suite.observe_arrival(1);
+      en.suite.end_sequence();
+    } else if (sample.forward == core::Ordering::kReordered) {
+      en.suite.observe_arrival(1);
+      en.suite.observe_arrival(0);
+      en.suite.end_sequence();
+    }
+  }
+  en.suite.observe_measurement(e);
+}
+
+std::vector<std::pair<std::string, std::string>> MetricEngine::keys() const {
+  std::vector<std::pair<std::string, std::string>> out;
+  out.reserve(entries_.size());
+  for (const auto& e : entries_) out.emplace_back(e.target, e.test);
+  return out;
+}
+
+const MetricSuite* MetricEngine::suite(const std::string& target, const std::string& test) const {
+  const Entry* e = find(target, test);
+  return e == nullptr ? nullptr : &e->suite;
+}
+
+std::uint64_t MetricEngine::measurements(const std::string& target,
+                                         const std::string& test) const {
+  const Entry* e = find(target, test);
+  return e == nullptr ? 0 : e->measurements;
+}
+
+std::uint64_t MetricEngine::admissible_measurements(const std::string& target,
+                                                    const std::string& test) const {
+  const Entry* e = find(target, test);
+  return e == nullptr ? 0 : e->admissible;
+}
+
+core::ReorderEstimate MetricEngine::aggregate(const std::string& target, const std::string& test,
+                                              bool forward) const {
+  const Entry* e = find(target, test);
+  if (e == nullptr) return {};
+  const auto* rates = e->suite.get<PairRateMetric>(PairRateMetric::kName);
+  if (rates == nullptr) return {};
+  return forward ? rates->forward() : rates->reverse();
+}
+
+std::vector<double> MetricEngine::rate_series(const std::string& target, const std::string& test,
+                                              bool forward) const {
+  const Entry* e = find(target, test);
+  if (e == nullptr) return {};
+  const auto* series = e->suite.get<RateSeriesMetric>(RateSeriesMetric::kName);
+  if (series == nullptr) return {};
+  return forward ? series->forward() : series->reverse();
+}
+
+core::TimeDomainProfile MetricEngine::time_domain(const std::string& target,
+                                                  const std::string& test) const {
+  const Entry* e = find(target, test);
+  if (e == nullptr) return {};
+  const auto* td = e->suite.get<TimeDomainMetric>(TimeDomainMetric::kName);
+  if (td == nullptr) return {};
+  return td->profile();
+}
+
+stats::PairDifferenceResult MetricEngine::compare(const std::string& target,
+                                                  const std::string& test_a,
+                                                  const std::string& test_b, bool forward,
+                                                  double confidence) const {
+  auto a = rate_series(target, test_a, forward);
+  auto b = rate_series(target, test_b, forward);
+  const std::size_t n = std::min(a.size(), b.size());
+  a.resize(n);
+  b.resize(n);
+  return stats::pair_difference_test(a, b, confidence);
+}
+
+void MetricEngine::merge(const MetricEngine& other) {
+  for (const Entry& theirs : other.entries_) {
+    const auto it = index_.find(std::make_pair(theirs.target, theirs.test));
+    if (it == index_.end()) {
+      Entry copy;
+      copy.target = theirs.target;
+      copy.test = theirs.test;
+      copy.suite = theirs.suite.snapshot();
+      copy.measurements = theirs.measurements;
+      copy.admissible = theirs.admissible;
+      entries_.push_back(std::move(copy));
+      index_.emplace(std::make_pair(entries_.back().target, entries_.back().test),
+                     entries_.size() - 1);
+      continue;
+    }
+    Entry& mine = entries_[it->second];
+    mine.suite.merge(theirs.suite);
+    mine.measurements += theirs.measurements;
+    mine.admissible += theirs.admissible;
+  }
+}
+
+report::Json MetricEngine::to_json() const {
+  report::Json j = report::Json::object();
+  for (const auto& e : entries_) {
+    report::Json entry = report::Json::object();
+    entry.set("measurements", e.measurements);
+    entry.set("admissible", e.admissible);
+    entry.set("metrics", e.suite.to_json());
+    j.set(e.target + "/" + e.test, std::move(entry));
+  }
+  return j;
+}
+
+void MetricEngine::emit_jsonl(report::JsonlWriter& out) const {
+  for (const auto& e : entries_) {
+    report::Json record = report::Json::object();
+    record.set("type", "metrics");
+    record.set("target", e.target);
+    record.set("test", e.test);
+    record.set("measurements", e.measurements);
+    record.set("admissible", e.admissible);
+    record.set("metrics", e.suite.to_json());
+    out.write(record);
+  }
+}
+
+}  // namespace reorder::metrics

@@ -1,0 +1,121 @@
+// The unified streaming-metrics contract.
+//
+// Every analytic quantity the library reports — pair reorder rates,
+// time-domain profiles, RFC 4737 sequence extents, RFC 5236 n-reordering,
+// reorder/buffer-occupancy densities, tail quantiles — is a Metric: a
+// one-pass online accumulator with an associative, exactly-mergeable
+// snapshot. The contract every implementation must honor:
+//
+//   * observe*() is one-pass: O(1) or O(log n) per event, never a replay
+//     of stored raw samples at query time;
+//   * merge() over snapshots of a partitioned stream is bit-identical to
+//     the single-pass batch result. Sample-level metrics merge exactly
+//     under ANY contiguous split of the sample stream; sequence-level
+//     metrics merge exactly under splits at sequence boundaries (which
+//     the engine guarantees: a measurement's events publish atomically);
+//   * to_json() is a pure function of the accumulated state, so equal
+//     states render byte-identical JSON (what the property tests check).
+//
+// This is what lets per-target / per-shard accumulators from concurrent
+// SurveyEngine state machines (or from different machines entirely, via
+// the JSONL metrics records) combine into exact fleet-wide aggregates.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "core/result_sink.hpp"
+#include "report/json.hpp"
+
+namespace reorder::metrics {
+
+class Metric {
+ public:
+  virtual ~Metric() = default;
+
+  /// Stable identifier; merge() pairs metrics by name, to_json() keys on it.
+  virtual std::string_view name() const = 0;
+
+  // ------------------------------------------------- streaming updates
+  // Implement the granularity the metric consumes; the rest are no-ops.
+  /// One sample verdict (the paper's two-packet primitive).
+  virtual void observe(const core::SampleEvent&) {}
+  /// One completed measurement (after its samples were observed).
+  virtual void observe_measurement(const core::MeasurementEvent&) {}
+  /// One arrival in a packet sequence: the send index of the packet that
+  /// just arrived (RFC 4737's stream model). Sequence metrics only.
+  virtual void observe_arrival(std::uint32_t send_index) { (void)send_index; }
+  /// Closes the current arrival sequence (sequence metrics only).
+  virtual void end_sequence() {}
+
+  // ---------------------------------------------------- snapshot/merge
+  /// Deep copy of the accumulated state.
+  virtual std::unique_ptr<Metric> snapshot() const = 0;
+  /// Folds another accumulator of the same concrete type into this one.
+  /// Throws std::invalid_argument on a type or name mismatch.
+  virtual void merge(const Metric& other) = 0;
+
+  /// JSON rendering of the current state (one object per metric; schema
+  /// documented per metric and in the README's "Metrics" section).
+  virtual report::Json to_json() const = 0;
+
+ protected:
+  /// Downcast helper for merge(): checks name and concrete type.
+  template <typename T>
+  static const T& expect(const Metric& other, std::string_view name);
+};
+
+template <typename T>
+const T& Metric::expect(const Metric& other, std::string_view name) {
+  const T* typed = dynamic_cast<const T*>(&other);
+  if (typed == nullptr || other.name() != name) {
+    throw std::invalid_argument{"Metric::merge: cannot merge '" + std::string{other.name()} +
+                                "' into '" + std::string{name} + "'"};
+  }
+  return *typed;
+}
+
+/// An ordered collection of metrics fed from one event stream — the unit
+/// the engine keeps per (target, test). Suites merge member-wise and
+/// require identical composition (same names, same order).
+class MetricSuite {
+ public:
+  MetricSuite() = default;
+  MetricSuite(MetricSuite&&) = default;
+  MetricSuite& operator=(MetricSuite&&) = default;
+
+  MetricSuite& add(std::unique_ptr<Metric> metric);
+  std::size_t size() const { return metrics_.size(); }
+  bool empty() const { return metrics_.empty(); }
+
+  /// The member named `name`, or nullptr.
+  const Metric* find(std::string_view name) const;
+  /// Typed lookup; nullptr when absent or of a different concrete type.
+  template <typename T>
+  const T* get(std::string_view name) const {
+    return dynamic_cast<const T*>(find(name));
+  }
+
+  // Event fan-in (every member sees every event).
+  void observe(const core::SampleEvent& e);
+  void observe_measurement(const core::MeasurementEvent& e);
+  void observe_arrival(std::uint32_t send_index);
+  void end_sequence();
+
+  MetricSuite snapshot() const;
+  /// Member-wise merge; throws std::invalid_argument when the suites'
+  /// compositions differ.
+  void merge(const MetricSuite& other);
+
+  /// {"<metric name>": <metric.to_json()>, ...} in attachment order.
+  report::Json to_json() const;
+
+ private:
+  std::vector<std::unique_ptr<Metric>> metrics_;
+};
+
+}  // namespace reorder::metrics

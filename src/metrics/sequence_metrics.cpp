@@ -1,0 +1,323 @@
+#include "metrics/sequence_metrics.hpp"
+
+#include <algorithm>
+#include <functional>
+#include <stdexcept>
+
+namespace reorder::metrics {
+
+// -------------------------------------------------------- ArrivalCounter
+
+void ArrivalCounter::record(std::uint32_t send_index) {
+  const std::size_t needed = static_cast<std::size_t>(send_index) + 2;  // 1-based
+  if (needed > tree_.size()) {
+    // Double the Fenwick and rebuild from the recorded frequencies (the
+    // tree itself is the only storage: rebuild by re-walking is O(M), and
+    // doubling keeps the amortized cost per record O(log M)).
+    std::size_t capacity = std::max<std::size_t>(64, tree_.size());
+    while (capacity < needed) capacity *= 2;
+    std::vector<std::uint64_t> freq(capacity, 0);
+    // Recover frequencies: freq[i] = prefix(i) - prefix(i-1).
+    std::uint64_t prev = 0;
+    for (std::size_t i = 1; i < tree_.size(); ++i) {
+      std::uint64_t prefix = 0;
+      for (std::size_t k = i; k > 0; k -= k & (~k + 1)) prefix += tree_[k];
+      freq[i] = prefix - prev;
+      prev = prefix;
+    }
+    tree_.assign(capacity, 0);
+    for (std::size_t i = 1; i < freq.size(); ++i) {
+      if (freq[i] == 0) continue;
+      for (std::size_t k = i; k < tree_.size(); k += k & (~k + 1)) tree_[k] += freq[i];
+    }
+  }
+  for (std::size_t k = static_cast<std::size_t>(send_index) + 1; k < tree_.size();
+       k += k & (~k + 1)) {
+    ++tree_[k];
+  }
+  ++total_;
+}
+
+std::uint64_t ArrivalCounter::count_above(std::uint32_t send_index) const {
+  // total - (arrivals with send index <= send_index).
+  std::uint64_t at_or_below = 0;
+  std::size_t k = std::min(static_cast<std::size_t>(send_index) + 1,
+                           tree_.empty() ? 0 : tree_.size() - 1);
+  for (; k > 0; k -= k & (~k + 1)) at_or_below += tree_[k];
+  return total_ - at_or_below;
+}
+
+void ArrivalCounter::clear() {
+  tree_.clear();
+  total_ = 0;
+}
+
+// -------------------------------------------------- SequenceExtentMetric
+
+void SequenceExtentMetric::observe_arrival(std::uint32_t send_index) {
+  open_ = true;
+  ++packets_;
+  inversions_ += counter_.count_above(send_index);
+  if (!records_.empty() && records_.back().send_index > send_index) {
+    // Reordered (RFC 4737 type-P-reordered): a larger send index already
+    // arrived. The extent is the distance back to the earliest such
+    // arrival, which is always a prefix-maximum record.
+    const auto it = std::upper_bound(
+        records_.begin(), records_.end(), send_index,
+        [](std::uint32_t value, const Record& r) { return r.send_index > value; });
+    const auto extent = static_cast<std::uint32_t>(position_ - it->position);
+    ++reordered_;
+    extent_sum_ += extent;
+    max_extent_ = std::max(max_extent_, extent);
+    extent_tail_.add(extent);
+  } else if (records_.empty() || send_index > records_.back().send_index) {
+    records_.push_back(Record{position_, send_index});
+  }
+  counter_.record(send_index);
+  ++position_;
+}
+
+void SequenceExtentMetric::end_sequence() {
+  if (!open_) return;
+  ++sequences_;
+  records_.clear();
+  counter_.clear();
+  position_ = 0;
+  open_ = false;
+}
+
+std::unique_ptr<Metric> SequenceExtentMetric::snapshot() const {
+  return std::make_unique<SequenceExtentMetric>(*this);
+}
+
+void SequenceExtentMetric::merge(const Metric& other) {
+  const auto& o = expect<SequenceExtentMetric>(other, kName);
+  if (open_ || o.open_) {
+    throw std::invalid_argument{"SequenceExtentMetric::merge: open sequence (call end_sequence)"};
+  }
+  packets_ += o.packets_;
+  reordered_ += o.reordered_;
+  extent_sum_ += o.extent_sum_;
+  max_extent_ = std::max(max_extent_, o.max_extent_);
+  inversions_ += o.inversions_;
+  sequences_ += o.sequences_;
+  extent_tail_.merge(o.extent_tail_);
+}
+
+report::Json SequenceExtentMetric::to_json() const {
+  report::Json j = report::Json::object();
+  j.set("sequences", sequences_);
+  j.set("packets", packets_);
+  j.set("reordered", reordered_);
+  j.set("ratio", ratio());
+  j.set("max_extent", static_cast<std::uint64_t>(max_extent_));
+  j.set("mean_extent", mean_extent());
+  j.set("inversions", inversions_);
+  j.set("extent_tail", extent_tail_.to_json());
+  return j;
+}
+
+// ----------------------------------------------------- NReorderingMetric
+
+void NReorderingMetric::observe_arrival(std::uint32_t send_index) {
+  open_ = true;
+  // RFC 5236: the packet is n-reordered when the n arrivals immediately
+  // before it were all sent after it. n = current position - 1 - (latest
+  // earlier position whose send index is smaller). The monotonic stack
+  // holds (position, send index) with strictly increasing values, so that
+  // latest smaller-valued position is found by binary search.
+  const auto it = std::lower_bound(
+      stack_.begin(), stack_.end(), send_index,
+      [](const Entry& e, std::uint32_t value) { return e.send_index < value; });
+  const std::int64_t boundary = it == stack_.begin() ? -1 : static_cast<std::int64_t>(
+                                                               std::prev(it)->position);
+  const auto n = static_cast<std::uint64_t>(static_cast<std::int64_t>(position_) - 1 - boundary);
+  if (n > 0) ++density_[n];
+  ++packets_;
+  while (!stack_.empty() && stack_.back().send_index >= send_index) stack_.pop_back();
+  stack_.push_back(Entry{position_, send_index});
+  ++position_;
+}
+
+void NReorderingMetric::end_sequence() {
+  if (!open_) return;
+  stack_.clear();
+  position_ = 0;
+  open_ = false;
+}
+
+std::uint64_t NReorderingMetric::count_for(std::uint64_t n) const {
+  const auto it = density_.find(n);
+  return it == density_.end() ? 0 : it->second;
+}
+
+double NReorderingMetric::reordered_fraction() const {
+  if (packets_ == 0) return 0.0;
+  std::uint64_t reordered = 0;
+  for (const auto& [n, count] : density_) reordered += count;
+  return static_cast<double>(reordered) / static_cast<double>(packets_);
+}
+
+std::unique_ptr<Metric> NReorderingMetric::snapshot() const {
+  return std::make_unique<NReorderingMetric>(*this);
+}
+
+void NReorderingMetric::merge(const Metric& other) {
+  const auto& o = expect<NReorderingMetric>(other, kName);
+  if (open_ || o.open_) {
+    throw std::invalid_argument{"NReorderingMetric::merge: open sequence (call end_sequence)"};
+  }
+  packets_ += o.packets_;
+  for (const auto& [n, count] : o.density_) density_[n] += count;
+}
+
+report::Json NReorderingMetric::to_json() const {
+  report::Json j = report::Json::object();
+  j.set("packets", packets_);
+  j.set("reordered_fraction", reordered_fraction());
+  report::Json density = report::Json::array();
+  for (const auto& [n, count] : density_) {
+    report::Json d = report::Json::object();
+    d.set("n", n);
+    d.set("count", count);
+    density.push(std::move(d));
+  }
+  j.set("density", std::move(density));
+  return j;
+}
+
+// -------------------------------------------------- ReorderDensityMetric
+
+void ReorderDensityMetric::observe_arrival(std::uint32_t send_index) {
+  open_ = true;
+  const std::int64_t displacement =
+      static_cast<std::int64_t>(position_) - static_cast<std::int64_t>(send_index);
+  ++density_[std::clamp(displacement, -threshold_, threshold_)];
+  ++packets_;
+  ++position_;
+}
+
+void ReorderDensityMetric::end_sequence() {
+  if (!open_) return;
+  position_ = 0;
+  open_ = false;
+}
+
+std::uint64_t ReorderDensityMetric::count_for(std::int64_t displacement) const {
+  const auto it = density_.find(displacement);
+  return it == density_.end() ? 0 : it->second;
+}
+
+std::unique_ptr<Metric> ReorderDensityMetric::snapshot() const {
+  return std::make_unique<ReorderDensityMetric>(*this);
+}
+
+void ReorderDensityMetric::merge(const Metric& other) {
+  const auto& o = expect<ReorderDensityMetric>(other, kName);
+  if (o.threshold_ != threshold_) {
+    throw std::invalid_argument{"ReorderDensityMetric::merge: thresholds differ"};
+  }
+  if (open_ || o.open_) {
+    throw std::invalid_argument{"ReorderDensityMetric::merge: open sequence (call end_sequence)"};
+  }
+  packets_ += o.packets_;
+  for (const auto& [d, count] : o.density_) density_[d] += count;
+}
+
+report::Json ReorderDensityMetric::to_json() const {
+  report::Json j = report::Json::object();
+  j.set("packets", packets_);
+  report::Json density = report::Json::array();
+  for (const auto& [d, count] : density_) {
+    report::Json entry = report::Json::object();
+    entry.set("displacement", d);
+    entry.set("count", count);
+    if (packets_ > 0) {
+      entry.set("density", static_cast<double>(count) / static_cast<double>(packets_));
+    }
+    density.push(std::move(entry));
+  }
+  j.set("density", std::move(density));
+  return j;
+}
+
+// --------------------------------------------------- BufferDensityMetric
+
+void BufferDensityMetric::observe_arrival(std::uint32_t send_index) {
+  open_ = true;
+  if (send_index == next_expected_) {
+    ++next_expected_;
+    while (!held_.empty() && held_.front() == next_expected_) {
+      std::pop_heap(held_.begin(), held_.end(), std::greater<>{});
+      held_.pop_back();
+      ++next_expected_;
+    }
+  } else if (send_index > next_expected_) {
+    held_.push_back(send_index);
+    std::push_heap(held_.begin(), held_.end(), std::greater<>{});
+  }
+  // Duplicates / already-released indices leave the buffer untouched but
+  // still contribute an occupancy observation (an arrival happened).
+  const auto occupancy = static_cast<std::uint64_t>(held_.size());
+  ++density_[occupancy];
+  max_occupancy_ = std::max(max_occupancy_, occupancy);
+  ++packets_;
+}
+
+void BufferDensityMetric::end_sequence() {
+  if (!open_) return;
+  held_.clear();
+  next_expected_ = 0;
+  open_ = false;
+}
+
+std::uint64_t BufferDensityMetric::count_for(std::uint64_t occupancy) const {
+  const auto it = density_.find(occupancy);
+  return it == density_.end() ? 0 : it->second;
+}
+
+std::unique_ptr<Metric> BufferDensityMetric::snapshot() const {
+  return std::make_unique<BufferDensityMetric>(*this);
+}
+
+void BufferDensityMetric::merge(const Metric& other) {
+  const auto& o = expect<BufferDensityMetric>(other, kName);
+  if (open_ || o.open_) {
+    throw std::invalid_argument{"BufferDensityMetric::merge: open sequence (call end_sequence)"};
+  }
+  packets_ += o.packets_;
+  max_occupancy_ = std::max(max_occupancy_, o.max_occupancy_);
+  for (const auto& [occ, count] : o.density_) density_[occ] += count;
+}
+
+report::Json BufferDensityMetric::to_json() const {
+  report::Json j = report::Json::object();
+  j.set("packets", packets_);
+  j.set("max_occupancy", max_occupancy_);
+  report::Json density = report::Json::array();
+  for (const auto& [occ, count] : density_) {
+    report::Json entry = report::Json::object();
+    entry.set("occupancy", occ);
+    entry.set("count", count);
+    if (packets_ > 0) {
+      entry.set("density", static_cast<double>(count) / static_cast<double>(packets_));
+    }
+    density.push(std::move(entry));
+  }
+  j.set("density", std::move(density));
+  return j;
+}
+
+// -------------------------------------------------------- batch feeding
+
+void observe_sequence(MetricSuite& suite, const std::vector<std::uint32_t>& arrival) {
+  for (const std::uint32_t send_index : arrival) suite.observe_arrival(send_index);
+  suite.end_sequence();
+}
+
+void observe_sequence(Metric& metric, const std::vector<std::uint32_t>& arrival) {
+  for (const std::uint32_t send_index : arrival) metric.observe_arrival(send_index);
+  metric.end_sequence();
+}
+
+}  // namespace reorder::metrics

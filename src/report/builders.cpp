@@ -1,5 +1,7 @@
 #include "report/builders.hpp"
 
+#include <algorithm>
+
 namespace reorder::report {
 
 // ------------------------------------------------------- RateCdfReport
@@ -9,6 +11,25 @@ void RateCdfReport::add_path(double forward_rate, double reverse_rate) {
   reverse_.add(reverse_rate);
   ++paths_;
   if (forward_rate > 0.0 || reverse_rate > 0.0) ++paths_with_reordering_;
+}
+
+void RateCdfReport::add_target(const metrics::MetricEngine& engine, const std::string& target,
+                               const std::vector<std::string>& tests) {
+  core::ReorderEstimate fwd;
+  core::ReorderEstimate rev;
+  if (tests.empty()) {
+    for (const auto& [t, test] : engine.keys()) {
+      if (t != target) continue;
+      fwd += engine.aggregate(target, test, /*forward=*/true);
+      rev += engine.aggregate(target, test, /*forward=*/false);
+    }
+  } else {
+    for (const auto& test : tests) {
+      fwd += engine.aggregate(target, test, /*forward=*/true);
+      rev += engine.aggregate(target, test, /*forward=*/false);
+    }
+  }
+  add_path(fwd.rate_or(0.0), rev.rate_or(0.0));
 }
 
 Table RateCdfReport::table() const {
@@ -97,6 +118,21 @@ void PairDifferenceReport::add(const std::string& test_a, const std::string& tes
     ++p.rev_total;
     p.rev_supported += null_supported ? 1 : 0;
   }
+}
+
+bool PairDifferenceReport::add_compare(const metrics::MetricEngine& engine,
+                                       const std::string& target, const std::string& test_a,
+                                       const std::string& test_b, bool forward,
+                                       double confidence) {
+  auto a = engine.rate_series(target, test_a, forward);
+  auto b = engine.rate_series(target, test_b, forward);
+  const std::size_t n = std::min(a.size(), b.size());
+  if (n < 2) return false;
+  a.resize(n);
+  b.resize(n);
+  const auto r = stats::pair_difference_test(a, b, confidence);
+  add(test_a, test_b, forward, r.null_supported);
+  return true;
 }
 
 namespace {

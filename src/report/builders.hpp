@@ -12,6 +12,7 @@
 
 #include "core/ground_truth.hpp"
 #include "core/metrics.hpp"
+#include "metrics/engine.hpp"
 #include "report/jsonl.hpp"
 #include "report/table.hpp"
 #include "stats/ecdf.hpp"
@@ -28,6 +29,12 @@ class RateCdfReport {
   /// with no usable samples in a direction contributes rate 0 there (it
   /// was measured, not absent — matching the paper's per-path pooling).
   void add_path(double forward_rate, double reverse_rate);
+
+  /// Records one measured path straight from an engine snapshot, pooling
+  /// the named tests' aggregates (the paper's per-path summary). With an
+  /// empty `tests`, pools every test measured against the target.
+  void add_target(const metrics::MetricEngine& engine, const std::string& target,
+                  const std::vector<std::string>& tests = {});
 
   std::size_t paths() const { return paths_; }
   int paths_with_reordering() const { return paths_with_reordering_; }
@@ -81,6 +88,13 @@ class PairDifferenceReport {
   /// Accumulates one host-level paired verdict for (a, b).
   void add(const std::string& test_a, const std::string& test_b, bool forward,
            bool null_supported);
+
+  /// Runs the engine's paired comparison of (a, b) on one target and
+  /// records the verdict. Returns false (recording nothing) when fewer
+  /// than two usable pairs exist.
+  bool add_compare(const metrics::MetricEngine& engine, const std::string& target,
+                   const std::string& test_a, const std::string& test_b, bool forward,
+                   double confidence = 0.999);
 
   const std::vector<Pair>& pairs() const { return pairs_; }
 

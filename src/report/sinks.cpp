@@ -57,10 +57,10 @@ Json to_json(const core::MeasurementEvent& e) {
 
 core::ReorderEstimate estimate_from_json(const Json& j) {
   core::ReorderEstimate e;
-  e.in_order = static_cast<int>(j.at("in_order").as_int());
-  e.reordered = static_cast<int>(j.at("reordered").as_int());
-  e.ambiguous = static_cast<int>(j.at("ambiguous").as_int());
-  e.lost = static_cast<int>(j.at("lost").as_int());
+  e.in_order = static_cast<std::uint64_t>(j.at("in_order").as_int());
+  e.reordered = static_cast<std::uint64_t>(j.at("reordered").as_int());
+  e.ambiguous = static_cast<std::uint64_t>(j.at("ambiguous").as_int());
+  e.lost = static_cast<std::uint64_t>(j.at("lost").as_int());
   return e;
 }
 

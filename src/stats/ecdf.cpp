@@ -15,6 +15,11 @@ void Ecdf::add_all(const std::vector<double>& xs) {
   sorted_ = false;
 }
 
+void Ecdf::merge(const Ecdf& other) {
+  samples_.insert(samples_.end(), other.samples_.begin(), other.samples_.end());
+  sorted_ = samples_.empty();
+}
+
 void Ecdf::ensure_sorted() const {
   if (!sorted_) {
     std::sort(samples_.begin(), samples_.end());

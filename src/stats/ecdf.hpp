@@ -14,6 +14,11 @@ class Ecdf {
   void add(double x);
   void add_all(const std::vector<double>& xs);
 
+  /// Multiset union with another distribution. Because queries see only
+  /// the sorted sample multiset, merging per-shard Ecdfs in any order is
+  /// indistinguishable from having collected the stream in one pass.
+  void merge(const Ecdf& other);
+
   std::size_t count() const { return samples_.size(); }
   bool empty() const { return samples_.empty(); }
 

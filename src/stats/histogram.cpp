@@ -26,6 +26,16 @@ void Histogram::add(double x) {
   ++counts_[idx];
 }
 
+void Histogram::merge(const Histogram& other) {
+  if (other.lo_ != lo_ || other.hi_ != hi_ || other.counts_.size() != counts_.size()) {
+    throw std::invalid_argument{"histogram: cannot merge differently binned histograms"};
+  }
+  for (std::size_t i = 0; i < counts_.size(); ++i) counts_[i] += other.counts_[i];
+  underflow_ += other.underflow_;
+  overflow_ += other.overflow_;
+  total_ += other.total_;
+}
+
 double Histogram::bin_lo(std::size_t i) const { return lo_ + bin_width_ * static_cast<double>(i); }
 double Histogram::bin_hi(std::size_t i) const { return bin_lo(i) + bin_width_; }
 

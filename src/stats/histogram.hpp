@@ -15,6 +15,11 @@ class Histogram {
 
   void add(double x);
 
+  /// Bin-wise sum with an identically configured histogram (same range
+  /// and bin count; throws std::invalid_argument otherwise). Exact and
+  /// associative, so per-shard histograms pool losslessly.
+  void merge(const Histogram& other);
+
   std::size_t bins() const { return counts_.size(); }
   std::int64_t count() const { return total_; }
   std::int64_t underflow() const { return underflow_; }

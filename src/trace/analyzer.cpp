@@ -105,4 +105,30 @@ TcpTraceStats analyze_tcp_stream(const TraceBuffer& buffer, std::uint16_t src_po
   return stats;
 }
 
+std::vector<std::uint32_t> data_arrival_sequence(const TraceBuffer& buffer,
+                                                 std::uint16_t src_port,
+                                                 std::uint16_t dst_port) {
+  // First arrivals of each distinct data segment, in capture order.
+  std::vector<std::uint32_t> seqs;
+  std::set<std::uint32_t> seen;
+  for (const auto& rec : buffer.records()) {
+    const auto& p = rec.packet;
+    if (p.tcp.src_port != src_port || p.tcp.dst_port != dst_port) continue;
+    if (p.payload.empty()) continue;
+    if (!seen.insert(p.tcp.seq).second) continue;  // retransmit
+    seqs.push_back(p.tcp.seq);
+  }
+  // Send index = rank of the TCP sequence number. (Transfers here start
+  // far from the 2^32 wrap; rank order equals send order.)
+  std::vector<std::uint32_t> sorted{seqs};
+  std::sort(sorted.begin(), sorted.end());
+  std::vector<std::uint32_t> arrival;
+  arrival.reserve(seqs.size());
+  for (const std::uint32_t s : seqs) {
+    const auto it = std::lower_bound(sorted.begin(), sorted.end(), s);
+    arrival.push_back(static_cast<std::uint32_t>(it - sorted.begin()));
+  }
+  return arrival;
+}
+
 }  // namespace reorder::trace

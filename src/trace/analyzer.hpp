@@ -63,4 +63,13 @@ struct TcpTraceStats {
 TcpTraceStats analyze_tcp_stream(const TraceBuffer& buffer, std::uint16_t src_port,
                                  std::uint16_t dst_port);
 
+/// The send-index arrival sequence of a unidirectional TCP data stream:
+/// data segments flowing src_port -> dst_port, deduplicated by TCP
+/// sequence number (first arrival wins — retransmits are dropped), each
+/// assigned a send index by the rank of its sequence number. This is the
+/// input the streaming sequence metrics (RFC 4737 extents, RFC 5236
+/// n-reordering, reorder/buffer densities) consume.
+std::vector<std::uint32_t> data_arrival_sequence(const TraceBuffer& buffer,
+                                                 std::uint16_t src_port, std::uint16_t dst_port);
+
 }  // namespace reorder::trace

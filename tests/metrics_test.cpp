@@ -49,6 +49,33 @@ TEST(ReorderEstimate, ProportionMatchesWilson) {
   EXPECT_GT(p.upper, 0.1);
 }
 
+TEST(ReorderEstimate, CountersSurviveBeyond32Bits) {
+  // Million-user surveys pool estimates far past 2^32 samples; the old
+  // int counters wrapped negative. Regression: accumulate beyond 32 bits
+  // and check every derived quantity stays exact.
+  ReorderEstimate shard;
+  shard.in_order = 3'000'000'000ull;  // > INT32_MAX on its own
+  shard.reordered = 1'500'000'000ull;
+  shard.ambiguous = 2'000'000'000ull;
+  shard.lost = 1ull;
+
+  ReorderEstimate pooled;
+  pooled += shard;
+  pooled += shard;
+  EXPECT_EQ(pooled.in_order, 6'000'000'000ull);
+  EXPECT_EQ(pooled.reordered, 3'000'000'000ull);
+  EXPECT_EQ(pooled.usable(), 9'000'000'000ull);
+  EXPECT_EQ(pooled.total(), 13'000'000'002ull);
+  ASSERT_TRUE(pooled.rate().has_value());
+  EXPECT_NEAR(*pooled.rate(), 1.0 / 3.0, 1e-12);
+
+  // add() keeps counting past the 32-bit edge.
+  ReorderEstimate edge;
+  edge.in_order = 4'294'967'295ull;  // 2^32 - 1
+  edge.add(Ordering::kInOrder);
+  EXPECT_EQ(edge.in_order, 4'294'967'296ull);
+}
+
 TEST(TestRunResult, AggregateRecomputes) {
   TestRunResult r;
   SampleResult s;
@@ -120,6 +147,22 @@ TEST(SequenceStats, AdjacentSwapsMatchesInversionCount) {
 }
 
 // ---------- TimeDomainProfile ----------
+
+TEST(TimeDomain, MergeSumsPerGapCounts) {
+  TimeDomainProfile a;
+  a.add(Duration::micros(10), Ordering::kReordered);
+  a.add(Duration::micros(10), Ordering::kInOrder);
+  TimeDomainProfile b;
+  b.add(Duration::micros(10), Ordering::kInOrder);
+  b.add(Duration::micros(20), Ordering::kReordered);
+
+  a.merge(b);
+  EXPECT_EQ(a.distinct_gaps(), 2u);
+  ASSERT_TRUE(a.at(Duration::micros(10)).has_value());
+  EXPECT_EQ(a.at(Duration::micros(10))->in_order, 2u);
+  EXPECT_EQ(a.at(Duration::micros(10))->reordered, 1u);
+  EXPECT_EQ(a.at(Duration::micros(20))->reordered, 1u);
+}
 
 TEST(TimeDomain, AccumulatesPerGap) {
   TimeDomainProfile profile;
