@@ -8,6 +8,7 @@
 #include <benchmark/benchmark.h>
 
 #include "bench_common.hpp"
+#include "core/sharded_survey.hpp"
 #include "core/test_registry.hpp"
 #include "core/testbed.hpp"
 #include "metrics/engine.hpp"
@@ -311,6 +312,45 @@ void BM_FullMeasurementSample(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * 20);
 }
 BENCHMARK(BM_FullMeasurementSample)->Unit(benchmark::kMillisecond);
+
+// Parallel fleet scaling: a fixed 8-target survey partitioned into 4
+// shards, driven by {1, 2, 4} pool threads. Shard count is pinned so
+// every row simulates the IDENTICAL per-shard workload (and, per the
+// bit-exactness guarantee, produces identical results) — the ratio
+// between rows is pure thread-pool speedup, the number the CI scaling
+// gate tracks.
+void BM_ShardedSurvey(benchmark::State& state) {
+  core::ShardedSurveyConfig cfg;
+  cfg.fleet.seed = 11;
+  for (int i = 0; i < 8; ++i) {
+    core::SurveyTargetConfig target;
+    target.name = "host-" + std::to_string(i);
+    target.forward.swap_probability = (i % 4) * 0.05;
+    target.remote.behavior.immediate_ack_on_hole_fill = true;
+    target.tests = {core::TestSpec{"single-connection"}, core::TestSpec{"syn"}};
+    cfg.fleet.targets.push_back(std::move(target));
+  }
+  cfg.shards = 4;
+  cfg.threads = static_cast<std::size_t>(state.range(0));
+  core::ShardedSurveyEngine engine{cfg};
+  core::TestRunConfig run;
+  run.samples = 10;
+  std::size_t measurements = 0;
+  for (auto _ : state) {
+    measurements = engine.run(run, /*rounds=*/1, util::Duration::millis(200)).size();
+    benchmark::DoNotOptimize(measurements);
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<std::int64_t>(measurements));
+}
+// UseRealTime: the work happens on pool workers, so the main thread's
+// CPU clock would show nothing — wall time is the quantity that scales.
+BENCHMARK(BM_ShardedSurvey)
+    ->ArgName("threads")
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(4)
+    ->Unit(benchmark::kMillisecond)
+    ->UseRealTime();
 
 // The regular console table, plus one {"type":"run",...} JSONL record
 // per benchmark run into the shared BenchArtifact format.

@@ -10,17 +10,29 @@
 // (watch the targets interleave), and --jsonl=PATH attaches a second
 // sink that writes every event as JSON Lines.
 //
+// With --shards=N (N >= 2) the fleet is partitioned across N independent
+// simulation shards executed on a thread pool (core::ShardedSurveyEngine)
+// and merged bit-exactly afterwards: identical metric snapshots for any
+// shard count, byte-identical canonical JSONL among sharded runs, a
+// fraction of the wall clock. (--shards=1 keeps the live single-loop
+// stream — same worlds and same summary numbers, but events in
+// completion order rather than the merge's canonical order.)
+//
 //   $ survey_fleet --targets=8 --rounds=4 --samples=15 --seed=11
+//   $ survey_fleet --targets=64 --shards=8 --jsonl=fleet.jsonl
+#include <chrono>
 #include <cstdio>
 #include <fstream>
 #include <optional>
 
+#include "core/sharded_survey.hpp"
 #include "core/survey_testbed.hpp"
 #include "report/sinks.hpp"
 #include "report/table.hpp"
 #include "stats/ecdf.hpp"
 #include "util/flags.hpp"
 #include "util/random.hpp"
+#include "util/shard_seeder.hpp"
 
 namespace {
 
@@ -61,6 +73,8 @@ int main(int argc, char** argv) {
   std::int64_t rounds = 4;
   std::int64_t samples = 15;
   std::int64_t seed = 11;
+  std::int64_t shards = 1;
+  std::int64_t threads = 0;
   double reordering_fraction = 0.5;
   std::string jsonl_path;
 
@@ -69,10 +83,19 @@ int main(int argc, char** argv) {
   flags.add_i64("rounds", &rounds, "measurement cycles per host");
   flags.add_i64("samples", &samples, "samples per measurement (paper: 15)");
   flags.add_i64("seed", &seed, "population seed");
+  flags.add_i64("shards", &shards,
+                "simulation shards run in parallel (1 = single-loop live streaming)");
+  flags.add_i64("threads", &threads, "worker threads for --shards > 1 (0 = auto)");
   flags.add_double("reordering-fraction", &reordering_fraction,
                    "fraction of paths that reorder at all");
   flags.add_string("jsonl", &jsonl_path, "stream every survey event to this JSONL file");
   if (!flags.parse(argc, argv)) return 1;
+  if (targets < 1 || rounds < 1 || samples < 1 || shards < 1 || threads < 0) {
+    std::fprintf(stderr,
+                 "survey_fleet: --targets/--rounds/--samples/--shards must be >= 1 "
+                 "and --threads >= 0\n");
+    return 1;
+  }
 
   // Draw a host population: some clean paths, some reordering ones.
   util::Rng population{static_cast<std::uint64_t>(seed)};
@@ -90,8 +113,77 @@ int main(int argc, char** argv) {
     }
     target.remote.behavior.immediate_ack_on_hole_fill = true;
     target.tests = {core::TestSpec{"single-connection"}, core::TestSpec{"syn"}};
+    // Pin every target's stochastic identity to its global index in ALL
+    // modes, so the live single-loop run (--shards=1) measures exactly
+    // the worlds the sharded runs re-partition.
+    const util::TargetSeeds seeds =
+        util::ShardSeeder{static_cast<std::uint64_t>(seed)}.target(
+            static_cast<std::uint64_t>(i));
+    target.host_seed = seeds.host_seed;
+    target.ipid_initial = seeds.ipid_initial;
+    target.forward_path_tag = seeds.forward_tag;
+    target.reverse_path_tag = seeds.reverse_tag;
     cfg.targets.push_back(std::move(target));
   }
+  core::TestRunConfig run;
+  run.samples = static_cast<int>(samples);
+
+  if (shards > 1) {
+    // The sharded runtime: N independent worlds on a thread pool, merged
+    // bit-exactly. Events are not streamed live (the merge canonicalizes
+    // ordering after the fact), so the narrator is replaced by a summary.
+    core::ShardedSurveyConfig scfg;
+    scfg.fleet = std::move(cfg);
+    scfg.shards = static_cast<std::size_t>(shards);
+    scfg.threads = static_cast<std::size_t>(threads);
+    core::ShardedSurveyEngine engine{std::move(scfg)};
+
+    const auto wall_start = std::chrono::steady_clock::now();
+    const auto& ms = engine.run(run, static_cast<int>(rounds), Duration::seconds(1));
+    const double wall_s =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - wall_start).count();
+
+    report::Table table =
+        report::Table::with_headers({"target", "true fwd", "single-conn", "syn"});
+    stats::Ecdf fwd_rates;
+    int reordering_paths = 0;
+    for (std::int64_t i = 0; i < targets; ++i) {
+      const std::string name = "host-" + std::to_string(i);
+      const auto single = engine.aggregate(name, "single-connection", /*forward=*/true);
+      const auto syn = engine.aggregate(name, "syn", /*forward=*/true);
+      core::ReorderEstimate pooled;
+      pooled += single;
+      pooled += syn;
+      fwd_rates.add(pooled.rate_or(0.0));
+      if (pooled.reordered > 0) ++reordering_paths;
+      table.row({name, report::fixed(true_fwd[static_cast<std::size_t>(i)], 3),
+                 report::fixed(single.rate_or(0.0), 3), report::fixed(syn.rate_or(0.0), 3)});
+    }
+    table.print();
+
+    std::printf("\nmeasurements taken: %zu  (%lld targets x %lld rounds x 2 tests)\n", ms.size(),
+                static_cast<long long>(targets), static_cast<long long>(rounds));
+    std::printf("virtual survey duration: %.1fs  across %zu shards (%.2fs wall)\n",
+                engine.survey_end().at.seconds_f(), engine.shard_count(), wall_s);
+    std::printf("paths with observed reordering: %d / %lld\n", reordering_paths,
+                static_cast<long long>(targets));
+    std::printf("median measured forward rate: %.4f\n", fwd_rates.quantile(0.5));
+    if (!jsonl_path.empty()) {
+      std::ofstream jsonl_file{jsonl_path};
+      if (!jsonl_file) {
+        std::fprintf(stderr, "cannot open %s for writing\n", jsonl_path.c_str());
+        return 1;
+      }
+      report::JsonlWriter writer{jsonl_file};
+      // The canonical merged stream: byte-identical for any --shards >= 2
+      // (--shards=1 streams live in completion order instead).
+      engine.emit_jsonl(writer);
+      std::printf("streamed %zu JSONL records to %s\n", writer.lines_written(),
+                  jsonl_path.c_str());
+    }
+    return 0;
+  }
+
   core::SurveyTestbed bed{std::move(cfg)};
 
   core::SurveyEngine engine{bed.loop()};
@@ -114,8 +206,6 @@ int main(int argc, char** argv) {
     engine.add_sink(*jsonl_sink);
   }
 
-  core::TestRunConfig run;
-  run.samples = static_cast<int>(samples);
   engine.run(run, static_cast<int>(rounds), Duration::seconds(1));
 
   // Per-target summaries are snapshot reads of the engine's metric

@@ -1,0 +1,194 @@
+#include "core/sharded_survey.hpp"
+
+#include <algorithm>
+#include <future>
+#include <set>
+#include <stdexcept>
+#include <tuple>
+#include <utility>
+
+#include "report/sinks.hpp"
+#include "util/shard_seeder.hpp"
+#include "util/thread_pool.hpp"
+
+namespace reorder::core {
+
+namespace {
+
+/// The canonical merged-log order. (target, test, at) is a total order
+/// over a survey's measurements: one target runs its tests strictly
+/// sequentially, so two measurements of the same (target, test) never
+/// share a timestamp.
+bool canonical_less(const Measurement& a, const Measurement& b) {
+  return std::tie(a.target, a.test, a.at) < std::tie(b.target, b.test, b.at);
+}
+
+/// Captures the survey_end marker a shard engine publishes.
+class EndCapture final : public ResultSink {
+ public:
+  void on_survey_end(const SurveyEvent& e) override { end = e; }
+  SurveyEvent end{};
+};
+
+}  // namespace
+
+ShardedSurveyEngine::ShardedSurveyEngine(ShardedSurveyConfig config)
+    : config_{std::move(config)}, shards_{std::max<std::size_t>(1, config_.shards)} {
+  // Results are keyed by target name, so duplicate names would silently
+  // pool two targets' streams into one suite — and in DIFFERENT pooling
+  // orders for different shard counts, voiding the bit-invariance
+  // guarantee. Reject them up front (the single-testbed path only
+  // catches duplicate ADDRESSES, which auto-assignment never produces).
+  // Same story for addresses: the per-shard testbed only sees its own
+  // subset, so a fleet-wide collision would be caught or missed depending
+  // on which shards the colliding targets landed on — acceptance of a
+  // config must not be shard-count-dependent.
+  std::set<std::string> names;
+  std::set<std::uint32_t> addresses;
+  for (std::size_t i = 0; i < config_.fleet.targets.size(); ++i) {
+    const SurveyTargetConfig& target = config_.fleet.targets[i];
+    std::string name = target.name.empty() ? default_target_name(i) : target.name;
+    if (!names.insert(name).second) {
+      throw std::invalid_argument{"ShardedSurveyEngine: duplicate target name '" + name + "'"};
+    }
+    const tcpip::Ipv4Address address =
+        target.address == tcpip::Ipv4Address{} ? default_target_address(i) : target.address;
+    if (!addresses.insert(address.value()).second) {
+      throw std::invalid_argument{"ShardedSurveyEngine: duplicate target address " +
+                                  address.to_string()};
+    }
+  }
+}
+
+std::vector<std::size_t> ShardedSurveyEngine::shard_targets(std::size_t shard) const {
+  std::vector<std::size_t> indices;
+  for (std::size_t i = 0; i < config_.fleet.targets.size(); ++i) {
+    if (util::ShardSeeder::shard_of(i, shards_) == shard) indices.push_back(i);
+  }
+  return indices;
+}
+
+SurveyTestbedConfig ShardedSurveyEngine::shard_config(std::size_t shard) const {
+  const util::ShardSeeder seeder{config_.fleet.seed};
+  SurveyTestbedConfig cfg;
+  cfg.seed = config_.fleet.seed;
+  cfg.probe_addr = config_.fleet.probe_addr;
+  for (const std::size_t i : shard_targets(shard)) {
+    SurveyTargetConfig target = config_.fleet.targets[i];
+    // Global-index naming/addressing via the same helpers the testbed
+    // applies locally, so a target keeps its identity under any
+    // partitioning.
+    if (target.name.empty()) target.name = default_target_name(i);
+    if (target.address == tcpip::Ipv4Address{}) {
+      target.address = default_target_address(i);
+    }
+    // Pin the target's whole stochastic identity to its global index;
+    // explicit values a caller already set are theirs to keep.
+    const util::TargetSeeds seeds = seeder.target(i);
+    if (!target.host_seed) target.host_seed = seeds.host_seed;
+    if (!target.ipid_initial) target.ipid_initial = seeds.ipid_initial;
+    if (!target.forward_path_tag) target.forward_path_tag = seeds.forward_tag;
+    if (!target.reverse_path_tag) target.reverse_path_tag = seeds.reverse_tag;
+    cfg.targets.push_back(std::move(target));
+  }
+  return cfg;
+}
+
+ShardRunResult ShardedSurveyEngine::run_shard(std::size_t shard, const TestRunConfig& run,
+                                              int rounds, util::Duration between) const {
+  ShardRunResult out;
+  out.shard = shard;
+
+  SurveyTestbed bed{shard_config(shard)};
+  SurveyEngine::Options options = config_.engine;
+  options.retain_samples = true;
+  SurveyEngine engine{bed.loop(), options};
+  bed.populate(engine);
+
+  // A custom suite factory feeds a side engine through the sink stream —
+  // the embedded store engine keeps the standard suite either way.
+  metrics::MetricEngine custom{config_.suite_factory ? config_.suite_factory
+                                                     : metrics::SuiteFactory{&metrics::default_suite}};
+  metrics::EngineSink custom_sink{custom};
+  if (config_.suite_factory) engine.add_sink(custom_sink);
+
+  EndCapture end;
+  engine.add_sink(end);
+
+  engine.run(run, rounds, between);
+
+  out.log = engine.release_measurements();
+  // A bit-exact copy of the accumulators (merge into an empty engine is
+  // the contract's deep copy), taken before the shard world dies.
+  out.metrics.merge(config_.suite_factory ? custom : engine.metrics());
+  out.end = end.end;
+  return out;
+}
+
+const std::vector<Measurement>& ShardedSurveyEngine::run(const TestRunConfig& run, int rounds,
+                                                         util::Duration between) {
+  merged_log_.clear();
+  merged_ = metrics::MetricEngine{};
+  merged_end_ = SurveyEvent{};
+  rounds_ = rounds;
+
+  std::vector<ShardRunResult> results(shards_);
+  {
+    const std::size_t threads =
+        config_.threads != 0 ? config_.threads
+                             : std::min(shards_, util::ThreadPool::hardware_threads());
+    util::ThreadPool pool{threads};
+    std::vector<std::future<void>> done;
+    done.reserve(shards_);
+    for (std::size_t s = 0; s < shards_; ++s) {
+      done.push_back(pool.submit(
+          [this, s, &results, &run, rounds, between] { results[s] = run_shard(s, run, rounds, between); }));
+    }
+    // Wait for EVERY worker before rethrowing, so a failing shard cannot
+    // leave siblings writing into `results` after we unwind.
+    std::exception_ptr first_failure;
+    for (auto& f : done) {
+      try {
+        f.get();
+      } catch (...) {
+        if (!first_failure) first_failure = std::current_exception();
+      }
+    }
+    if (first_failure) std::rethrow_exception(first_failure);
+  }
+
+  // Merge. Shard order here is arbitrary bookkeeping: each (target, test)
+  // key lives on exactly one shard, the canonical sort below and the
+  // canonical emission order erase any trace of it.
+  std::size_t total = 0;
+  for (const auto& r : results) total += r.log.size();
+  merged_log_.reserve(total);
+  for (auto& r : results) {
+    merged_.merge(r.metrics);
+    merged_end_.targets += r.end.targets;
+    merged_end_.at = std::max(merged_end_.at, r.end.at);
+    for (auto& m : r.log) merged_log_.push_back(std::move(m));
+  }
+  std::sort(merged_log_.begin(), merged_log_.end(), canonical_less);
+  merged_end_.rounds = rounds_;
+  merged_end_.measurements = merged_log_.size();
+  return merged_log_;
+}
+
+void ShardedSurveyEngine::replay(ResultSink& sink) const {
+  sink.on_survey_begin(
+      SurveyEvent{merged_end_.targets, rounds_, 0, util::TimePoint::epoch()});
+  for (std::size_t i = 0; i < merged_log_.size(); ++i) {
+    const Measurement& m = merged_log_[i];
+    publish_result(sink, m.target, m.test, m.at, m.result, i);
+  }
+  sink.on_survey_end(merged_end_);
+}
+
+void ShardedSurveyEngine::emit_jsonl(report::JsonlWriter& out) const {
+  report::JsonlResultSink sink{out};
+  replay(sink);
+  merged_.emit_jsonl(out, metrics::MetricEngine::EmitOrder::kCanonical);
+}
+
+}  // namespace reorder::core

@@ -1,0 +1,160 @@
+// The sharded parallel survey runtime — the paper's §IV fleet survey
+// scaled across cores.
+//
+// A fleet of survey targets is partitioned into N independent simulation
+// SHARDS. Each shard is a complete world of its own: its own
+// sim::EventLoop, SurveyTestbed (probe + the shard's targets + their
+// paths), SurveyEngine and metric accumulators. Shards share NO mutable
+// state, so they run concurrently on a util::ThreadPool with no locks in
+// the simulation hot path — wall clock scales with cores instead of
+// fleet size.
+//
+// The headline guarantee is bit-exact shard invariance: for a fixed
+// fleet config and seed, every per-(target, test) metric snapshot and
+// the canonical merged JSONL are IDENTICAL for any shard count. Three
+// mechanisms compose to deliver it:
+//
+//   1. util::ShardSeeder pins every target's stochastic identity (host
+//      RNG, IPID origin, per-path-stage RNG tags) to the target's GLOBAL
+//      fleet index, so re-partitioning never reroutes a random stream.
+//   2. Per-target independence inside a shard: targets interact only
+//      with their own paths and flows, so co-residents on one loop do
+//      not perturb each other (the property the survey-engine
+//      concurrent-vs-sequential equivalence test pins).
+//   3. The metrics::Metric merge() contract: per-shard accumulators
+//      combine associatively and bit-exactly, and each (target, test)
+//      key lives on exactly one shard, so the merged engine equals the
+//      one a single shard would have built.
+//
+// Outputs are canonicalized, not streamed: the merged completion log is
+// ordered by (target, test, at) and measurement indices are renumbered
+// in that order, so emission is a pure function of the merged data — the
+// thread schedule cannot leak into a byte of output.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "core/survey_engine.hpp"
+#include "core/survey_testbed.hpp"
+#include "metrics/engine.hpp"
+#include "report/jsonl.hpp"
+
+namespace reorder::core {
+
+struct ShardedSurveyConfig {
+  /// The whole fleet in global declaration order — the order ShardSeeder
+  /// derivation, the shard plan and the canonical outputs all key on.
+  SurveyTestbedConfig fleet;
+  /// Number of simulation shards (clamped to >= 1). More shards than
+  /// targets leaves the excess empty; that is harmless and still merges.
+  std::size_t shards{1};
+  /// Worker threads driving the shards; 0 picks
+  /// min(shards, ThreadPool::hardware_threads()).
+  std::size_t threads{0};
+  /// Per-shard engine options. retain_samples is forced on internally so
+  /// the merged log can replay full event streams.
+  SurveyEngine::Options engine{};
+  /// Per-shard metric suite factory; null uses metrics::default_suite.
+  /// Replaces (not augments) the standard suite, exactly as it would on a
+  /// single engine — the query shims below then answer from whatever
+  /// standard metrics the custom suite still contains.
+  metrics::SuiteFactory suite_factory{};
+};
+
+/// What one shard's run leaves behind — the unit the merge consumes, and
+/// the crash-recovery unit: a shard torn down mid-run left no residue
+/// outside its own world, so re-running run_shard() reproduces this
+/// bit-for-bit.
+struct ShardRunResult {
+  std::size_t shard{0};
+  /// The shard's completion log, in its loop's completion order, with
+  /// per-sample payloads retained.
+  std::vector<Measurement> log;
+  /// Bit-exact copy of the shard's metric accumulators.
+  metrics::MetricEngine metrics;
+  /// The shard's survey_end marker (participants + final virtual time).
+  SurveyEvent end{};
+};
+
+class ShardedSurveyEngine {
+ public:
+  explicit ShardedSurveyEngine(ShardedSurveyConfig config);
+
+  std::size_t shard_count() const { return shards_; }
+  std::size_t target_count() const { return config_.fleet.targets.size(); }
+
+  // ------------------------------------------------------------ the plan
+  /// Global fleet indices of the targets shard `shard` owns, ascending
+  /// (round-robin assignment; see util::ShardSeeder::shard_of).
+  std::vector<std::size_t> shard_targets(std::size_t shard) const;
+
+  /// The self-contained world description of one shard: the fleet subset
+  /// it owns, every target pinned to its globally-derived seeds. Feeding
+  /// this to SurveyTestbed reproduces the shard's world from scratch —
+  /// the torn-down-shard recovery path is exactly that.
+  SurveyTestbedConfig shard_config(std::size_t shard) const;
+
+  // ------------------------------------------------------- the execution
+  /// Builds shard `shard`'s world and runs its survey to completion on
+  /// the calling thread. Pure: no state outside the returned result.
+  ShardRunResult run_shard(std::size_t shard, const TestRunConfig& run, int rounds,
+                           util::Duration between) const;
+
+  /// Runs every shard on the thread pool, rethrows the first shard
+  /// failure (after every worker finished), then merges: completion logs
+  /// concatenate and sort into the canonical (target, test, at) order,
+  /// metric engines fold through merge(). Returns the merged log.
+  const std::vector<Measurement>& run(const TestRunConfig& run, int rounds,
+                                      util::Duration between);
+
+  // ----------------------------------------------------- merged results
+  /// The merged completion log in canonical (target, test, at) order.
+  const std::vector<Measurement>& measurements() const { return merged_log_; }
+
+  /// The merged metric engine (per-key suites bit-identical to a
+  /// 1-shard run's).
+  const metrics::MetricEngine& metrics() const { return merged_; }
+
+  /// The merged survey_end marker: participants summed over shards, the
+  /// fleet-wide final virtual instant (max over shards — shard-invariant
+  /// because each shard's end time is its slowest target's, and
+  /// per-target timelines do not depend on co-residents).
+  const SurveyEvent& survey_end() const { return merged_end_; }
+
+  ReorderEstimate aggregate(const std::string& target, const std::string& test,
+                            bool forward) const {
+    return merged_.aggregate(target, test, forward);
+  }
+  std::vector<double> rate_series(const std::string& target, const std::string& test,
+                                  bool forward) const {
+    return merged_.rate_series(target, test, forward);
+  }
+  stats::PairDifferenceResult compare(const std::string& target, const std::string& test_a,
+                                      const std::string& test_b, bool forward,
+                                      double confidence = 0.999) const {
+    return merged_.compare(target, test_a, test_b, forward, confidence);
+  }
+
+  // --------------------------------------------------- merged emission
+  /// Replays the merged survey into `sink` in canonical order: one
+  /// survey_begin, then every measurement's samples + measurement event
+  /// with canonically renumbered indices, then one survey_end.
+  void replay(ResultSink& sink) const;
+
+  /// The canonical merged JSONL stream: the replay through a
+  /// JsonlResultSink, then one `metrics` record per key in canonical
+  /// order. Byte-identical across shard counts for a fixed fleet + seed.
+  void emit_jsonl(report::JsonlWriter& out) const;
+
+ private:
+  ShardedSurveyConfig config_;
+  std::size_t shards_{1};
+
+  std::vector<Measurement> merged_log_;
+  metrics::MetricEngine merged_;
+  SurveyEvent merged_end_{};
+  int rounds_{0};
+};
+
+}  // namespace reorder::core

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <stdexcept>
+#include <utility>
 
 namespace reorder::core {
 
@@ -83,6 +84,7 @@ void SurveyEngine::begin_next_measurement(Target& target) {
   const std::uint64_t generation = ++target.generation;
   target.measurement_open = true;
   const util::TimePoint at = loop_.now();
+  target.deadline_at = at + options_.measurement_deadline;
 
   target.watchdog_token =
       loop_.schedule(options_.measurement_deadline, [this, &target, generation, at] {
@@ -104,6 +106,13 @@ void SurveyEngine::finish_measurement(Target& target, std::uint64_t generation,
   // A stale completion: the watchdog already gave up on this measurement
   // (or vice versa — whichever arrives second is dropped).
   if (!target.measurement_open || generation != target.generation) return;
+  // Abandoned-run residue guard: past the give-up deadline only the
+  // watchdog itself (which fires AT the deadline, never after) may close
+  // the measurement. A completion arriving later must not publish late
+  // per-sample events into the sinks — the due watchdog records the
+  // timeout instead. Unreachable while the watchdog is armed (the loop
+  // runs it first), but the sink contract must not depend on that.
+  if (loop_.now() > target.deadline_at) return;
   target.measurement_open = false;
   loop_.cancel(target.watchdog_token);
 
@@ -127,11 +136,21 @@ void SurveyEngine::record(Target& target, util::TimePoint at, TestRunResult resu
   // mid-survey, not after the fact.
   publish_result(sinks_, m.target, m.test, m.at, m.result, measurements_.size());
   // The per-sample payload now lives columnar in the store (and in any
-  // sink that kept it); the completion log retains only the summary so a
-  // long survey's dominant data is not resident twice.
-  m.result.samples.clear();
-  m.result.samples.shrink_to_fit();
+  // sink that kept it); unless a replay consumer asked for it, the
+  // completion log retains only the summary so a long survey's dominant
+  // data is not resident twice.
+  if (!options_.retain_samples) {
+    m.result.samples.clear();
+    m.result.samples.shrink_to_fit();
+  }
   measurements_.push_back(std::move(m));
+}
+
+std::vector<Measurement> SurveyEngine::release_measurements() {
+  if (running()) {
+    throw std::logic_error{"SurveyEngine: cannot release the log while a survey is running"};
+  }
+  return std::exchange(measurements_, {});
 }
 
 const std::vector<Measurement>& SurveyEngine::run(const TestRunConfig& config, int rounds,

@@ -49,6 +49,12 @@ class SurveyEngine {
     /// target's path. Keep the deadline comfortably above the slowest
     /// test's worst case rather than using it as a pacing knob.
     util::Duration measurement_deadline{util::Duration::seconds(600)};
+    /// Keep each Measurement's per-sample payload in the completion log.
+    /// Off by default (a long survey's dominant data would be resident
+    /// twice — it already lives columnar in the store); the sharded
+    /// driver turns it on so the merged log can replay full event streams
+    /// through the canonical emission path.
+    bool retain_samples{false};
   };
 
   explicit SurveyEngine(sim::EventLoop& loop) : SurveyEngine{loop, Options{}} {}
@@ -96,6 +102,12 @@ class SurveyEngine {
   /// Every measurement taken, in completion order.
   const std::vector<Measurement>& measurements() const { return measurements_; }
 
+  /// Moves the completion log out of the engine (it is left empty). The
+  /// sharded driver uses this to hand a finished shard's log to the merge
+  /// without copying retained sample payloads. Must not be called while a
+  /// survey is running.
+  std::vector<Measurement> release_measurements();
+
   /// Mean reordering rate per admissible measurement of (target, test), in
   /// time order — the paired series for the §IV-B comparison.
   std::vector<double> rate_series(const std::string& target, const std::string& test,
@@ -129,6 +141,10 @@ class SurveyEngine {
     std::uint64_t generation{0};
     bool measurement_open{false};
     std::uint64_t watchdog_token{0};
+    /// Instant past which the open measurement may no longer publish: the
+    /// watchdog records the timeout, and any completion arriving later is
+    /// abandoned-run residue that must not reach the sinks.
+    util::TimePoint deadline_at{};
   };
 
   void begin_next_measurement(Target& target);

@@ -6,6 +6,15 @@
 
 namespace reorder::core {
 
+std::string default_target_name(std::size_t index) {
+  return "target-" + std::to_string(index);
+}
+
+tcpip::Ipv4Address default_target_address(std::size_t index) {
+  return tcpip::Ipv4Address::from_octets(10, 1, static_cast<std::uint8_t>(index / 254),
+                                         static_cast<std::uint8_t>(index % 254 + 1));
+}
+
 SurveyTestbed::SurveyTestbed(SurveyTestbedConfig config) {
   socket_ = std::make_unique<probe::SimRawSocket>(loop_, config.probe_addr);
   probe_ = std::make_unique<probe::ProbeHost>(loop_, *socket_);
@@ -14,13 +23,9 @@ SurveyTestbed::SurveyTestbed(SurveyTestbedConfig config) {
   for (SurveyTargetConfig& target_cfg : config.targets) {
     auto net = std::make_unique<TargetNet>();
     net->config = std::move(target_cfg);
-    if (net->config.name.empty()) net->config.name = "target-" + std::to_string(index);
+    if (net->config.name.empty()) net->config.name = default_target_name(index);
     if (net->config.address == tcpip::Ipv4Address{}) {
-      // Spread auto-assigned addresses across 10.1.x.y so fleets larger
-      // than one /24 don't wrap onto each other.
-      net->config.address =
-          tcpip::Ipv4Address::from_octets(10, 1, static_cast<std::uint8_t>(index / 254),
-                                          static_cast<std::uint8_t>(index % 254 + 1));
+      net->config.address = default_target_address(index);
     }
 
     // Install only the standard listener set when none is configured —
@@ -30,16 +35,22 @@ SurveyTestbed::SurveyTestbed(SurveyTestbedConfig config) {
     host_cfg.address = net->config.address;
     host_cfg.name = net->config.name;
     // Per-target seed/IPID derivation mirrors Testbed's per-backend scheme
-    // so identical (seed, index) pairs reproduce identical hosts.
-    host_cfg.seed = config.seed * 1000 + index + 1;
-    host_cfg.ipid_initial = static_cast<std::uint16_t>(1 + 17'000 * index);
+    // so identical (seed, index) pairs reproduce identical hosts. A config
+    // with explicit identity (the sharded planner's) overrides the local
+    // derivation wholesale — that is what makes a target's world a pure
+    // function of its global fleet index.
+    host_cfg.seed = net->config.host_seed.value_or(config.seed * 1000 + index + 1);
+    host_cfg.ipid_initial =
+        net->config.ipid_initial.value_or(static_cast<std::uint16_t>(1 + 17'000 * index));
     net->host = std::make_unique<tcpip::Host>(loop_, std::move(host_cfg));
 
     // Distinct seed tags per target and direction keep every path's RNG
     // stream independent of the others.
     const std::uint64_t tag_base = 0x100 + index * 2;
-    build_measurement_path(loop_, net->forward, net->config.forward, config.seed, tag_base + 0);
-    build_measurement_path(loop_, net->reverse, net->config.reverse, config.seed, tag_base + 1);
+    build_measurement_path(loop_, net->forward, net->config.forward, config.seed,
+                           net->config.forward_path_tag.value_or(tag_base + 0));
+    build_measurement_path(loop_, net->reverse, net->config.reverse, config.seed,
+                           net->config.reverse_path_tag.value_or(tag_base + 1));
 
     tcpip::Host* host = net->host.get();
     net->forward.terminate([host](tcpip::Packet pkt) { host->receive(std::move(pkt)); });

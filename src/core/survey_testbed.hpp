@@ -6,8 +6,11 @@
 // concurrently in one virtual timeline.
 #pragma once
 
+#include <cstddef>
+#include <cstdint>
 #include <map>
 #include <memory>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -34,6 +37,17 @@ struct SurveyTargetConfig {
   PathSpec reverse{};
   /// The techniques to cycle against this target (registry specs).
   std::vector<TestSpec> tests{TestSpec{"single-connection"}, TestSpec{"syn"}};
+
+  /// Explicit stochastic identity. The sharded survey planner pins these
+  /// from the target's GLOBAL fleet index (util::ShardSeeder) so the
+  /// target's RNG streams are identical no matter which shard — and how
+  /// many shards — the fleet is split into. When unset, the testbed
+  /// derives them from the target's local index (the historical scheme,
+  /// which is only stable for a fixed single-testbed layout).
+  std::optional<std::uint64_t> host_seed;
+  std::optional<std::uint16_t> ipid_initial;
+  std::optional<std::uint64_t> forward_path_tag;
+  std::optional<std::uint64_t> reverse_path_tag;
 };
 
 struct SurveyTestbedConfig {
@@ -41,6 +55,14 @@ struct SurveyTestbedConfig {
   tcpip::Ipv4Address probe_addr{tcpip::Ipv4Address::from_octets(10, 0, 0, 1)};
   std::vector<SurveyTargetConfig> targets;
 };
+
+/// Defaults for targets that leave name/address unset, shared by the
+/// single-testbed path (local index) and the sharded planner (global
+/// index) so both derive identical worlds from identical indices.
+std::string default_target_name(std::size_t index);
+/// Spreads addresses across 10.1.x.y so fleets larger than one /24
+/// don't wrap onto each other.
+tcpip::Ipv4Address default_target_address(std::size_t index);
 
 class SurveyTestbed {
  public:

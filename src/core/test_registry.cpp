@@ -22,19 +22,22 @@ std::uint16_t port_or(const TestSpec& spec, std::uint16_t fallback) {
 }  // namespace
 
 void TestRegistry::register_technique(const std::string& name, Factory factory) {
+  const std::lock_guard<std::mutex> lock{mu_};
   factories_[name] = std::move(factory);
 }
 
 void TestRegistry::register_alias(const std::string& alias, const std::string& canonical) {
+  const std::lock_guard<std::mutex> lock{mu_};
   aliases_[alias] = canonical;
 }
 
 bool TestRegistry::contains(const std::string& name) const {
+  const std::lock_guard<std::mutex> lock{mu_};
   const auto alias = aliases_.find(name);
   return factories_.count(alias != aliases_.end() ? alias->second : name) > 0;
 }
 
-const std::string& TestRegistry::canonical_name(const std::string& name) const {
+const std::string& TestRegistry::canonical_name_locked(const std::string& name) const {
   const auto alias = aliases_.find(name);
   const auto it = factories_.find(alias != aliases_.end() ? alias->second : name);
   if (it == factories_.end()) {
@@ -45,10 +48,17 @@ const std::string& TestRegistry::canonical_name(const std::string& name) const {
     throw std::invalid_argument{"TestRegistry: unknown technique '" + name + "' (known: " + known +
                                 ")"};
   }
+  // Map nodes are never erased or mutated, so the name outlives the lock.
   return it->first;
 }
 
+const std::string& TestRegistry::canonical_name(const std::string& name) const {
+  const std::lock_guard<std::mutex> lock{mu_};
+  return canonical_name_locked(name);
+}
+
 std::vector<std::string> TestRegistry::technique_names() const {
+  const std::lock_guard<std::mutex> lock{mu_};
   std::vector<std::string> names;
   names.reserve(factories_.size());
   for (const auto& [name, _] : factories_) names.push_back(name);
@@ -58,7 +68,14 @@ std::vector<std::string> TestRegistry::technique_names() const {
 std::unique_ptr<ReorderTest> TestRegistry::create(probe::ProbeHost& host,
                                                   tcpip::Ipv4Address target,
                                                   const TestSpec& spec) const {
-  return factories_.at(canonical_name(spec.technique))(host, target, spec);
+  Factory factory;
+  {
+    const std::lock_guard<std::mutex> lock{mu_};
+    factory = factories_.at(canonical_name_locked(spec.technique));
+  }
+  // Construct outside the lock: a technique's constructor may be arbitrarily
+  // slow and must not serialize other shards' lookups.
+  return factory(host, target, spec);
 }
 
 TestRegistry& TestRegistry::global() {

@@ -7,11 +7,21 @@
 // here, so adding a technique (or a variant) is one registration instead
 // of twenty call-site edits — and unknown names are a hard error instead
 // of a silent fallback.
+//
+// Thread safety: the registry is shared process state (global() is the
+// one instance everything uses) and the sharded survey runtime builds
+// test suites from worker threads, so every lookup and registration
+// takes an internal mutex. The global() instance itself is initialized
+// exactly once (C++ static-local guarantee). Factories run OUTSIDE the
+// lock — a slow constructor must not serialize other shards' lookups —
+// and technique names resolved by canonical_name() stay valid forever
+// (registrations are insert-only into node-based maps).
 #pragma once
 
 #include <functional>
 #include <map>
 #include <memory>
+#include <mutex>
 #include <stdexcept>
 #include <string>
 #include <variant>
@@ -94,6 +104,9 @@ class TestRegistry {
   static TestRegistry& global();
 
  private:
+  const std::string& canonical_name_locked(const std::string& name) const;
+
+  mutable std::mutex mu_;
   std::map<std::string, Factory> factories_;
   std::map<std::string, std::string> aliases_;
 };

@@ -62,18 +62,28 @@ Testbed::Testbed(TestbedConfig config) : config_{std::move(config)}, loop_{confi
 
 TestRunResult Testbed::run_sync(ReorderTest& test, const TestRunConfig& config,
                                 std::int64_t deadline_s) {
-  std::optional<TestRunResult> out;
-  test.run(config, [&out](TestRunResult r) { out = std::move(r); });
+  // The completion slot is shared with the callback, not a stack reference:
+  // a run abandoned at the deadline has no abort path, so its completion
+  // can fire during a LATER run_sync on the same loop — it must land in
+  // this orphaned (heap) slot and be discarded, not scribble over a dead
+  // stack frame.
+  auto out = std::make_shared<std::optional<TestRunResult>>();
+  test.run(config, [out](TestRunResult r) {
+    if (!out->has_value()) *out = std::move(r);
+  });
   loop_.run_while(loop_.now() + util::Duration::seconds(deadline_s),
-                  [&out] { return !out.has_value(); });
-  if (!out.has_value()) {
+                  [&out] { return !out->has_value(); });
+  if (!out->has_value()) {
+    // Poison the slot so the late completion above is dropped rather than
+    // resurrected by a future reader.
+    out->emplace();
     TestRunResult r;
     r.test_name = test.name();
     r.admissible = false;
     r.note = "test did not complete (event queue drained or deadline)";
     return r;
   }
-  return std::move(*out);
+  return std::move(**out);
 }
 
 }  // namespace reorder::core

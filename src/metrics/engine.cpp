@@ -163,15 +163,23 @@ report::Json MetricEngine::to_json() const {
   return j;
 }
 
-void MetricEngine::emit_jsonl(report::JsonlWriter& out) const {
-  for (const auto& e : entries_) {
+void MetricEngine::emit_jsonl(report::JsonlWriter& out, EmitOrder order) const {
+  std::vector<const Entry*> emitted;
+  emitted.reserve(entries_.size());
+  if (order == EmitOrder::kCanonical) {
+    // index_ is a map over (target, test) — already the canonical order.
+    for (const auto& [key, slot] : index_) emitted.push_back(&entries_[slot]);
+  } else {
+    for (const auto& e : entries_) emitted.push_back(&e);
+  }
+  for (const Entry* e : emitted) {
     report::Json record = report::Json::object();
     record.set("type", "metrics");
-    record.set("target", e.target);
-    record.set("test", e.test);
-    record.set("measurements", e.measurements);
-    record.set("admissible", e.admissible);
-    record.set("metrics", e.suite.to_json());
+    record.set("target", e->target);
+    record.set("test", e->test);
+    record.set("measurements", e->measurements);
+    record.set("admissible", e->admissible);
+    record.set("metrics", e->suite.to_json());
     out.write(record);
   }
 }

@@ -85,10 +85,17 @@ class MetricEngine {
   ///   "metrics": <suite.to_json()>}, ...} in first-seen order.
   report::Json to_json() const;
 
+  /// Key emission order. First-seen order is the live-stream convention;
+  /// the canonical order — (target, test) lexicographic — is a pure
+  /// function of the key set, so two engines that accumulated the same
+  /// per-key data through DIFFERENT merge histories (one shard vs many)
+  /// emit byte-identical records.
+  enum class EmitOrder { kFirstSeen, kCanonical };
+
   /// One JSONL record per key, the `metrics` record type:
   ///   {"type":"metrics","target":..,"test":..,"measurements":..,
   ///    "admissible":..,"metrics":{...}}
-  void emit_jsonl(report::JsonlWriter& out) const;
+  void emit_jsonl(report::JsonlWriter& out, EmitOrder order = EmitOrder::kFirstSeen) const;
 
  private:
   struct Entry {

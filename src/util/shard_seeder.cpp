@@ -1,0 +1,32 @@
+#include "util/shard_seeder.hpp"
+
+#include <cstddef>
+
+namespace reorder::util {
+
+std::uint64_t splitmix64(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ull;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  return x ^ (x >> 31);
+}
+
+TargetSeeds ShardSeeder::target(std::uint64_t global_index) const {
+  // One avalanche over the survey seed decorrelates nearby seeds; a second
+  // over the index separates the per-target streams; distinct additive
+  // constants then split each target's state into independent lanes.
+  const std::uint64_t base = splitmix64(splitmix64(survey_seed_) + global_index);
+  TargetSeeds seeds;
+  seeds.host_seed = splitmix64(base + 0x01);
+  seeds.ipid_initial = static_cast<std::uint16_t>(splitmix64(base + 0x02));
+  seeds.forward_tag = splitmix64(base + 0x03);
+  seeds.reverse_tag = splitmix64(base + 0x04);
+  return seeds;
+}
+
+std::size_t ShardSeeder::shard_of(std::uint64_t global_index, std::size_t shards) {
+  if (shards == 0) return 0;
+  return static_cast<std::size_t>(global_index % shards);
+}
+
+}  // namespace reorder::util

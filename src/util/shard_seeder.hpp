@@ -1,0 +1,52 @@
+// Shard-invariant seed derivation for partitioned surveys.
+//
+// When a fleet is split across simulation shards, every stochastic stream
+// a target owns (its host's RNG, its IPID counter, its forward/reverse
+// path stages) must be a pure function of the survey seed and the
+// target's GLOBAL identity — never of the shard it landed on, its index
+// within that shard, or the number of shards. ShardSeeder is that
+// function: a splitmix64 chain over (survey_seed, global_index), so a
+// target's whole simulated world replays bit-identically whether the
+// fleet runs on one shard or sixty-four.
+#pragma once
+
+#include <cstdint>
+
+namespace reorder::util {
+
+/// splitmix64 finalizer (Vigna): the avalanche step that turns structured
+/// counters into decorrelated 64-bit streams. Public because tests pin
+/// its constants — the derivation scheme is an on-disk contract (recorded
+/// seeds must replay across versions).
+std::uint64_t splitmix64(std::uint64_t x);
+
+/// Everything target-local the survey testbed seeds, derived once per
+/// global target index.
+struct TargetSeeds {
+  std::uint64_t host_seed{0};      ///< remote host RNG (behaviour jitter)
+  std::uint16_t ipid_initial{0};   ///< first IPID the remote stamps
+  std::uint64_t forward_tag{0};    ///< per-stage RNG tag, forward path
+  std::uint64_t reverse_tag{0};    ///< per-stage RNG tag, reverse path
+};
+
+class ShardSeeder {
+ public:
+  explicit ShardSeeder(std::uint64_t survey_seed) : survey_seed_{survey_seed} {}
+
+  std::uint64_t survey_seed() const { return survey_seed_; }
+
+  /// The seeds of the target at `global_index` in the fleet's declaration
+  /// order. Pure in (survey_seed, global_index).
+  TargetSeeds target(std::uint64_t global_index) const;
+
+  /// Deterministic target -> shard assignment: round-robin by global
+  /// index. Balanced for homogeneous fleets, and stable — adding a shard
+  /// never moves a target between two existing runs of the SAME shard
+  /// count, which is what the bit-identity tests compare.
+  static std::size_t shard_of(std::uint64_t global_index, std::size_t shards);
+
+ private:
+  std::uint64_t survey_seed_;
+};
+
+}  // namespace reorder::util

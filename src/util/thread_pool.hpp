@@ -1,0 +1,55 @@
+// A fixed-size worker pool for coarse-grained parallelism — the execution
+// substrate of the sharded survey runtime. Each submitted job is one whole
+// simulation shard (its own event loop, testbed and engine), so the pool
+// stays deliberately simple: a mutex-guarded FIFO, no work stealing, no
+// task graph. Determinism is the callers' problem and they solve it by
+// construction — jobs share no mutable state, so the schedule (which
+// worker runs which shard, and when) cannot influence any result.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <future>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace reorder::util {
+
+class ThreadPool {
+ public:
+  /// Spawns `threads` workers (clamped to >= 1). More workers than cores
+  /// is allowed — shard jobs are compute-bound but oversubscription only
+  /// costs context switches, never correctness.
+  explicit ThreadPool(std::size_t threads);
+
+  /// Drains the queue (every submitted job still runs) and joins.
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  std::size_t size() const { return workers_.size(); }
+
+  /// Enqueues one job. The future resolves when the job returns and
+  /// rethrows anything it threw — callers observe worker exceptions at
+  /// the join point instead of losing them to a detached thread.
+  std::future<void> submit(std::function<void()> job);
+
+  /// max(1, std::thread::hardware_concurrency()) — the default worker
+  /// count when a caller does not pin one.
+  static std::size_t hardware_threads();
+
+ private:
+  void worker_loop();
+
+  std::vector<std::thread> workers_;
+  std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<std::packaged_task<void()>> queue_;
+  bool stopping_{false};
+};
+
+}  // namespace reorder::util

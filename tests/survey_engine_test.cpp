@@ -215,6 +215,100 @@ TEST(SurveyEngine, WatchdogRecordsStuckMeasurementsAndMovesOn) {
   }
 }
 
+/// Completes long after the watchdog deadline, carrying real-looking
+/// samples — the abandoned-run residue the sinks must never see.
+class CompletesLateWithSamples final : public ReorderTest {
+ public:
+  explicit CompletesLateWithSamples(sim::EventLoop& loop) : loop_{loop} {}
+  std::string name() const override { return "late-with-samples"; }
+  void run(const TestRunConfig&, std::function<void(TestRunResult)> done) override {
+    loop_.schedule(Duration::seconds(700), [done = std::move(done)] {
+      TestRunResult r;
+      r.test_name = "late-with-samples";
+      SampleResult s;
+      s.forward = Ordering::kReordered;
+      s.reverse = Ordering::kInOrder;
+      r.samples.assign(5, s);
+      r.aggregate();
+      done(std::move(r));
+    });
+  }
+
+ private:
+  sim::EventLoop& loop_;
+};
+
+/// Counts what actually reaches a sink.
+class CountingSink final : public ResultSink {
+ public:
+  void on_sample(const SampleEvent&) override { ++samples; }
+  void on_measurement(const MeasurementEvent& e) override {
+    ++measurements;
+    if (e.result.admissible) ++admissible;
+  }
+  int samples{0};
+  int measurements{0};
+  int admissible{0};
+};
+
+TEST(SurveyEngine, AbandonedMeasurementResidueNeverReachesSinks) {
+  // Pins the sink contract: a measurement that passes measurement_deadline
+  // is recorded as a timeout, and when the abandoned run completes later —
+  // mid-survey or after the survey ended — its per-sample events must NOT
+  // be published to the sinks, and the store must not grow. Today the
+  // open/generation check drops both orderings exercised here; the
+  // explicit past-deadline guard in finish_measurement is defense in depth
+  // behind it. If either is weakened enough to leak residue, this fails.
+  sim::EventLoop loop;
+  SurveyEngine engine{loop};
+  std::vector<std::unique_ptr<ReorderTest>> tests;
+  tests.push_back(std::make_unique<CompletesLateWithSamples>(loop));
+  engine.add_target("late", std::move(tests));
+  CountingSink sink;
+  engine.add_sink(sink);
+
+  // Two rounds: the first abandoned run's completion (t=700s) lands while
+  // round 2 is open (watchdogs fire at 600s and ~1200s), the second one
+  // after the survey is over.
+  engine.run(TestRunConfig{}, /*rounds=*/2, Duration::millis(10));
+  EXPECT_FALSE(engine.running());
+  loop.run();  // drain both abandoned completions
+
+  EXPECT_EQ(sink.measurements, 2) << "both timeouts are recorded";
+  EXPECT_EQ(sink.admissible, 0);
+  EXPECT_EQ(sink.samples, 0) << "abandoned-run samples leaked into the sinks";
+  ASSERT_EQ(engine.measurements().size(), 2u);
+  for (const auto& m : engine.measurements()) {
+    EXPECT_FALSE(m.result.admissible);
+    EXPECT_TRUE(m.result.samples.empty());
+  }
+  EXPECT_EQ(engine.store().sample_count(), 0u);
+  EXPECT_EQ(engine.metrics().admissible_measurements("late", "late-with-samples"), 0u);
+}
+
+TEST(SurveyEngine, RetainSamplesKeepsTheLogReplayable) {
+  SurveyTestbedConfig cfg = three_target_config();
+  cfg.targets.resize(1);
+  SurveyTestbed bed{std::move(cfg)};
+  SurveyEngine::Options options;
+  options.retain_samples = true;
+  SurveyEngine engine{bed.loop(), options};
+  bed.populate(engine);
+
+  TestRunConfig run;
+  run.samples = 6;
+  engine.run(run, /*rounds=*/1, Duration::millis(100));
+  ASSERT_EQ(engine.measurements().size(), 2u);
+  for (const auto& m : engine.measurements()) {
+    EXPECT_EQ(m.result.samples.size(), 6u) << "retain_samples must keep the payload";
+  }
+
+  // release_measurements() hands the log over and leaves the engine empty.
+  const auto released = engine.release_measurements();
+  EXPECT_EQ(released.size(), 2u);
+  EXPECT_TRUE(engine.measurements().empty());
+}
+
 TEST(SurveyEngine, StaleCompletionAfterTimeoutIsDropped) {
   sim::EventLoop loop;
   SurveyEngine engine{loop};

@@ -1,6 +1,10 @@
 // Tests for the registry-driven technique construction API.
 #include <gtest/gtest.h>
 
+#include <atomic>
+#include <thread>
+#include <vector>
+
 #include "core/ping_burst_adapter.hpp"
 #include "core/test_registry.hpp"
 #include "core/testbed.hpp"
@@ -28,6 +32,62 @@ TEST(Registry, AliasesResolveToCanonicalNames) {
   EXPECT_EQ(reg.canonical_name("ping"), "ping-burst");
   EXPECT_EQ(reg.canonical_name("syn"), "syn");
   EXPECT_TRUE(reg.contains("dual"));
+}
+
+TEST(Registry, ConcurrentRegistrationAndLookupIsSafe) {
+  // The sharded survey runtime resolves techniques from worker threads
+  // while other code may still be registering variants — registration and
+  // lookup must be mutually safe (regression: the maps used to be
+  // unguarded, which TSAN flags and std::map corruption punishes).
+  TestRegistry reg;
+  std::atomic<bool> go{false};
+  std::atomic<int> failures{0};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 4; ++t) {
+    threads.emplace_back([&reg, &go, &failures, t] {
+      while (!go.load()) std::this_thread::yield();
+      for (int i = 0; i < 200; ++i) {
+        const std::string name = "tech-" + std::to_string(t) + "-" + std::to_string(i);
+        reg.register_technique(name, [](probe::ProbeHost&, tcpip::Ipv4Address,
+                                        const TestSpec&) -> std::unique_ptr<ReorderTest> {
+          return nullptr;
+        });
+        reg.register_alias("alias-" + name, name);
+        if (!reg.contains(name) || reg.canonical_name("alias-" + name) != name) {
+          failures.fetch_add(1);
+        }
+        // Cross-thread reads race against the other writers on purpose.
+        reg.technique_names();
+        reg.contains("tech-0-0");
+      }
+    });
+  }
+  go.store(true);
+  for (auto& th : threads) th.join();
+  EXPECT_EQ(failures.load(), 0);
+  EXPECT_EQ(reg.technique_names().size(), 4u * 200u);
+}
+
+TEST(Registry, GlobalRegistryCreatesConcurrently) {
+  // Building suites from several shard worlds at once is the runtime's
+  // steady state; create() must not trip over itself.
+  Testbed bed_a{TestbedConfig{}};
+  Testbed bed_b{TestbedConfig{}};
+  std::atomic<int> built{0};
+  std::thread other{[&bed_b, &built] {
+    for (int i = 0; i < 50; ++i) {
+      if (TestRegistry::global().create(bed_b.probe(), bed_b.remote_addr(), TestSpec{"syn"})) {
+        built.fetch_add(1);
+      }
+    }
+  }};
+  for (int i = 0; i < 50; ++i) {
+    if (TestRegistry::global().create(bed_a.probe(), bed_a.remote_addr(), TestSpec{"single"})) {
+      built.fetch_add(1);
+    }
+  }
+  other.join();
+  EXPECT_EQ(built.load(), 100);
 }
 
 TEST(Registry, ContainsAgreesWithCreateForDanglingAliases) {

@@ -79,6 +79,46 @@ TEST(Testbed, RunSyncReportsFailureWhenTestCannotComplete) {
   EXPECT_FALSE(result.admissible);
 }
 
+/// Completes only after `delay` of virtual time — past any run_sync
+/// deadline the tests below choose.
+class SlowTest final : public ReorderTest {
+ public:
+  SlowTest(sim::EventLoop& loop, Duration delay) : loop_{loop}, delay_{delay} {}
+  std::string name() const override { return "slow"; }
+  void run(const TestRunConfig&, std::function<void(TestRunResult)> done) override {
+    loop_.schedule(delay_, [done = std::move(done)] {
+      TestRunResult r;
+      r.test_name = "slow";
+      r.note = "finished late";
+      done(std::move(r));
+    });
+  }
+
+ private:
+  sim::EventLoop& loop_;
+  Duration delay_;
+};
+
+TEST(Testbed, RunSyncAbandonedCompletionLeavesNoResidue) {
+  // Regression: run_sync used to hand the test a reference to a
+  // stack-local completion slot. A run abandoned at the deadline has no
+  // abort path, so its completion fired during the NEXT run_sync on the
+  // same loop — writing through a dangling stack pointer. The slot is
+  // heap-shared now; the late write lands there and is discarded.
+  Testbed bed{TestbedConfig{}};
+  SlowTest slow{bed.loop(), Duration::seconds(30)};
+  const auto abandoned = bed.run_sync(slow, TestRunConfig{}, /*deadline_s=*/1);
+  EXPECT_FALSE(abandoned.admissible);
+
+  // The abandoned completion (t=30s) fires inside this run: the fresh
+  // result must be untouched by it.
+  SlowTest prompt{bed.loop(), Duration::seconds(40)};
+  const auto fresh = bed.run_sync(prompt, TestRunConfig{}, /*deadline_s=*/60);
+  EXPECT_TRUE(fresh.admissible);
+  EXPECT_EQ(fresh.note, "finished late");
+  EXPECT_EQ(fresh.test_name, "slow");
+}
+
 TEST(Testbed, WholeExperimentIsByteDeterministic) {
   // Strongest determinism check: the full pcap of a run (every packet,
   // every timestamp, every IPID) must be byte-identical across replays.

@@ -1,0 +1,82 @@
+// util::ThreadPool: the sharded runtime's execution substrate. Jobs all
+// run exactly once, worker exceptions surface at the join point, and
+// destruction drains the queue.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <future>
+#include <mutex>
+#include <set>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+#include "util/thread_pool.hpp"
+
+namespace reorder::util {
+namespace {
+
+TEST(ThreadPool, RunsEveryJobExactlyOnce) {
+  std::atomic<int> counter{0};
+  {
+    ThreadPool pool{4};
+    std::vector<std::future<void>> done;
+    for (int i = 0; i < 100; ++i) {
+      done.push_back(pool.submit([&counter] { counter.fetch_add(1); }));
+    }
+    for (auto& f : done) f.get();
+    EXPECT_EQ(counter.load(), 100);
+  }
+}
+
+TEST(ThreadPool, SpreadsWorkAcrossWorkers) {
+  std::mutex mu;
+  std::set<std::thread::id> workers;
+  std::atomic<int> rendezvous{0};
+  ThreadPool pool{2};
+  std::vector<std::future<void>> done;
+  for (int i = 0; i < 2; ++i) {
+    done.push_back(pool.submit([&] {
+      // Hold both workers in the job until each has arrived, so two
+      // distinct threads must participate.
+      rendezvous.fetch_add(1);
+      while (rendezvous.load() < 2) std::this_thread::yield();
+      const std::lock_guard<std::mutex> lock{mu};
+      workers.insert(std::this_thread::get_id());
+    }));
+  }
+  for (auto& f : done) f.get();
+  EXPECT_EQ(workers.size(), 2u);
+}
+
+TEST(ThreadPool, ExceptionsSurfaceThroughTheFuture) {
+  ThreadPool pool{2};
+  auto ok = pool.submit([] {});
+  auto bad = pool.submit([] { throw std::runtime_error{"shard failed"}; });
+  EXPECT_NO_THROW(ok.get());
+  EXPECT_THROW(bad.get(), std::runtime_error);
+}
+
+TEST(ThreadPool, DestructionDrainsPendingJobs) {
+  std::atomic<int> counter{0};
+  {
+    ThreadPool pool{1};
+    for (int i = 0; i < 8; ++i) {
+      pool.submit([&counter] {
+        std::this_thread::sleep_for(std::chrono::milliseconds(1));
+        counter.fetch_add(1);
+      });
+    }
+  }  // ~ThreadPool joins only after the queue is empty
+  EXPECT_EQ(counter.load(), 8);
+}
+
+TEST(ThreadPool, ClampsToAtLeastOneWorker) {
+  ThreadPool pool{0};
+  EXPECT_EQ(pool.size(), 1u);
+  EXPECT_GE(ThreadPool::hardware_threads(), 1u);
+}
+
+}  // namespace
+}  // namespace reorder::util
