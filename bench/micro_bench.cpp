@@ -7,11 +7,15 @@
 // report layer like every other bench binary's.
 #include <benchmark/benchmark.h>
 
+#include <unordered_map>
+
 #include "bench_common.hpp"
 #include "core/sharded_survey.hpp"
 #include "core/test_registry.hpp"
 #include "core/testbed.hpp"
 #include "metrics/engine.hpp"
+#include "metrics/sequence_metrics.hpp"
+#include "monitor/engine.hpp"
 #include "netsim/event_loop.hpp"
 #include "netsim/link.hpp"
 #include "netsim/path.hpp"
@@ -351,6 +355,88 @@ BENCHMARK(BM_ShardedSurvey)
     ->Arg(4)
     ->Unit(benchmark::kMillisecond)
     ->UseRealTime();
+
+// ----------------------------------------------------------------- monitor
+
+// The always-on hot path: MonitorEngine::ingest over `flows` concurrent
+// round-robin flows against a 1024-slot table with the default 256 B
+// detector suite. 64 flows is the all-hits resident case; 4096 flows
+// overflows the table four-fold, so every arrival pays the LRU eviction
+// and fold path too. Epochs close every 512 rounds the way real flows do.
+void BM_MonitorIngest(benchmark::State& state) {
+  const std::size_t flows = static_cast<std::size_t>(state.range(0));
+  monitor::MonitorConfig cfg;
+  cfg.table.slots = 1024;
+  monitor::MonitorEngine engine{cfg};
+  std::vector<std::uint32_t> send(flows, 0);
+  std::size_t f = 0;
+  std::uint32_t round = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(engine.ingest(f + 1, send[f]++));
+    if (++f == flows) {
+      f = 0;
+      if (++round == 512) {
+        round = 0;
+        engine.flush();
+        std::fill(send.begin(), send.end(), 0);
+      }
+    }
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_MonitorIngest)->ArgName("flows")->Arg(64)->Arg(4096);
+
+// The exact-metrics twin of BM_MonitorIngest — identical traffic into
+// per-flow unbounded SequenceExtentMetric + NReorderingMetric (the state
+// MetricEngine keeps per key). The monitor's per-arrival budget must
+// stay >= 2x cheaper than this; CI gates on the ratio.
+void BM_ExactSequenceIngest(benchmark::State& state) {
+  const std::size_t flows = static_cast<std::size_t>(state.range(0));
+  const auto exact_suite = [] {
+    metrics::MetricSuite suite;
+    suite.add(std::make_unique<metrics::SequenceExtentMetric>());
+    suite.add(std::make_unique<metrics::NReorderingMetric>());
+    return suite;
+  };
+  std::unordered_map<std::uint64_t, metrics::MetricSuite> map;
+  map.reserve(flows);
+  for (std::size_t i = 0; i < flows; ++i) map.emplace(i + 1, exact_suite());
+  std::vector<std::uint32_t> send(flows, 0);
+  std::size_t f = 0;
+  std::uint32_t round = 0;
+  for (auto _ : state) {
+    map.find(f + 1)->second.observe_arrival(send[f]++);
+    if (++f == flows) {
+      f = 0;
+      if (++round == 512) {
+        round = 0;
+        for (auto& [key, suite] : map) suite.end_sequence();
+        std::fill(send.begin(), send.end(), 0);
+      }
+    }
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_ExactSequenceIngest)->ArgName("flows")->Arg(64)->Arg(4096);
+
+// The table alone: set-associative lookup + LRU touch. 512 distinct keys
+// stay resident in the 1024 slots (pure hit path); 65536 keys thrash
+// (miss + eviction path).
+void BM_FlowTableLookup(benchmark::State& state) {
+  monitor::FlowTableConfig cfg;
+  cfg.slots = 1024;
+  monitor::FlowTable table{cfg};
+  util::Rng rng{5};
+  std::vector<std::uint64_t> keys(8192);
+  for (auto& k : keys) k = rng.below(static_cast<std::uint64_t>(state.range(0)));
+  std::size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(table.lookup(keys[i]));
+    if (++i == keys.size()) i = 0;
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_FlowTableLookup)->ArgName("keys")->Arg(512)->Arg(65536);
 
 // The regular console table, plus one {"type":"run",...} JSONL record
 // per benchmark run into the shared BenchArtifact format.

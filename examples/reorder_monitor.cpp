@@ -1,0 +1,123 @@
+// reorder_monitor: the accuracy/memory frontier of the always-on monitor.
+//
+// Runs every canonical scenario's monitor-level traffic model through the
+// exact per-flow metrics AND every bounded detector at each point of a
+// (memory budget x flow-table size) sweep, then prints one row per
+// (scenario, detector, budget, table) cell: false-positive/false-negative
+// rates against the exact verdicts and the headline estimate error. The
+// table is the paper-style answer to "how little state can an always-on
+// monitor keep before it starts lying?"
+//
+//   $ reorder_monitor [--seed=1] [--flows=32] [--packets=512]
+//                     [--budgets=256,1024,16384] [--slots=64,1024]
+//                     [--scenario=<name>] [--jsonl=<path>]
+//
+// With REORDER_BENCH_JSONL_DIR set (the bench-smoke convention) the same
+// {"type":"monitor_accuracy",...} records land in
+// $REORDER_BENCH_JSONL_DIR/reorder_monitor.jsonl.
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "monitor/differential.hpp"
+#include "util/flags.hpp"
+
+namespace {
+
+std::vector<std::size_t> parse_sizes(const std::string& csv) {
+  std::vector<std::size_t> out;
+  std::stringstream ss{csv};
+  std::string item;
+  while (std::getline(ss, item, ',')) {
+    if (!item.empty()) out.push_back(static_cast<std::size_t>(std::stoull(item)));
+  }
+  return out;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace reorder;
+
+  std::int64_t seed = 1;
+  std::int64_t flows = 32;
+  std::int64_t packets = 512;
+  std::string budgets = "256,1024,16384";
+  std::string slots = "64,1024";
+  std::string scenario;
+  std::string jsonl_path;
+  util::Flags flags{"reorder_monitor", "bounded-monitor accuracy vs memory frontier"};
+  flags.add_i64("seed", &seed, "traffic model seed");
+  flags.add_i64("flows", &flows, "concurrent flows per scenario");
+  flags.add_i64("packets", &packets, "packets per flow");
+  flags.add_string("budgets", &budgets, "per-flow detector budgets in bytes, comma separated");
+  flags.add_string("slots", &slots, "flow-table sizes to sweep, comma separated");
+  flags.add_string("scenario", &scenario, "run a single scenario (default: all)");
+  flags.add_string("jsonl", &jsonl_path, "also write monitor_accuracy JSONL here");
+  if (!flags.parse(argc, argv)) return 1;
+
+  monitor::DifferentialConfig config;
+  config.seed = static_cast<std::uint64_t>(seed);
+  config.traffic.flows = static_cast<std::size_t>(flows);
+  config.traffic.packets_per_flow = static_cast<std::size_t>(packets);
+  config.budgets = parse_sizes(budgets);
+  config.table_slots = parse_sizes(slots);
+  if (!scenario.empty()) config.scenarios = {scenario};
+  if (config.budgets.empty() || config.table_slots.empty()) {
+    std::fprintf(stderr, "reorder_monitor: --budgets and --slots must be non-empty\n");
+    return 1;
+  }
+
+  const std::vector<monitor::AccuracyRecord> records = monitor::run_differential(config);
+
+  std::printf("always-on monitor, accuracy vs memory (seed %lld, %lld flows x %lld packets)\n",
+              static_cast<long long>(seed), static_cast<long long>(flows),
+              static_cast<long long>(packets));
+  std::printf("exact/est: reordered ratio (window_sketch, approx_rate) or mean n (bounded_n)\n\n");
+  monitor::accuracy_table(records).print();
+
+  // Budget frontier summary: the cheapest budget per detector at which the
+  // large-table sweep stops disagreeing with the exact metrics anywhere.
+  std::printf("\nexact-from-budget frontier (largest table):\n");
+  std::size_t big_table = 0;
+  for (const std::size_t s : config.table_slots) big_table = std::max(big_table, s);
+  for (const char* name : {"window_sketch", "approx_rate", "bounded_n"}) {
+    std::size_t frontier = 0;
+    for (const std::size_t b : config.budgets) {
+      bool clean = true;
+      for (const auto& r : records) {
+        if (r.detector != name || r.budget_bytes != b || r.table_slots != big_table) continue;
+        if (r.false_positives != 0 || r.false_negatives != 0) clean = false;
+      }
+      if (clean) {
+        frontier = b;
+        break;
+      }
+    }
+    if (frontier != 0) {
+      std::printf("  %-14s exact verdicts from %zu B/flow\n", name, frontier);
+    } else {
+      std::printf("  %-14s not exact at any swept budget\n", name);
+    }
+  }
+
+  const auto write_jsonl = [&records](const std::string& path) {
+    std::ofstream out{path};
+    if (!out) {
+      std::fprintf(stderr, "reorder_monitor: cannot open %s\n", path.c_str());
+      return false;
+    }
+    report::JsonlWriter writer{out};
+    monitor::emit_accuracy_jsonl(writer, records);
+    return true;
+  };
+  if (!jsonl_path.empty() && !write_jsonl(jsonl_path)) return 1;
+  if (const char* dir = std::getenv("REORDER_BENCH_JSONL_DIR")) {
+    const std::string path = std::string{dir} + "/reorder_monitor.jsonl";
+    if (write_jsonl(path)) std::printf("\nwrote %zu records to %s\n", records.size(), path.c_str());
+  }
+  return 0;
+}

@@ -174,8 +174,38 @@ ScenarioSpec random_ipid_remote(std::uint64_t seed) {
   return spec;
 }
 
+ScenarioSpec evade_window(std::uint64_t seed) {
+  ScenarioSpec spec;
+  spec.name = "evade-window";
+  spec.summary =
+      "wide heavily-contended striping: displacements beyond a small resequencing window";
+  spec.testbed.seed = seed;
+  sim::StripedLinkConfig striped;
+  striped.lanes = 8;
+  striped.contention_probability = 0.35;
+  striped.mean_backlog_bytes = 2500.0;
+  spec.testbed.forward.striped = striped;
+  spec.testbed.forward.ingress_link.bandwidth_bps = 1'000'000'000;
+  spec.testbed.forward.egress_link.bandwidth_bps = 1'000'000'000;
+  spec.tests = {TestSpec{"dual-connection"}};
+  spec.gap_sweep = {util::Duration::micros(0), util::Duration::micros(50)};
+  spec.run.sample_spacing = util::Duration::millis(2);
+  return spec;
+}
+
+ScenarioSpec flood_flows(std::uint64_t seed) {
+  ScenarioSpec spec;
+  spec.name = "flood-flows";
+  spec.summary = "wide load-balanced fleet under several techniques: maximal flow churn";
+  spec.testbed.seed = seed;
+  spec.testbed.backends = 8;
+  spec.tests = {TestSpec{"dual-connection"}, TestSpec{"syn"}, TestSpec{"ping-burst"}};
+  return spec;
+}
+
 std::vector<std::string> names() {
-  return {"clean-path", "load-balanced", "lossy", "random-ipid", "striped-links", "swap-shaper"};
+  return {"clean-path", "evade-window", "flood-flows",  "load-balanced",
+          "lossy",      "random-ipid",  "striped-links", "swap-shaper"};
 }
 
 ScenarioSpec by_name(const std::string& name, std::uint64_t seed) {
@@ -185,6 +215,8 @@ ScenarioSpec by_name(const std::string& name, std::uint64_t seed) {
   if (name == "lossy") return lossy(0.02, seed);
   if (name == "load-balanced") return load_balanced(4, seed);
   if (name == "random-ipid") return random_ipid_remote(seed);
+  if (name == "evade-window") return evade_window(seed);
+  if (name == "flood-flows") return flood_flows(seed);
   std::string known;
   for (const auto& n : names()) known += known.empty() ? n : ", " + n;
   throw std::invalid_argument{"scenarios::by_name: unknown scenario '" + name +

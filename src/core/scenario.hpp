@@ -105,6 +105,18 @@ ScenarioSpec load_balanced(std::size_t backends, std::uint64_t seed = 1);
 /// A remote with randomized IPIDs: inadmissible for the dual test.
 ScenarioSpec random_ipid_remote(std::uint64_t seed = 1);
 
+/// Adversarial: wide striping with heavy contention, displacing packets
+/// far beyond a small resequencing window — exact metrics see the
+/// reordering, a bounded K-entry sketch with K below the displacement
+/// does not (the monitor harness's evasion case).
+ScenarioSpec evade_window(std::uint64_t seed = 1);
+
+/// Adversarial: a wide per-flow load-balanced fleet probed by several
+/// techniques at once — maximal concurrent flow churn, the traffic shape
+/// that thrashes a bounded flow table (the monitor harness's eviction
+/// case).
+ScenarioSpec flood_flows(std::uint64_t seed = 1);
+
 /// Names accepted by by_name(), sorted.
 std::vector<std::string> names();
 

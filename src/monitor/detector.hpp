@@ -1,0 +1,145 @@
+// The bounded-state detector contract of the always-on monitor.
+//
+// src/metrics/ holds the exact survey-side analytics: per-flow state
+// proportional to flow length (Fenwick trees, unbounded record stacks) —
+// fine for a survey tool, impossible for a monitor watching millions of
+// flows on a host, switch or SmartNIC. A monitor::Detector is the
+// data-plane counterpart: the same one-pass / snapshot / merge discipline
+// as metrics::Metric, but with per-flow state bounded by an explicit
+// memory budget in bytes. The budget buys accuracy:
+//
+//   * observe_arrival() is one pass and O(budget) worst case, O(1) on the
+//     in-order fast path, and returns the detector's per-arrival verdict
+//     (flagged as reordered/late or not) so a differential harness can
+//     score false positives/negatives against the exact metrics;
+//   * the per-flow footprint never exceeds flow_state_bytes(), a pure
+//     function of the construction budget — what a fixed-size FlowTable
+//     slot must provision;
+//   * end_flow() folds the open per-flow state into closed totals and
+//     resets the bounded state for slot reuse (eviction calls this);
+//   * merge() over closed accumulators is associative and bit-exact, the
+//     metrics::Metric contract, so per-shard monitors fold into fleet
+//     totals; merging detectors built with different budgets throws —
+//     their truncation behavior differs, so their counts are not the same
+//     quantity;
+//   * to_json() is a pure function of the closed totals.
+//
+// When the budget exceeds what the flow needs (window >= flow length,
+// counters never saturating, stack never overflowing) every detector's
+// totals are exactly those of its metrics/ counterpart — the property the
+// differential tests pin.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "report/json.hpp"
+
+namespace reorder::monitor {
+
+class Detector {
+ public:
+  virtual ~Detector() = default;
+
+  /// Stable identifier; merge() pairs detectors by name, to_json() keys
+  /// on it.
+  virtual std::string_view name() const = 0;
+
+  /// One arrival of the CURRENT flow: the packet's per-flow send index
+  /// (the RFC 4737 stream model, monitor-side). Returns true when the
+  /// detector flags this arrival as reordered/late.
+  virtual bool observe_arrival(std::uint32_t send_index) = 0;
+
+  /// Closes the current flow: folds its state into the closed totals and
+  /// resets the bounded per-flow state so the slot can host another flow.
+  /// No-op when no arrival was observed since the last close.
+  virtual void end_flow() = 0;
+
+  /// Deep copy of the accumulated state.
+  virtual std::unique_ptr<Detector> snapshot() const = 0;
+  /// Folds another closed accumulator of the same concrete type AND the
+  /// same budget into this one. Throws std::invalid_argument on type,
+  /// name or budget mismatch, or when either side has an open flow.
+  virtual void merge(const Detector& other) = 0;
+
+  /// JSON rendering of the closed totals (schema documented per detector
+  /// and in the README's "Always-on monitoring" section).
+  virtual report::Json to_json() const = 0;
+
+  /// Upper bound of the per-flow (slot-resident) state in bytes — the
+  /// meaning of the construction budget.
+  virtual std::size_t flow_state_bytes() const = 0;
+
+ protected:
+  /// Downcast helper for merge(): checks name and concrete type.
+  template <typename T>
+  static const T& expect(const Detector& other, std::string_view name);
+};
+
+template <typename T>
+const T& Detector::expect(const Detector& other, std::string_view name) {
+  const T* typed = dynamic_cast<const T*>(&other);
+  if (typed == nullptr || other.name() != name) {
+    throw std::invalid_argument{"Detector::merge: cannot merge '" + std::string{other.name()} +
+                                "' into '" + std::string{name} + "'"};
+  }
+  return *typed;
+}
+
+/// An ordered collection of detectors sharing one flow's arrival stream —
+/// the unit the MonitorEngine keeps per flow-table slot. Suites merge
+/// member-wise and require identical composition (same names, same order,
+/// same budgets).
+class DetectorSuite {
+ public:
+  DetectorSuite() = default;
+  DetectorSuite(DetectorSuite&&) = default;
+  DetectorSuite& operator=(DetectorSuite&&) = default;
+
+  DetectorSuite& add(std::unique_ptr<Detector> detector);
+  std::size_t size() const { return detectors_.size(); }
+  bool empty() const { return detectors_.empty(); }
+
+  /// The member named `name`, or nullptr.
+  const Detector* find(std::string_view name) const;
+  /// Typed lookup; nullptr when absent or of a different concrete type.
+  template <typename T>
+  const T* get(std::string_view name) const {
+    return dynamic_cast<const T*>(find(name));
+  }
+
+  /// Fans the arrival to every member; true when ANY member flagged it.
+  bool observe_arrival(std::uint32_t send_index);
+  void end_flow();
+
+  DetectorSuite snapshot() const;
+  /// Member-wise merge; throws std::invalid_argument when the suites'
+  /// compositions differ.
+  void merge(const DetectorSuite& other);
+
+  /// {"<detector name>": <detector.to_json()>, ...} in attachment order.
+  report::Json to_json() const;
+
+  /// Sum of the members' per-flow footprints — the slot size a FlowTable
+  /// provisions for this suite.
+  std::size_t flow_state_bytes() const;
+
+ private:
+  std::vector<std::unique_ptr<Detector>> detectors_;
+};
+
+/// Builds the detector suite a fresh flow-table slot starts with — the
+/// pluggability point mirroring metrics::SuiteFactory.
+using DetectorFactory = std::function<DetectorSuite()>;
+
+/// The standard monitor suite at a total per-flow budget: an approximate
+/// rate counter (~20 B), the remainder split evenly between the window
+/// sketch and the bounded n-reordering estimator.
+DetectorSuite default_suite(std::size_t budget_bytes);
+
+}  // namespace reorder::monitor

@@ -1,0 +1,202 @@
+// The three bounded per-flow detectors of the always-on monitor, each the
+// constant-memory counterpart of an exact src/metrics/ accumulator:
+//
+//   WindowSketchDetector      ~ SequenceExtentMetric (RFC 4737)
+//   RateEstimateDetector      ~ SequenceExtentMetric's reordered ratio
+//   BoundedNReorderingDetector~ NReorderingMetric    (RFC 5236)
+//
+// Each takes a memory budget in bytes that bounds the per-flow state; the
+// class comments state exactly where accuracy is lost when the budget is
+// too small, and why the result is exact when it is not.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "monitor/detector.hpp"
+
+namespace reorder::monitor {
+
+/// A K-entry resequencing-window sketch: the ring of the K most recent
+/// send indices (K = budget / 4). An arrival is flagged late iff a send
+/// index larger than its own is still in the window; its extent is the
+/// distance back to the earliest such entry — exactly RFC 4737's
+/// reordering extent as long as the window covers the flow (K >= flow
+/// length), because the earliest larger arrival is then always retained.
+///
+/// Accuracy loss is one-sided: the sketch NEVER false-positives (a flag
+/// requires a witnessed larger index), but misses reorderings whose
+/// extent exceeds K and everything across an eviction reset — the
+/// `evade-window` adversarial scenario displaces packets just beyond K to
+/// exercise exactly this blind spot.
+class WindowSketchDetector final : public Detector {
+ public:
+  static constexpr std::string_view kName = "window_sketch";
+
+  explicit WindowSketchDetector(std::size_t budget_bytes);
+
+  std::string_view name() const override { return kName; }
+  bool observe_arrival(std::uint32_t send_index) override;
+  void end_flow() override;
+  std::unique_ptr<Detector> snapshot() const override;
+  void merge(const Detector& other) override;
+  report::Json to_json() const override;
+  std::size_t flow_state_bytes() const override;
+
+  std::size_t window() const { return ring_.size(); }
+  std::uint64_t flows() const { return flows_; }
+  std::uint64_t packets() const { return packets_; }
+  std::uint64_t flagged() const { return flagged_; }
+  double ratio() const {
+    return packets_ == 0 ? 0.0 : static_cast<double>(flagged_) / static_cast<double>(packets_);
+  }
+  std::uint32_t max_extent() const { return max_extent_; }
+  double mean_extent() const {
+    return flagged_ == 0 ? 0.0
+                         : static_cast<double>(extent_sum_) / static_cast<double>(flagged_);
+  }
+
+ private:
+  void recompute_window_max();
+
+  std::size_t budget_bytes_;
+
+  // Closed totals (what merge combines).
+  std::uint64_t flows_{0};
+  std::uint64_t packets_{0};
+  std::uint64_t flagged_{0};
+  std::uint64_t extent_sum_{0};
+  std::uint32_t max_extent_{0};
+
+  // Bounded per-flow state: a circular window of recent send indices.
+  std::vector<std::uint32_t> ring_;
+  std::size_t head_{0};   ///< next write position (== oldest when full)
+  std::size_t count_{0};  ///< occupied entries
+  std::uint32_t window_max_{0};  ///< max over occupied entries (count_ > 0)
+  bool open_{false};
+};
+
+/// An approximate reordering-rate counter: a running per-flow maximum
+/// send index gives the exact RFC 4737 flag (late iff below the max), and
+/// two saturating counters (reordered / usable) of width derived from the
+/// budget accumulate the rate. When a counter saturates BOTH halve — an
+/// exponential decay that preserves the ratio while bounding the width —
+/// and the decay count is reported. With counters wide enough to never
+/// saturate the folded totals equal the exact reordered count and ratio;
+/// eviction resets the running max, so table churn converts reorderings
+/// that span the reset into false negatives (never false positives).
+class RateEstimateDetector final : public Detector {
+ public:
+  static constexpr std::string_view kName = "approx_rate";
+
+  explicit RateEstimateDetector(std::size_t budget_bytes);
+
+  std::string_view name() const override { return kName; }
+  bool observe_arrival(std::uint32_t send_index) override;
+  void end_flow() override;
+  std::unique_ptr<Detector> snapshot() const override;
+  void merge(const Detector& other) override;
+  report::Json to_json() const override;
+  std::size_t flow_state_bytes() const override;
+
+  std::uint64_t flows() const { return flows_; }
+  std::uint64_t packets() const { return packets_; }
+  std::uint64_t reordered() const { return reordered_sum_; }
+  std::uint64_t usable() const { return usable_sum_; }
+  std::uint64_t decays() const { return decays_; }
+  double rate() const {
+    return usable_sum_ == 0
+               ? 0.0
+               : static_cast<double>(reordered_sum_) / static_cast<double>(usable_sum_);
+  }
+
+ private:
+  std::size_t budget_bytes_;
+  std::size_t counter_bytes_;  ///< width of each saturating counter
+  std::uint64_t cap_;          ///< saturation threshold
+
+  // Closed totals.
+  std::uint64_t flows_{0};
+  std::uint64_t packets_{0};
+  std::uint64_t reordered_sum_{0};
+  std::uint64_t usable_sum_{0};
+  std::uint64_t decays_{0};
+
+  // Bounded per-flow state.
+  std::uint32_t flow_max_{0};
+  std::uint64_t usable_{0};
+  std::uint64_t reordered_{0};
+  bool seen_{false};
+  bool open_{false};
+};
+
+/// A bounded RFC 5236 n-reordering estimator: the exact metric's
+/// monotonic (position, send) stack capped at budget/8 entries — when a
+/// push overflows, the OLDEST (bottom) entry is dropped — and a fixed
+/// density array with a saturation bucket at n_cap (= the stack cap).
+///
+/// The per-arrival flag is always exact: n >= 1 iff the immediately
+/// preceding arrival carried a larger send index, and that arrival is on
+/// the stack by construction. n itself is exact whenever the boundary
+/// (latest earlier smaller-send arrival) is still retained; when it was
+/// dropped the true n is at least n_cap - 1, so the arrival is counted in
+/// the saturation bucket and `saturated` increments — the density tail
+/// and mean n are where a too-small budget shows.
+class BoundedNReorderingDetector final : public Detector {
+ public:
+  static constexpr std::string_view kName = "bounded_n";
+
+  explicit BoundedNReorderingDetector(std::size_t budget_bytes);
+
+  std::string_view name() const override { return kName; }
+  bool observe_arrival(std::uint32_t send_index) override;
+  void end_flow() override;
+  std::unique_ptr<Detector> snapshot() const override;
+  void merge(const Detector& other) override;
+  report::Json to_json() const override;
+  std::size_t flow_state_bytes() const override;
+
+  std::size_t stack_entries() const { return cap_; }
+  std::uint64_t flows() const { return flows_; }
+  std::uint64_t packets() const { return packets_; }
+  /// Packets recorded as exactly n-reordered (n clamped to n_cap).
+  std::uint64_t count_for(std::uint64_t n) const;
+  std::uint64_t flagged() const { return flagged_; }
+  std::uint64_t saturated() const { return saturated_; }
+  double reordered_fraction() const {
+    return packets_ == 0 ? 0.0 : static_cast<double>(flagged_) / static_cast<double>(packets_);
+  }
+  /// Mean recorded n over flagged packets (clamped values included).
+  double mean_n() const {
+    return flagged_ == 0 ? 0.0 : static_cast<double>(sum_n_) / static_cast<double>(flagged_);
+  }
+
+ private:
+  struct Entry {
+    std::uint32_t position;  ///< arrival position within the flow
+    std::uint32_t send_index;
+  };
+
+  std::size_t budget_bytes_;
+  std::size_t cap_;  ///< stack entry cap == density saturation bucket
+
+  // Closed totals.
+  std::uint64_t flows_{0};
+  std::uint64_t packets_{0};
+  std::uint64_t flagged_{0};
+  std::uint64_t sum_n_{0};
+  std::uint64_t saturated_{0};
+  std::vector<std::uint64_t> density_;  ///< index n in [1, cap_]
+
+  // Bounded per-flow state: the live stack is stack_[start_..]; the
+  // prefix is already-dropped bottom entries awaiting batched compaction.
+  std::vector<Entry> stack_;
+  std::size_t start_{0};
+  std::uint32_t position_{0};
+  std::uint32_t dropped_{0};  ///< entries evicted from the stack bottom
+  bool open_{false};
+
+  void push_bounded(Entry entry);
+};
+
+}  // namespace reorder::monitor

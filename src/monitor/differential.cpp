@@ -1,0 +1,381 @@
+#include "monitor/differential.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <memory>
+#include <numeric>
+#include <stdexcept>
+#include <utility>
+
+#include "core/scenario.hpp"
+#include "monitor/detectors.hpp"
+#include "util/random.hpp"
+#include "util/shard_seeder.hpp"
+
+namespace reorder::monitor {
+
+namespace {
+
+// ------------------------------------------------- per-flow traffic models
+// Each returns one flow's send indices in arrival order. Parameters track
+// the core::scenarios defaults (swap 0.15, loss 0.02) so the stream is the
+// monitor's-eye view of the same processes the simulated topologies run.
+
+std::vector<std::uint32_t> in_order(std::size_t n) {
+  std::vector<std::uint32_t> arr(n);
+  std::iota(arr.begin(), arr.end(), 0u);
+  return arr;
+}
+
+std::vector<std::uint32_t> adjacent_swapped(std::size_t n, double p, util::Rng& rng) {
+  std::vector<std::uint32_t> arr = in_order(n);
+  for (std::size_t i = 0; i + 1 < arr.size();) {
+    if (rng.bernoulli(p)) {
+      std::swap(arr[i], arr[i + 1]);
+      i += 2;
+    } else {
+      ++i;
+    }
+  }
+  return arr;
+}
+
+std::vector<std::uint32_t> striped(std::size_t n, util::Rng& rng) {
+  // Per-packet lane jitter larger than the inter-packet gap: nearby
+  // packets overtake, distant ones never do (the §IV-C decay).
+  std::vector<std::int64_t> t(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    t[i] = static_cast<std::int64_t>(i) * 3 + static_cast<std::int64_t>(rng.below(9));
+  }
+  std::vector<std::uint32_t> arr = in_order(n);
+  std::stable_sort(arr.begin(), arr.end(),
+                   [&t](std::uint32_t a, std::uint32_t b) { return t[a] < t[b]; });
+  return arr;
+}
+
+std::vector<std::uint32_t> lossy_in_order(std::size_t n, double loss, util::Rng& rng) {
+  std::vector<std::uint32_t> arr;
+  arr.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    if (!rng.bernoulli(loss)) arr.push_back(static_cast<std::uint32_t>(i));
+  }
+  return arr;
+}
+
+std::vector<std::uint32_t> evade(std::size_t n, std::uint32_t displacement) {
+  // One packet per block jumps `displacement` arrivals ahead of its send
+  // order. Every in-order packet it overtook is RFC 4737-late, but only
+  // the first K of them still share a window with the early packet — a
+  // K-entry sketch silently under-counts by (displacement - K) per block
+  // once the witness has been evicted.
+  std::vector<std::uint32_t> arr = in_order(n);
+  const std::size_t step = static_cast<std::size_t>(displacement) + 64;
+  for (std::size_t p = 13; p + displacement + 1 < arr.size(); p += step) {
+    const std::uint32_t early = arr[p + displacement];
+    arr.erase(arr.begin() + static_cast<std::ptrdiff_t>(p + displacement));
+    arr.insert(arr.begin() + static_cast<std::ptrdiff_t>(p), early);
+  }
+  return arr;
+}
+
+std::uint64_t flow_id(std::uint64_t seed, std::size_t index) {
+  return util::splitmix64(seed ^ (0x5eedf10aull + index * 0x9e3779b97f4a7c15ull));
+}
+
+/// Round-robin interleave: one packet per live flow per turn — the
+/// arrival pattern an always-on tap sees from concurrent flows.
+std::vector<MonitorArrival> interleave(const std::vector<std::uint64_t>& ids,
+                                       const std::vector<std::vector<std::uint32_t>>& seqs) {
+  std::vector<MonitorArrival> out;
+  std::size_t total = 0;
+  for (const auto& s : seqs) total += s.size();
+  out.reserve(total);
+  std::vector<std::size_t> next(seqs.size(), 0);
+  bool any = true;
+  while (any) {
+    any = false;
+    for (std::size_t f = 0; f < seqs.size(); ++f) {
+      if (next[f] >= seqs[f].size()) continue;
+      out.push_back(MonitorArrival{ids[f], seqs[f][next[f]++]});
+      any = true;
+    }
+  }
+  return out;
+}
+
+std::vector<MonitorArrival> flood(std::uint64_t seed, const TrafficOptions& opt) {
+  util::Rng rng{util::splitmix64(seed ^ 0xf100dull)};
+  struct Flow {
+    std::uint64_t id;
+    std::vector<std::uint32_t> seq;
+    std::size_t next{0};
+  };
+  std::size_t spawned = 0;
+  const auto fresh = [&] {
+    Flow f;
+    f.id = flow_id(seed ^ 0xf100dull, spawned++);
+    f.seq = adjacent_swapped(std::max<std::size_t>(2, opt.flood_packets), 0.2, rng);
+    return f;
+  };
+  std::vector<Flow> active;
+  const std::size_t active_n = std::max<std::size_t>(1, std::min(opt.flood_active, opt.flood_flows));
+  active.reserve(active_n);
+  for (std::size_t i = 0; i < active_n; ++i) active.push_back(fresh());
+  std::vector<MonitorArrival> out;
+  out.reserve(opt.flood_flows * opt.flood_packets);
+  // One packet per flow per visit: a flow's consecutive packets are
+  // separated by ~active_n other flows' arrivals, so any table smaller
+  // than the active set churns on every single packet.
+  while (!active.empty()) {
+    for (std::size_t i = 0; i < active.size();) {
+      Flow& f = active[i];
+      out.push_back(MonitorArrival{f.id, f.seq[f.next++]});
+      if (f.next == f.seq.size()) {
+        if (spawned < opt.flood_flows) {
+          active[i] = fresh();
+        } else {
+          active.erase(active.begin() + static_cast<std::ptrdiff_t>(i));
+          continue;
+        }
+      }
+      ++i;
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+std::vector<MonitorArrival> scenario_arrivals(const std::string& scenario, std::uint64_t seed,
+                                              const TrafficOptions& opt) {
+  if (scenario == "flood-flows") return flood(seed, opt);
+
+  util::Rng parent{util::splitmix64(seed ^ MonitorEngine::flow_key(scenario, "traffic"))};
+  std::vector<std::uint64_t> ids;
+  std::vector<std::vector<std::uint32_t>> seqs;
+  ids.reserve(opt.flows);
+  seqs.reserve(opt.flows);
+  const std::size_t n = opt.packets_per_flow;
+  for (std::size_t f = 0; f < opt.flows; ++f) {
+    util::Rng rng = parent.split();
+    ids.push_back(flow_id(seed, f));
+    if (scenario == "clean-path" || scenario == "load-balanced" || scenario == "random-ipid") {
+      // Per-flow the path is order-preserving (load balancing pins a flow
+      // to one backend; random IPIDs change admissibility, not ordering).
+      seqs.push_back(in_order(n));
+    } else if (scenario == "swap-shaper") {
+      seqs.push_back(adjacent_swapped(n, 0.15, rng));
+    } else if (scenario == "striped-links") {
+      seqs.push_back(striped(n, rng));
+    } else if (scenario == "lossy") {
+      seqs.push_back(lossy_in_order(n, 0.02, rng));
+    } else if (scenario == "evade-window") {
+      seqs.push_back(evade(n, opt.evade_displacement));
+    } else {
+      throw std::invalid_argument{"scenario_arrivals: unknown scenario '" + scenario + "'"};
+    }
+  }
+  return interleave(ids, seqs);
+}
+
+namespace {
+
+/// The exact reference, per flow: unbounded state, the same algorithms as
+/// metrics::SequenceExtentMetric / NReorderingMetric.
+struct ExactFlow {
+  std::uint32_t max_send{0};
+  bool any{false};
+  struct Entry {
+    std::uint32_t position;
+    std::uint32_t send_index;
+  };
+  std::vector<Entry> stack;  ///< unbounded monotonic (position, send)
+  std::uint32_t pos{0};
+  std::uint64_t packets{0};
+  std::uint64_t late{0};      ///< RFC 4737 reordered arrivals
+  std::uint64_t flagged_n{0};  ///< arrivals with n >= 1
+  std::uint64_t sum_n{0};     ///< unclamped n total
+
+  /// Returns (RFC 4737 late, RFC 5236 n) for this arrival.
+  std::pair<bool, std::uint64_t> observe(std::uint32_t s) {
+    const bool is_late = any && s < max_send;
+    const auto it =
+        std::lower_bound(stack.begin(), stack.end(), s,
+                         [](const Entry& e, std::uint32_t v) { return e.send_index < v; });
+    const std::uint64_t n =
+        it == stack.begin() ? pos : pos - 1 - std::prev(it)->position;
+    while (!stack.empty() && stack.back().send_index >= s) stack.pop_back();
+    stack.push_back(Entry{pos, s});
+    ++pos;
+    ++packets;
+    if (is_late) ++late;
+    if (n > 0) {
+      ++flagged_n;
+      sum_n += n;
+    }
+    if (!any || s > max_send) max_send = s;
+    any = true;
+    return {is_late, n};
+  }
+};
+
+struct DetectorKind {
+  std::string_view name;
+  bool vs_n;  ///< reference flag: n >= 1 (true) or RFC 4737 late (false)
+  std::unique_ptr<Detector> (*make)(std::size_t budget);
+};
+
+constexpr DetectorKind kKinds[] = {
+    {WindowSketchDetector::kName, false,
+     [](std::size_t b) -> std::unique_ptr<Detector> {
+       return std::make_unique<WindowSketchDetector>(b);
+     }},
+    {RateEstimateDetector::kName, false,
+     [](std::size_t b) -> std::unique_ptr<Detector> {
+       return std::make_unique<RateEstimateDetector>(b);
+     }},
+    {BoundedNReorderingDetector::kName, true,
+     [](std::size_t b) -> std::unique_ptr<Detector> {
+       return std::make_unique<BoundedNReorderingDetector>(b);
+     }},
+};
+
+}  // namespace
+
+std::vector<AccuracyRecord> run_differential(const DifferentialConfig& config) {
+  std::vector<std::string> scenarios = config.scenarios;
+  if (scenarios.empty()) scenarios = core::scenarios::names();
+
+  std::vector<AccuracyRecord> records;
+  for (const std::string& scenario : scenarios) {
+    const std::vector<MonitorArrival> arrivals =
+        scenario_arrivals(scenario, config.seed, config.traffic);
+
+    // One exact pass: per-arrival reference flags (bit 0 = RFC 4737 late,
+    // bit 1 = n >= 1) and the pooled exact totals.
+    std::map<std::uint64_t, ExactFlow> exact;
+    std::vector<std::uint8_t> flags(arrivals.size(), 0);
+    for (std::size_t i = 0; i < arrivals.size(); ++i) {
+      const auto [late, n] = exact[arrivals[i].flow].observe(arrivals[i].send_index);
+      flags[i] = static_cast<std::uint8_t>((late ? 1 : 0) | (n > 0 ? 2 : 0));
+    }
+    std::uint64_t packets = 0, late_total = 0, flagged_n_total = 0, sum_n_total = 0;
+    for (const auto& [id, f] : exact) {
+      packets += f.packets;
+      late_total += f.late;
+      flagged_n_total += f.flagged_n;
+      sum_n_total += f.sum_n;
+    }
+    const double exact_ratio =
+        packets == 0 ? 0.0 : static_cast<double>(late_total) / static_cast<double>(packets);
+    const double exact_mean_n =
+        flagged_n_total == 0
+            ? 0.0
+            : static_cast<double>(sum_n_total) / static_cast<double>(flagged_n_total);
+
+    for (const DetectorKind& kind : kKinds) {
+      for (const std::size_t budget : config.budgets) {
+        for (const std::size_t slots : config.table_slots) {
+          MonitorConfig mc;
+          mc.table.slots = slots;
+          mc.budget_bytes = budget;
+          mc.factory = [&kind, budget] {
+            DetectorSuite suite;
+            suite.add(kind.make(budget));
+            return suite;
+          };
+          MonitorEngine engine{mc};
+
+          AccuracyRecord rec;
+          rec.scenario = scenario;
+          rec.detector = std::string{kind.name};
+          rec.budget_bytes = budget;
+          rec.table_slots = slots;
+          rec.flows = exact.size();
+          rec.packets = packets;
+          const std::uint8_t mask = kind.vs_n ? 2 : 1;
+          for (std::size_t i = 0; i < arrivals.size(); ++i) {
+            const bool flagged = engine.ingest(arrivals[i].flow, arrivals[i].send_index);
+            const bool expected = (flags[i] & mask) != 0;
+            if (flagged) ++rec.flagged;
+            if (flagged && !expected) ++rec.false_positives;
+            if (!flagged && expected) ++rec.false_negatives;
+          }
+          engine.flush();
+
+          rec.exact_flagged = kind.vs_n ? flagged_n_total : late_total;
+          const std::uint64_t exact_clear = packets - rec.exact_flagged;
+          rec.fp_rate = exact_clear == 0 ? 0.0
+                                         : static_cast<double>(rec.false_positives) /
+                                               static_cast<double>(exact_clear);
+          rec.fn_rate = rec.exact_flagged == 0
+                            ? 0.0
+                            : static_cast<double>(rec.false_negatives) /
+                                  static_cast<double>(rec.exact_flagged);
+
+          const DetectorSuite snap = engine.snapshot();
+          if (kind.name == WindowSketchDetector::kName) {
+            rec.exact_value = exact_ratio;
+            rec.est_value = snap.get<WindowSketchDetector>(kind.name)->ratio();
+          } else if (kind.name == RateEstimateDetector::kName) {
+            rec.exact_value = exact_ratio;
+            rec.est_value = snap.get<RateEstimateDetector>(kind.name)->rate();
+          } else {
+            rec.exact_value = exact_mean_n;
+            rec.est_value = snap.get<BoundedNReorderingDetector>(kind.name)->mean_n();
+          }
+          rec.abs_error = std::abs(rec.est_value - rec.exact_value);
+          rec.evictions = engine.table().counters().evictions;
+          records.push_back(std::move(rec));
+        }
+      }
+    }
+  }
+  return records;
+}
+
+report::Table accuracy_table(const std::vector<AccuracyRecord>& records) {
+  report::Table table = report::Table::with_headers(
+      {"scenario", "detector", "budget", "slots", "packets", "exact", "est", "|err|", "FP", "FN",
+       "fp%", "fn%", "evict"});
+  for (const AccuracyRecord& r : records) {
+    table.row({r.scenario, r.detector, report::integer(static_cast<std::int64_t>(r.budget_bytes)),
+               report::integer(static_cast<std::int64_t>(r.table_slots)),
+               report::integer(static_cast<std::int64_t>(r.packets)), report::fixed(r.exact_value, 4),
+               report::fixed(r.est_value, 4), report::fixed(r.abs_error, 4),
+               report::integer(static_cast<std::int64_t>(r.false_positives)),
+               report::integer(static_cast<std::int64_t>(r.false_negatives)),
+               report::percent(r.fp_rate, 2), report::percent(r.fn_rate, 2),
+               report::integer(static_cast<std::int64_t>(r.evictions))});
+  }
+  return table;
+}
+
+report::Json accuracy_to_json(const AccuracyRecord& r) {
+  report::Json j = report::Json::object();
+  j.set("type", "monitor_accuracy");
+  j.set("scenario", r.scenario);
+  j.set("detector", r.detector);
+  j.set("budget_bytes", static_cast<std::uint64_t>(r.budget_bytes));
+  j.set("table_slots", static_cast<std::uint64_t>(r.table_slots));
+  j.set("packets", r.packets);
+  j.set("flows", r.flows);
+  j.set("exact_flagged", r.exact_flagged);
+  j.set("flagged", r.flagged);
+  j.set("false_positives", r.false_positives);
+  j.set("false_negatives", r.false_negatives);
+  j.set("fp_rate", r.fp_rate);
+  j.set("fn_rate", r.fn_rate);
+  j.set("exact_value", r.exact_value);
+  j.set("est_value", r.est_value);
+  j.set("abs_error", r.abs_error);
+  j.set("evictions", r.evictions);
+  return j;
+}
+
+void emit_accuracy_jsonl(report::JsonlWriter& out, const std::vector<AccuracyRecord>& records) {
+  for (const AccuracyRecord& r : records) out.write(accuracy_to_json(r));
+}
+
+}  // namespace reorder::monitor

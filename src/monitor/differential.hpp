@@ -1,0 +1,107 @@
+// The accuracy-vs-memory differential harness.
+//
+// Every canonical scenario (plus the adversarial `evade-window` and
+// `flood-flows`) is rendered as an interleaved multi-flow arrival stream
+// — the monitor's-eye view of the traffic the scenario's topology
+// produces — and run through BOTH sides:
+//
+//   exact side    per-flow unbounded metrics::SequenceExtentMetric /
+//                 NReorderingMetric, plus the exact per-arrival verdicts
+//                 (late iff below the flow's running max send index;
+//                 n-reordered iff the preceding arrival sent later);
+//   bounded side  one MonitorEngine per (detector, budget, table size),
+//                 sharing the stream, evictions and all.
+//
+// Per-arrival verdict comparison yields false-positive/false-negative
+// counts; the folded totals yield the headline estimate error (reordered
+// ratio for window_sketch/approx_rate, mean n for bounded_n). One
+// AccuracyRecord per (scenario, detector, budget, table) — the
+// report::Table / {"type":"monitor_accuracy"} JSONL the reorder_monitor
+// example prints as the accuracy/memory frontier.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "monitor/engine.hpp"
+#include "report/jsonl.hpp"
+#include "report/table.hpp"
+
+namespace reorder::monitor {
+
+/// One interleaved always-on arrival: which flow, and the per-flow send
+/// index of the packet that just arrived.
+struct MonitorArrival {
+  std::uint64_t flow{0};
+  std::uint32_t send_index{0};
+};
+
+/// Knobs of the scenario traffic models (defaults match the harness's
+/// published numbers; tests shrink them).
+struct TrafficOptions {
+  std::size_t flows{32};
+  std::size_t packets_per_flow{512};
+  /// evade-window: how many predecessors the crafted early packet
+  /// overtakes — just beyond a 1 KiB window sketch (K = 256), well
+  /// within a 16 KiB one (K = 4096).
+  std::uint32_t evade_displacement{300};
+  /// flood-flows: total short flows churned through the table, packets
+  /// per flow, and how many are concurrently active (the table pressure).
+  std::size_t flood_flows{2048};
+  std::size_t flood_packets{16};
+  std::size_t flood_active{128};
+};
+
+/// The monitor-level traffic model of `scenario` (a core::scenarios name).
+/// Deterministic in (scenario, seed, options). Throws std::invalid_argument
+/// for unknown scenarios.
+std::vector<MonitorArrival> scenario_arrivals(const std::string& scenario, std::uint64_t seed,
+                                              const TrafficOptions& options = {});
+
+struct DifferentialConfig {
+  /// Defaults to every core::scenarios::names() entry.
+  std::vector<std::string> scenarios;
+  std::vector<std::size_t> budgets{256, 1024, 16384};
+  std::vector<std::size_t> table_slots{64, 1024};
+  std::uint64_t seed{1};
+  TrafficOptions traffic{};
+};
+
+/// One (scenario, detector, budget, table) accuracy cell.
+struct AccuracyRecord {
+  std::string scenario;
+  std::string detector;
+  std::size_t budget_bytes{0};
+  std::size_t table_slots{0};
+  std::uint64_t packets{0};
+  std::uint64_t flows{0};
+  /// Arrivals the EXACT reference flags (the detector's own reference:
+  /// RFC 4737 late for window_sketch/approx_rate, n >= 1 for bounded_n).
+  std::uint64_t exact_flagged{0};
+  std::uint64_t flagged{0};
+  std::uint64_t false_positives{0};
+  std::uint64_t false_negatives{0};
+  /// FP over exact-in-order arrivals; FN over exact-flagged arrivals.
+  double fp_rate{0.0};
+  double fn_rate{0.0};
+  /// Headline quantity: reordered ratio (window_sketch, approx_rate) or
+  /// mean n over flagged packets (bounded_n).
+  double exact_value{0.0};
+  double est_value{0.0};
+  double abs_error{0.0};
+  std::uint64_t evictions{0};
+};
+
+/// Runs the full sweep; records ordered (scenario, detector, budget,
+/// table) — scenario order as configured, detectors in suite order.
+std::vector<AccuracyRecord> run_differential(const DifferentialConfig& config = {});
+
+/// The frontier table: one row per record.
+report::Table accuracy_table(const std::vector<AccuracyRecord>& records);
+
+/// One {"type":"monitor_accuracy",...} record per cell.
+report::Json accuracy_to_json(const AccuracyRecord& record);
+void emit_accuracy_jsonl(report::JsonlWriter& out, const std::vector<AccuracyRecord>& records);
+
+}  // namespace reorder::monitor

@@ -1,0 +1,72 @@
+#include "monitor/flow_table.hpp"
+
+namespace reorder::monitor {
+
+namespace {
+
+std::size_t round_up_pow2(std::size_t v) {
+  std::size_t p = 1;
+  while (p < v) p <<= 1;
+  return p;
+}
+
+}  // namespace
+
+FlowTable::FlowTable(FlowTableConfig config) : seed_{config.seed} {
+  ways_ = round_up_pow2(std::max<std::size_t>(1, config.ways));
+  std::size_t total = round_up_pow2(std::max<std::size_t>(1, config.slots));
+  if (total < ways_) total = ways_;
+  sets_ = total / ways_;
+  keys_.resize(total, 0);
+  last_used_.resize(total, 0);
+  valid_.resize(total, 0);
+}
+
+FlowTable::Ref FlowTable::insert(std::uint64_t key, std::size_t base) {
+  std::size_t victim = keys_.size();     // LRU valid way; ties toward the lowest index
+  std::size_t free_slot = keys_.size();  // first invalid way, if any
+  for (std::size_t w = 0; w < ways_; ++w) {
+    const std::size_t slot = base + w;
+    if (!valid_[slot]) {
+      if (free_slot == keys_.size()) free_slot = slot;
+    } else if (victim == keys_.size() || last_used_[slot] < last_used_[victim]) {
+      victim = slot;
+    }
+  }
+  ++counters_.insertions;
+  if (free_slot != keys_.size()) {
+    keys_[free_slot] = key;
+    last_used_[free_slot] = tick_;
+    valid_[free_slot] = 1;
+    ++live_;
+    return Ref{free_slot, true, false, 0};
+  }
+  ++counters_.evictions;
+  const std::uint64_t old_key = keys_[victim];
+  keys_[victim] = key;
+  last_used_[victim] = tick_;
+  return Ref{victim, true, true, old_key};
+}
+
+std::ptrdiff_t FlowTable::find(std::uint64_t key) const {
+  const std::size_t base = set_of(key) * ways_;
+  for (std::size_t w = 0; w < ways_; ++w) {
+    if (valid_[base + w] && keys_[base + w] == key) {
+      return static_cast<std::ptrdiff_t>(base + w);
+    }
+  }
+  return -1;
+}
+
+report::Json FlowTable::to_json() const {
+  report::Json j = report::Json::object();
+  j.set("slots", static_cast<std::uint64_t>(keys_.size()));
+  j.set("ways", static_cast<std::uint64_t>(ways_));
+  j.set("lookups", counters_.lookups);
+  j.set("hits", counters_.hits);
+  j.set("insertions", counters_.insertions);
+  j.set("evictions", counters_.evictions);
+  return j;
+}
+
+}  // namespace reorder::monitor

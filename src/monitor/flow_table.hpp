@@ -1,0 +1,118 @@
+// Fixed-budget flow slots for the always-on monitor.
+//
+// A FlowTable maps 64-bit flow keys onto a fixed, power-of-two array of
+// slots organized as W-way sets (hash = seeded splitmix64, set = low
+// bits). Lookup inserts on miss; when the set is full the least recently
+// used way is evicted — deterministically: ties break toward the lowest
+// slot index, recency is a global logical tick, and the hash seed is
+// explicit, so a run replays bit-identically from (config, key stream).
+// Collision pressure is observable: hit/insertion/eviction counters are
+// part of the table's JSON and fold across shards by summation.
+//
+// The table manages KEYS only. The MonitorEngine owns one DetectorSuite
+// per slot in a parallel array: on eviction it closes the outgoing flow's
+// bounded state (folding its totals) and hands the same slot to the new
+// key — no allocation, no movement of detector state.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "report/json.hpp"
+#include "util/shard_seeder.hpp"
+
+namespace reorder::monitor {
+
+struct FlowTableConfig {
+  /// Total slots; rounded up to a power of two >= ways.
+  std::size_t slots{1024};
+  /// Set associativity; rounded up to a power of two, clamped to slots.
+  std::size_t ways{4};
+  /// Hash seed: layouts (and thus collision/eviction patterns) are a pure
+  /// function of (seed, key stream).
+  std::uint64_t seed{0};
+};
+
+/// Summable occupancy/pressure counters (shard merge adds them).
+struct FlowTableCounters {
+  std::uint64_t lookups{0};
+  std::uint64_t hits{0};
+  std::uint64_t insertions{0};
+  std::uint64_t evictions{0};
+
+  FlowTableCounters& operator+=(const FlowTableCounters& o) {
+    lookups += o.lookups;
+    hits += o.hits;
+    insertions += o.insertions;
+    evictions += o.evictions;
+    return *this;
+  }
+};
+
+class FlowTable {
+ public:
+  struct Ref {
+    std::size_t slot{0};
+    bool inserted{false};         ///< key was not resident before this lookup
+    bool evicted{false};          ///< the insertion displaced a live flow
+    std::uint64_t evicted_key{0};  ///< valid when evicted
+  };
+
+  explicit FlowTable(FlowTableConfig config);
+
+  /// Finds the key's slot, inserting (and evicting the set's LRU way if
+  /// needed) on miss. Touches the slot's recency either way. Kept in the
+  /// header: this is the monitor's per-arrival front door, and the key
+  /// scan wants to inline against the caller's loop.
+  Ref lookup(std::uint64_t key) {
+    ++counters_.lookups;
+    const std::size_t base = set_of(key) * ways_;
+    ++tick_;
+    for (std::size_t w = 0; w < ways_; ++w) {
+      if (keys_[base + w] == key && valid_[base + w]) {
+        last_used_[base + w] = tick_;
+        ++counters_.hits;
+        return Ref{base + w, false, false, 0};
+      }
+    }
+    return insert(key, base);
+  }
+
+  /// The key's slot without insertion or recency update; -1 if absent.
+  std::ptrdiff_t find(std::uint64_t key) const;
+
+  std::size_t slots() const { return keys_.size(); }
+  std::size_t ways() const { return ways_; }
+  std::size_t live_flows() const { return live_; }
+  bool slot_live(std::size_t slot) const { return valid_[slot] != 0; }
+  std::uint64_t slot_key(std::size_t slot) const { return keys_[slot]; }
+  const FlowTableCounters& counters() const { return counters_; }
+  /// Folds another table's counters in (shard merge).
+  void add_counters(const FlowTableCounters& o) { counters_ += o; }
+
+  /// {"slots":..,"ways":..,"lookups":..,"hits":..,"insertions":..,
+  ///  "evictions":..} — live occupancy is reported by the engine, which
+  /// also knows about folded shards.
+  report::Json to_json() const;
+
+ private:
+  std::size_t set_of(std::uint64_t key) const {
+    return static_cast<std::size_t>(util::splitmix64(key ^ seed_)) & (sets_ - 1);
+  }
+  /// The miss path: claim a free way or evict the set's LRU way.
+  Ref insert(std::uint64_t key, std::size_t base);
+
+  std::uint64_t seed_;
+  std::size_t ways_;
+  std::size_t sets_;
+  // Structure-of-arrays: the hit path touches one contiguous strip of
+  // keys (W * 8 bytes) plus a single recency write, not W padded structs.
+  std::vector<std::uint64_t> keys_;
+  std::vector<std::uint64_t> last_used_;
+  std::vector<std::uint8_t> valid_;
+  std::uint64_t tick_{0};
+  std::size_t live_{0};
+  FlowTableCounters counters_;
+};
+
+}  // namespace reorder::monitor

@@ -4,13 +4,6 @@
 
 namespace reorder::util {
 
-std::uint64_t splitmix64(std::uint64_t x) {
-  x += 0x9e3779b97f4a7c15ull;
-  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
-  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
-  return x ^ (x >> 31);
-}
-
 TargetSeeds ShardSeeder::target(std::uint64_t global_index) const {
   // One avalanche over the survey seed decorrelates nearby seeds; a second
   // over the index separates the per-target streams; distinct additive

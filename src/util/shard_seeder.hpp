@@ -17,8 +17,14 @@ namespace reorder::util {
 /// splitmix64 finalizer (Vigna): the avalanche step that turns structured
 /// counters into decorrelated 64-bit streams. Public because tests pin
 /// its constants — the derivation scheme is an on-disk contract (recorded
-/// seeds must replay across versions).
-std::uint64_t splitmix64(std::uint64_t x);
+/// seeds must replay across versions). Inline: it sits on per-arrival hot
+/// paths (flow-table hashing) as well as per-target seeding.
+inline std::uint64_t splitmix64(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ull;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  return x ^ (x >> 31);
+}
 
 /// Everything target-local the survey testbed seeds, derived once per
 /// global target index.
