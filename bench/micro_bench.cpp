@@ -11,6 +11,7 @@
 
 #include "bench_common.hpp"
 #include "core/sharded_survey.hpp"
+#include "ingest/pipeline.hpp"
 #include "core/test_registry.hpp"
 #include "core/testbed.hpp"
 #include "metrics/engine.hpp"
@@ -437,6 +438,91 @@ void BM_FlowTableLookup(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations());
 }
 BENCHMARK(BM_FlowTableLookup)->ArgName("keys")->Arg(512)->Arg(65536);
+
+// ------------------------------------------------------------------ ingest
+
+namespace {
+
+// The ingest benches' traffic: `flows` concurrent flows delivered the way
+// interrupt coalescing does — per-flow in-order send indices, interleaved
+// burst-by-burst in runs of `run` arrivals. This is the stream shape the
+// batched path amortizes over (one map/table lookup and one virtual
+// fan-in per run instead of per arrival); the scalar comparator
+// BM_ExactSequenceIngest feeds the same suite one arrival at a time.
+std::vector<ingest::ArrivalBatch> coalesced_batches(std::size_t flows, std::uint32_t packets,
+                                                    std::size_t run, std::size_t batch_capacity) {
+  std::vector<ingest::ArrivalBatch> out;
+  ingest::ArrivalBatchBuilder builder{batch_capacity};
+  std::vector<std::uint32_t> next(flows, 0);
+  bool more = true;
+  while (more) {
+    more = false;
+    for (std::size_t f = 0; f < flows; ++f) {
+      for (std::size_t i = 0; i < run && next[f] < packets; ++i) {
+        if (builder.push(f + 1, next[f]++, 0)) out.push_back(builder.take());
+      }
+      more = more || next[f] < packets;
+    }
+  }
+  if (builder.size() > 0) out.push_back(builder.take());
+  return out;
+}
+
+}  // namespace
+
+// The batched observe path of the sequence-metric suite: SequenceEngine
+// drains pre-rendered SoA batches of the coalesced stream (4096 flows,
+// runs of 16) through observe_arrivals() spans. The CI perf gate asserts
+// this sustains >= 3x the scalar per-arrival items/s of
+// BM_ExactSequenceIngest/flows:4096 — the amortization the ingest
+// subsystem exists to buy.
+void BM_BatchedObserve(benchmark::State& state) {
+  const std::size_t flows = static_cast<std::size_t>(state.range(0));
+  const std::vector<ingest::ArrivalBatch> batches =
+      coalesced_batches(flows, /*packets=*/512, /*run=*/16, /*batch_capacity=*/1024);
+  ingest::SequenceEngine engine;
+  std::size_t b = 0;
+  std::int64_t arrivals = 0;
+  for (auto _ : state) {
+    engine.ingest_batch(batches[b]);
+    arrivals += static_cast<std::int64_t>(batches[b].size());
+    if (++b == batches.size()) {
+      b = 0;
+      engine.flush();  // close every flow's sequence, like the scalar twin
+    }
+  }
+  state.SetItemsProcessed(arrivals);
+}
+BENCHMARK(BM_BatchedObserve)->ArgName("flows")->Arg(64)->Arg(4096);
+
+// The whole subsystem end to end: producer thread renders the coalesced
+// stream into batches, SPSC ring, consumer thread drains the batched
+// sequence-metric path. UseRealTime: the analytics run on the consumer
+// thread, so wall time is the arrivals/s that matters (the README's
+// line-rate number).
+void BM_IngestPipeline(benchmark::State& state) {
+  const std::size_t flows = static_cast<std::size_t>(state.range(0));
+  std::vector<ingest::Arrival> stream;
+  for (const ingest::ArrivalBatch& batch :
+       coalesced_batches(flows, /*packets=*/512, /*run=*/16, /*batch_capacity=*/1024)) {
+    for (std::size_t i = 0; i < batch.size(); ++i) {
+      stream.push_back(
+          ingest::Arrival{batch.flows()[i], batch.send_indices()[i], batch.timestamps_ns()[i]});
+    }
+  }
+  ingest::SequenceEngine engine;
+  ingest::PipelineConfig cfg;
+  cfg.batch_capacity = 1024;
+  cfg.ring_batches = 64;
+  std::int64_t arrivals = 0;
+  for (auto _ : state) {
+    ingest::IngestPipeline pipeline{cfg, &engine, nullptr};
+    arrivals += static_cast<std::int64_t>(pipeline.run(stream).arrivals_consumed);
+    engine.flush();
+  }
+  state.SetItemsProcessed(arrivals);
+}
+BENCHMARK(BM_IngestPipeline)->ArgName("flows")->Arg(4096)->UseRealTime();
 
 // The regular console table, plus one {"type":"run",...} JSONL record
 // per benchmark run into the shared BenchArtifact format.

@@ -23,6 +23,10 @@ PathHandles build_measurement_path(sim::EventLoop& loop, sim::Path& path, const 
   if (spec.loss_probability > 0.0) {
     path.emplace<sim::LossStage>(spec.loss_probability, util::Rng{seed ^ (seed_tag * 8111)});
   }
+  if (spec.coalescer.has_value()) {
+    handles.coalescer = &path.emplace<sim::InterruptCoalescer>(
+        loop, *spec.coalescer, util::Rng{seed ^ (seed_tag * 8219)});
+  }
   path.emplace<sim::LinkStage>(loop, spec.egress_link);
   if (pre_terminal_tap != nullptr) {
     path.emplace<trace::TraceTap>(loop, *pre_terminal_tap, tap_label);

@@ -7,6 +7,7 @@
 #include <cstdint>
 #include <optional>
 
+#include "netsim/coalescer.hpp"
 #include "netsim/event_loop.hpp"
 #include "netsim/link.hpp"
 #include "netsim/path.hpp"
@@ -28,6 +29,9 @@ struct PathSpec {
   std::optional<sim::StripedLinkConfig> striped{};
   /// Bernoulli loss probability; 0 disables.
   double loss_probability{0.0};
+  /// Optional receive-side interrupt coalescing (bursty delivery with
+  /// intra-burst local shuffle); sits after loss, before the egress link.
+  std::optional<sim::InterruptCoalescerConfig> coalescer{};
 };
 
 /// Runtime handles on the reordering processes a built path contains
@@ -35,6 +39,7 @@ struct PathSpec {
 struct PathHandles {
   sim::SwapShaper* shaper{nullptr};
   sim::StripedLink* striped{nullptr};
+  sim::InterruptCoalescer* coalescer{nullptr};
 };
 
 /// Assembles `spec` into `path`: ingress link, optional swap shaper /

@@ -203,9 +203,32 @@ ScenarioSpec flood_flows(std::uint64_t seed) {
   return spec;
 }
 
+ScenarioSpec interrupt_coalescing(std::uint64_t seed) {
+  ScenarioSpec spec;
+  spec.name = "interrupt-coalescing";
+  spec.summary =
+      "NIC interrupt coalescing: bursty delivery with intra-burst local shuffle (arXiv "
+      "1008.4931)";
+  spec.testbed.seed = seed;
+  sim::InterruptCoalescerConfig coalescer;
+  coalescer.max_frames = 6;
+  coalescer.window = util::Duration::micros(150);
+  coalescer.shuffle_probability = 0.35;
+  spec.testbed.forward.coalescer = coalescer;
+  // Fast enclosing links: the burst structure, not serialization, sets
+  // the arrival pattern (the coalescing window is the time constant).
+  spec.testbed.forward.ingress_link.bandwidth_bps = 1'000'000'000;
+  spec.testbed.forward.egress_link.bandwidth_bps = 1'000'000'000;
+  spec.tests = {TestSpec{"dual-connection"}};
+  spec.gap_sweep = {util::Duration::micros(0), util::Duration::micros(50)};
+  spec.run.sample_spacing = util::Duration::millis(2);
+  return spec;
+}
+
 std::vector<std::string> names() {
-  return {"clean-path", "evade-window", "flood-flows",  "load-balanced",
-          "lossy",      "random-ipid",  "striped-links", "swap-shaper"};
+  return {"clean-path", "evade-window",  "flood-flows", "interrupt-coalescing",
+          "load-balanced", "lossy",      "random-ipid", "striped-links",
+          "swap-shaper"};
 }
 
 ScenarioSpec by_name(const std::string& name, std::uint64_t seed) {
@@ -217,6 +240,7 @@ ScenarioSpec by_name(const std::string& name, std::uint64_t seed) {
   if (name == "random-ipid") return random_ipid_remote(seed);
   if (name == "evade-window") return evade_window(seed);
   if (name == "flood-flows") return flood_flows(seed);
+  if (name == "interrupt-coalescing") return interrupt_coalescing(seed);
   std::string known;
   for (const auto& n : names()) known += known.empty() ? n : ", " + n;
   throw std::invalid_argument{"scenarios::by_name: unknown scenario '" + name +

@@ -117,6 +117,11 @@ ScenarioSpec evade_window(std::uint64_t seed = 1);
 /// case).
 ScenarioSpec flood_flows(std::uint64_t seed = 1);
 
+/// Receive-side NIC interrupt coalescing (arXiv 1008.4931): frames are
+/// delivered in bursts with intra-burst local shuffle — bounded
+/// displacement, bursty timing; the line-rate ingest path's workload.
+ScenarioSpec interrupt_coalescing(std::uint64_t seed = 1);
+
 /// Names accepted by by_name(), sorted.
 std::vector<std::string> names();
 

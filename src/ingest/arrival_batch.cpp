@@ -1,0 +1,48 @@
+#include "ingest/arrival_batch.hpp"
+
+#include <utility>
+
+namespace reorder::ingest {
+
+ArrivalBatch::ArrivalBatch(std::size_t capacity) : capacity_{capacity} {
+  flows_.resize(capacity);
+  send_.resize(capacity);
+  at_ns_.resize(capacity);
+}
+
+bool ArrivalBatch::push(std::uint64_t flow, std::uint32_t send_index, std::int64_t at_ns) {
+  if (size_ == capacity_) return false;
+  flows_[size_] = flow;
+  send_[size_] = send_index;
+  at_ns_[size_] = at_ns;
+  ++size_;
+  return true;
+}
+
+ArrivalBatchBuilder::ArrivalBatchBuilder(std::size_t batch_capacity)
+    : capacity_{batch_capacity == 0 ? 1 : batch_capacity}, current_{capacity_} {}
+
+bool ArrivalBatchBuilder::push(std::uint64_t flow, std::uint32_t send_index, std::int64_t at_ns) {
+  current_.push(flow, send_index, at_ns);
+  return current_.full();
+}
+
+ArrivalBatch ArrivalBatchBuilder::take() {
+  ArrivalBatch out = std::move(current_);
+  if (!spare_.empty()) {
+    current_ = std::move(spare_.back());
+    spare_.pop_back();
+    current_.clear();
+  } else {
+    current_ = ArrivalBatch{capacity_};
+  }
+  return out;
+}
+
+void ArrivalBatchBuilder::recycle(ArrivalBatch batch) {
+  if (batch.capacity() != capacity_) return;
+  batch.clear();
+  spare_.push_back(std::move(batch));
+}
+
+}  // namespace reorder::ingest

@@ -1,0 +1,116 @@
+// The unit of transfer on the line-rate ingest path: a fixed-capacity
+// structure-of-arrays batch of arrivals.
+//
+// An arrival is (flow id, per-flow send index, timestamp): exactly the
+// always-on monitor's input (monitor::MonitorArrival) plus the arrival
+// clock, and exactly what trace::data_arrival_sequence() yields per flow.
+// SoA layout keeps the consumer's hot loop on two dense lanes — the flow
+// ids for run detection, the send indices for the metric fast path — and
+// for_each_run() exposes the maximal same-flow runs that let the engines
+// amortize virtual dispatch and flow-table lookups to once per run.
+//
+// Batches are move-only containers of plain integers: cheap to shuttle
+// through an SpscRing and to recycle. ArrivalBatchBuilder refills emptied
+// batches so a steady-state pipeline allocates nothing.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace reorder::ingest {
+
+/// One observed packet arrival, producer-side (AoS; batches store SoA).
+struct Arrival {
+  std::uint64_t flow{0};
+  std::uint32_t send_index{0};
+  std::int64_t at_ns{0};
+};
+
+class ArrivalBatch {
+ public:
+  /// An empty batch with no storage (the moved-from / ring-slot shape).
+  ArrivalBatch() = default;
+  explicit ArrivalBatch(std::size_t capacity);
+
+  ArrivalBatch(ArrivalBatch&&) = default;
+  ArrivalBatch& operator=(ArrivalBatch&&) = default;
+  ArrivalBatch(const ArrivalBatch&) = delete;
+  ArrivalBatch& operator=(const ArrivalBatch&) = delete;
+
+  std::size_t capacity() const { return capacity_; }
+  std::size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+  bool full() const { return size_ == capacity_; }
+
+  /// Appends one arrival; false (batch unchanged) when full.
+  bool push(std::uint64_t flow, std::uint32_t send_index, std::int64_t at_ns);
+  bool push(const Arrival& a) { return push(a.flow, a.send_index, a.at_ns); }
+  /// Empties the batch, keeping its storage for reuse.
+  void clear() { size_ = 0; }
+
+  // SoA lanes, size() entries each.
+  const std::uint64_t* flows() const { return flows_.data(); }
+  const std::uint32_t* send_indices() const { return send_.data(); }
+  const std::int64_t* timestamps_ns() const { return at_ns_.data(); }
+
+  /// A maximal run of consecutive same-flow arrivals within the batch.
+  struct Run {
+    std::uint64_t flow;
+    const std::uint32_t* send;  ///< run's send indices, `count` of them
+    std::size_t count;
+    std::size_t offset;  ///< index of the run's first arrival in the batch
+  };
+
+  /// Calls fn(Run) for every maximal same-flow run, in batch order — the
+  /// consumer's amortization grain.
+  template <typename Fn>
+  void for_each_run(Fn&& fn) const {
+    std::size_t i = 0;
+    while (i < size_) {
+      const std::uint64_t flow = flows_[i];
+      std::size_t j = i + 1;
+      while (j < size_ && flows_[j] == flow) ++j;
+      fn(Run{flow, send_.data() + i, j - i, i});
+      i = j;
+    }
+  }
+
+ private:
+  std::size_t capacity_{0};
+  std::size_t size_{0};
+  std::vector<std::uint64_t> flows_;
+  std::vector<std::uint32_t> send_;
+  std::vector<std::int64_t> at_ns_;
+};
+
+/// Fills fixed-capacity batches and recycles emptied ones, so the
+/// producer's steady state is allocation-free.
+class ArrivalBatchBuilder {
+ public:
+  explicit ArrivalBatchBuilder(std::size_t batch_capacity);
+
+  std::size_t batch_capacity() const { return capacity_; }
+  std::size_t size() const { return current_.size(); }
+  bool full() const { return current_.full(); }
+
+  /// Appends one arrival to the batch under construction; true when the
+  /// batch just became full (time to take() and ship it).
+  bool push(std::uint64_t flow, std::uint32_t send_index, std::int64_t at_ns);
+  bool push(const Arrival& a) { return push(a.flow, a.send_index, a.at_ns); }
+
+  /// Yields the batch under construction (possibly empty) and re-arms
+  /// with a recycled batch when one is stashed, else a fresh one.
+  ArrivalBatch take();
+
+  /// Stashes an emptied batch's storage for a later take(). Batches of a
+  /// different capacity are quietly discarded.
+  void recycle(ArrivalBatch batch);
+
+ private:
+  std::size_t capacity_;
+  ArrivalBatch current_;
+  std::vector<ArrivalBatch> spare_;
+};
+
+}  // namespace reorder::ingest

@@ -36,6 +36,10 @@ void MetricSuite::observe_arrival(std::uint32_t send_index) {
   for (auto& m : metrics_) m->observe_arrival(send_index);
 }
 
+void MetricSuite::observe_arrivals(const std::uint32_t* send_indices, std::size_t count) {
+  for (auto& m : metrics_) m->observe_arrivals(send_indices, count);
+}
+
 void MetricSuite::end_sequence() {
   for (auto& m : metrics_) m->end_sequence();
 }

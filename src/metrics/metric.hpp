@@ -49,8 +49,24 @@ class Metric {
   /// One arrival in a packet sequence: the send index of the packet that
   /// just arrived (RFC 4737's stream model). Sequence metrics only.
   virtual void observe_arrival(std::uint32_t send_index) { (void)send_index; }
+  /// A run of consecutive arrivals of the SAME sequence — the line-rate
+  /// batched entry. MUST leave the metric in exactly the state that
+  /// `count` observe_arrival() calls would (the bit-exactness contract
+  /// the ingest tests enforce); the default delegation guarantees it,
+  /// and overrides may only restate the same per-arrival recurrence.
+  /// What batching buys is paid here once per run instead of once per
+  /// arrival: the virtual dispatch, and the caller's per-flow lookup.
+  virtual void observe_arrivals(const std::uint32_t* send_indices, std::size_t count) {
+    for (std::size_t i = 0; i < count; ++i) observe_arrival(send_indices[i]);
+  }
   /// Closes the current arrival sequence (sequence metrics only).
   virtual void end_sequence() {}
+
+  /// Hints the metric's mutable tail state (e.g. growing vectors' ends)
+  /// toward the core ahead of observe_arrivals(). Pure optimization: the
+  /// batched ingest path calls it across a whole batch of runs so the
+  /// misses overlap. Must not change observable state.
+  virtual void prefetch_state() const {}
 
   // ---------------------------------------------------- snapshot/merge
   /// Deep copy of the accumulated state.
@@ -104,7 +120,21 @@ class MetricSuite {
   void observe(const core::SampleEvent& e);
   void observe_measurement(const core::MeasurementEvent& e);
   void observe_arrival(std::uint32_t send_index);
+  /// Batched fan-in: one virtual call per member per run.
+  void observe_arrivals(const std::uint32_t* send_indices, std::size_t count);
   void end_sequence();
+
+  /// Hints the members' cache lines toward the core. The batched ingest
+  /// path calls this while resolving a whole batch of runs, so the misses
+  /// on many flows' metric state overlap instead of serializing.
+  void prefetch() const {
+    for (const auto& m : metrics_) __builtin_prefetch(m.get(), 1);
+  }
+  /// Second prefetch stage: members' tail state (see Metric). Called one
+  /// pass after prefetch(), when the object headers have landed.
+  void prefetch_state() const {
+    for (const auto& m : metrics_) m->prefetch_state();
+  }
 
   MetricSuite snapshot() const;
   /// Member-wise merge; throws std::invalid_argument when the suites'

@@ -36,14 +36,46 @@ namespace reorder::metrics {
 /// with send index > s — both RFC 5236's n and the inversion count.
 class ArrivalCounter {
  public:
-  void record(std::uint32_t send_index);
-  std::uint64_t count_above(std::uint32_t send_index) const;
+  /// O(1): buffers the index; the tree is only materialized when a query
+  /// actually needs it. Counts depend on the multiset of recorded
+  /// indices, not insertion order, so deferral is invisible.
+  void record(std::uint32_t send_index) {
+    pending_.push_back(send_index);
+    max_seen_ = std::max(max_seen_, send_index);
+    ++total_;
+  }
+  /// Bulk record of a strictly ascending run (caller's precondition; the
+  /// last element is then the run's maximum). Equivalent to `count`
+  /// record() calls.
+  void record_ascending(const std::uint32_t* send_indices, std::size_t count) {
+    if (count == 0) return;
+    pending_.insert(pending_.end(), send_indices, send_indices + count);
+    max_seen_ = std::max(max_seen_, send_indices[count - 1]);
+    total_ += count;
+  }
+  std::uint64_t count_above(std::uint32_t send_index) {
+    // In-order fast path: nothing recorded exceeds the running maximum,
+    // so querying at or above it is 0 without touching the tree — the
+    // common case of every in-order arrival. A fully in-order sequence
+    // never builds the tree at all.
+    if (total_ == 0 || send_index >= max_seen_) return 0;
+    return count_above_slow(send_index);
+  }
   std::uint64_t total() const { return total_; }
   void clear();
+  /// Prefetch hint for the append tail (see Metric::prefetch_state).
+  void prefetch_tail() const {
+    if (!pending_.empty()) __builtin_prefetch(pending_.data() + pending_.size() - 1, 1);
+  }
 
  private:
-  std::vector<std::uint64_t> tree_;  // 1-based Fenwick
+  void insert(std::uint32_t send_index);
+  std::uint64_t count_above_slow(std::uint32_t send_index);
+
+  std::vector<std::uint64_t> tree_;       // 1-based Fenwick
+  std::vector<std::uint32_t> pending_;    // recorded, not yet in the tree
   std::uint64_t total_{0};
+  std::uint32_t max_seen_{0};
 };
 
 /// RFC 4737 §4/§5: reordered ratio, reordering extents, inversions —
@@ -57,6 +89,12 @@ class SequenceExtentMetric final : public Metric {
 
   std::string_view name() const override { return kName; }
   void observe_arrival(std::uint32_t send_index) override;
+  /// The batched fast path: in-order stretches (send index above the
+  /// running maximum) collapse to bulk appends; every other arrival runs
+  /// the scalar step. Bit-exact with `count` observe_arrival() calls —
+  /// the ingest equivalence tests enforce it over every scenario.
+  void observe_arrivals(const std::uint32_t* send_indices, std::size_t count) override;
+  void prefetch_state() const override;
   void end_sequence() override;
   std::unique_ptr<Metric> snapshot() const override;
   void merge(const Metric& other) override;
@@ -108,6 +146,9 @@ class NReorderingMetric final : public Metric {
 
   std::string_view name() const override { return kName; }
   void observe_arrival(std::uint32_t send_index) override;
+  /// Batched fast path; see SequenceExtentMetric::observe_arrivals.
+  void observe_arrivals(const std::uint32_t* send_indices, std::size_t count) override;
+  void prefetch_state() const override;
   void end_sequence() override;
   std::unique_ptr<Metric> snapshot() const override;
   void merge(const Metric& other) override;
@@ -191,6 +232,10 @@ class BufferDensityMetric final : public Metric {
 
 /// Feeds one whole arrival sequence through a suite (or single metric)
 /// and closes it — the batch entry point benches and trace analysis use.
+/// The pointer+length forms are the copy-free view the ingest path and
+/// trace replay feed; the vector forms forward to them.
+void observe_sequence(MetricSuite& suite, const std::uint32_t* arrival, std::size_t count);
+void observe_sequence(Metric& metric, const std::uint32_t* arrival, std::size_t count);
 void observe_sequence(MetricSuite& suite, const std::vector<std::uint32_t>& arrival);
 void observe_sequence(Metric& metric, const std::vector<std::uint32_t>& arrival);
 

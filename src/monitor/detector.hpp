@@ -55,6 +55,15 @@ class Detector {
   /// detector flags this arrival as reordered/late.
   virtual bool observe_arrival(std::uint32_t send_index) = 0;
 
+  /// A run of consecutive arrivals of the CURRENT flow — the line-rate
+  /// batched entry, paying the virtual dispatch once per run. MUST leave
+  /// the detector in exactly the state `count` observe_arrival() calls
+  /// would (the ingest equivalence tests pin this); per-arrival verdicts
+  /// are not reported on this path — flag inspection is scalar-only.
+  virtual void observe_arrivals(const std::uint32_t* send_indices, std::size_t count) {
+    for (std::size_t i = 0; i < count; ++i) observe_arrival(send_indices[i]);
+  }
+
   /// Closes the current flow: folds its state into the closed totals and
   /// resets the bounded per-flow state so the slot can host another flow.
   /// No-op when no arrival was observed since the last close.
@@ -115,6 +124,8 @@ class DetectorSuite {
 
   /// Fans the arrival to every member; true when ANY member flagged it.
   bool observe_arrival(std::uint32_t send_index);
+  /// Batched fan-in: one virtual call per member per run (no verdicts).
+  void observe_arrivals(const std::uint32_t* send_indices, std::size_t count);
   void end_flow();
 
   DetectorSuite snapshot() const;

@@ -30,6 +30,10 @@ bool DetectorSuite::observe_arrival(std::uint32_t send_index) {
   return flagged;
 }
 
+void DetectorSuite::observe_arrivals(const std::uint32_t* send_indices, std::size_t count) {
+  for (auto& d : detectors_) d->observe_arrivals(send_indices, count);
+}
+
 void DetectorSuite::end_flow() {
   for (auto& d : detectors_) d->end_flow();
 }

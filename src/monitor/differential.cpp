@@ -145,11 +145,60 @@ std::vector<MonitorArrival> flood(std::uint64_t seed, const TrafficOptions& opt)
   return out;
 }
 
+std::vector<MonitorArrival> coalesced(std::uint64_t seed, const TrafficOptions& opt) {
+  // NIC interrupt coalescing (arXiv 1008.4931): each flow's in-order
+  // stream is chopped into bursts of coalesce_frames; every burst is
+  // locally shuffled (independent adjacent swaps, a swapped pair is
+  // skipped) so no packet escapes its burst — bounded displacement. GRO
+  // hands up per-flow trains, so flows interleave burst-by-burst rather
+  // than packet-by-packet.
+  util::Rng parent{
+      util::splitmix64(seed ^ MonitorEngine::flow_key("interrupt-coalescing", "traffic"))};
+  const std::size_t frames = std::max<std::size_t>(2, opt.coalesce_frames);
+  const std::size_t n = opt.packets_per_flow;
+  std::vector<std::uint64_t> ids;
+  std::vector<std::vector<std::uint32_t>> seqs;
+  ids.reserve(opt.flows);
+  seqs.reserve(opt.flows);
+  for (std::size_t f = 0; f < opt.flows; ++f) {
+    util::Rng rng = parent.split();
+    ids.push_back(flow_id(seed, f));
+    std::vector<std::uint32_t> arr = in_order(n);
+    for (std::size_t start = 0; start < n; start += frames) {
+      const std::size_t end = std::min(n, start + frames);
+      for (std::size_t i = start; i + 1 < end;) {
+        if (rng.bernoulli(opt.coalesce_shuffle)) {
+          std::swap(arr[i], arr[i + 1]);
+          i += 2;
+        } else {
+          ++i;
+        }
+      }
+    }
+    seqs.push_back(std::move(arr));
+  }
+  std::vector<MonitorArrival> out;
+  out.reserve(opt.flows * n);
+  std::vector<std::size_t> next(seqs.size(), 0);
+  bool any = true;
+  while (any) {
+    any = false;
+    for (std::size_t f = 0; f < seqs.size(); ++f) {
+      if (next[f] >= seqs[f].size()) continue;
+      const std::size_t end = std::min(seqs[f].size(), next[f] + frames);
+      for (; next[f] < end; ++next[f]) out.push_back(MonitorArrival{ids[f], seqs[f][next[f]]});
+      any = true;
+    }
+  }
+  return out;
+}
+
 }  // namespace
 
 std::vector<MonitorArrival> scenario_arrivals(const std::string& scenario, std::uint64_t seed,
                                               const TrafficOptions& opt) {
   if (scenario == "flood-flows") return flood(seed, opt);
+  if (scenario == "interrupt-coalescing") return coalesced(seed, opt);
 
   util::Rng parent{util::splitmix64(seed ^ MonitorEngine::flow_key(scenario, "traffic"))};
   std::vector<std::uint64_t> ids;

@@ -51,6 +51,11 @@ struct TrafficOptions {
   std::size_t flood_flows{2048};
   std::size_t flood_packets{16};
   std::size_t flood_active{128};
+  /// interrupt-coalescing: frames delivered per coalesced burst and the
+  /// probability of an adjacent swap inside each burst (arXiv 1008.4931's
+  /// bounded-displacement shape).
+  std::size_t coalesce_frames{16};
+  double coalesce_shuffle{0.3};
 };
 
 /// The monitor-level traffic model of `scenario` (a core::scenarios name).

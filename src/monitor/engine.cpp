@@ -25,10 +25,30 @@ bool MonitorEngine::ingest(std::uint64_t flow, std::uint32_t send_index) {
   return suites_[ref.slot].observe_arrival(send_index);
 }
 
+void MonitorEngine::ingest_run(std::uint64_t flow, const std::uint32_t* send_indices,
+                               std::size_t count) {
+  if (count == 0) return;
+  const FlowTable::Ref ref = table_.lookup_run(flow, count);
+  if (ref.evicted) suites_[ref.slot].end_flow();
+  arrivals_ += count;
+  suites_[ref.slot].observe_arrivals(send_indices, count);
+}
+
+void MonitorEngine::ingest_batch(const ingest::ArrivalBatch& batch) {
+  batch.for_each_run([this](const ingest::ArrivalBatch::Run& run) {
+    ingest_run(run.flow, run.send, run.count);
+  });
+}
+
+void MonitorEngine::ingest_sequence(std::uint64_t flow, const std::uint32_t* arrival,
+                                    std::size_t count) {
+  ingest_run(flow, arrival, count);
+  end_flow(flow);
+}
+
 void MonitorEngine::ingest_sequence(std::uint64_t flow,
                                     const std::vector<std::uint32_t>& arrival) {
-  for (const std::uint32_t send_index : arrival) ingest(flow, send_index);
-  end_flow(flow);
+  ingest_sequence(flow, arrival.data(), arrival.size());
 }
 
 void MonitorEngine::end_flow(std::uint64_t flow) {

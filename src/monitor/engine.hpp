@@ -28,6 +28,7 @@
 #include <vector>
 
 #include "core/result_sink.hpp"
+#include "ingest/arrival_batch.hpp"
 #include "monitor/detector.hpp"
 #include "monitor/flow_table.hpp"
 #include "report/jsonl.hpp"
@@ -53,8 +54,22 @@ class MonitorEngine {
   /// One arrival: packet with per-flow send index `send_index` observed
   /// on flow `flow`. Returns true when any detector flagged it.
   bool ingest(std::uint64_t flow, std::uint32_t send_index);
+  /// A run of `count` consecutive arrivals of one flow — the line-rate
+  /// batched path: one flow-table lookup (tick-advanced as if per
+  /// arrival, see FlowTable::lookup_run) and one virtual fan-in per
+  /// detector. Bit-exact with `count` scalar ingest() calls in every
+  /// observable (snapshots, JSONL, table counters); per-arrival flag
+  /// verdicts are not reported on this path.
+  void ingest_run(std::uint64_t flow, const std::uint32_t* send_indices, std::size_t count);
+  /// Splits an ingest::ArrivalBatch into maximal same-flow runs and
+  /// feeds each through ingest_run() — what the IngestPipeline's
+  /// consumer thread drains into.
+  void ingest_batch(const ingest::ArrivalBatch& batch);
   /// A whole arrival sequence (trace::data_arrival_sequence shape); the
-  /// flow is closed afterwards.
+  /// flow is closed afterwards. The pointer+length form is the copy-free
+  /// view the batch path and trace replay feed; the vector overload is a
+  /// thin forwarder.
+  void ingest_sequence(std::uint64_t flow, const std::uint32_t* arrival, std::size_t count);
   void ingest_sequence(std::uint64_t flow, const std::vector<std::uint32_t>& arrival);
   /// Closes `flow`'s open state if it is resident (the slot stays bound
   /// to the key; subsequent arrivals start a fresh sequence).

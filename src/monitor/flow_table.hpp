@@ -78,6 +78,24 @@ class FlowTable {
     return insert(key, base);
   }
 
+  /// One lookup standing for a RUN of `run` consecutive arrivals of the
+  /// same key — the batched ingest path's front door. Bit-exact with
+  /// `run` scalar lookups: within a maximal same-flow run no other key's
+  /// lookup interleaves, so arrivals 2..run would all hit the slot the
+  /// first arrival resolved; their only observable effects are the
+  /// per-lookup tick advance, the lookup/hit counters and the slot's
+  /// final recency — replayed here in O(1).
+  Ref lookup_run(std::uint64_t key, std::uint64_t run) {
+    const Ref ref = lookup(key);
+    if (run > 1) {
+      counters_.lookups += run - 1;
+      counters_.hits += run - 1;
+      tick_ += run - 1;
+      last_used_[ref.slot] = tick_;
+    }
+    return ref;
+  }
+
   /// The key's slot without insertion or recency update; -1 if absent.
   std::ptrdiff_t find(std::uint64_t key) const;
 
