@@ -18,13 +18,22 @@
 // stream — same worlds and same summary numbers, but events in
 // completion order rather than the merge's canonical order.)
 //
+// With --checkpoint=PATH every completed shard is durably recorded
+// (atomic rewrite per completion); a run killed mid-flight resumes with
+// --resume --checkpoint=PATH, re-running only the missing shards and
+// producing byte-identical merged output. --jsonl artifacts are written
+// crash-safely (tmp + rename): readers never see a torn file.
+//
 //   $ survey_fleet --targets=8 --rounds=4 --samples=15 --seed=11
 //   $ survey_fleet --targets=64 --shards=8 --jsonl=fleet.jsonl
+//   $ survey_fleet --targets=64 --shards=8 --checkpoint=fleet.ckpt   # killed...
+//   $ survey_fleet --targets=64 --shards=8 --checkpoint=fleet.ckpt --resume
 #include <chrono>
 #include <cstdio>
 #include <fstream>
 #include <optional>
 
+#include "core/checkpoint.hpp"
 #include "core/sharded_survey.hpp"
 #include "core/survey_testbed.hpp"
 #include "report/sinks.hpp"
@@ -77,6 +86,8 @@ int main(int argc, char** argv) {
   std::int64_t threads = 0;
   double reordering_fraction = 0.5;
   std::string jsonl_path;
+  std::string checkpoint_path;
+  bool resume = false;
 
   util::Flags flags{"survey_fleet", "concurrent multi-target reordering survey"};
   flags.add_i64("targets", &targets, "number of hosts surveyed concurrently");
@@ -89,7 +100,15 @@ int main(int argc, char** argv) {
   flags.add_double("reordering-fraction", &reordering_fraction,
                    "fraction of paths that reorder at all");
   flags.add_string("jsonl", &jsonl_path, "stream every survey event to this JSONL file");
+  flags.add_string("checkpoint", &checkpoint_path,
+                   "durably record each completed shard here (forces the sharded runtime)");
+  flags.add_bool("resume", &resume,
+                 "restore completed shards from --checkpoint and run only the rest");
   if (!flags.parse(argc, argv)) return 1;
+  if (resume && checkpoint_path.empty()) {
+    std::fprintf(stderr, "survey_fleet: --resume needs --checkpoint=PATH\n");
+    return 1;
+  }
   if (targets < 1 || rounds < 1 || samples < 1 || shards < 1 || threads < 0) {
     std::fprintf(stderr,
                  "survey_fleet: --targets/--rounds/--samples/--shards must be >= 1 "
@@ -128,7 +147,7 @@ int main(int argc, char** argv) {
   core::TestRunConfig run;
   run.samples = static_cast<int>(samples);
 
-  if (shards > 1) {
+  if (shards > 1 || !checkpoint_path.empty()) {
     // The sharded runtime: N independent worlds on a thread pool, merged
     // bit-exactly. Events are not streamed live (the merge canonicalizes
     // ordering after the fact), so the narrator is replaced by a summary.
@@ -136,12 +155,30 @@ int main(int argc, char** argv) {
     scfg.fleet = std::move(cfg);
     scfg.shards = static_cast<std::size_t>(shards);
     scfg.threads = static_cast<std::size_t>(threads);
+    scfg.checkpoint_path = checkpoint_path;
     core::ShardedSurveyEngine engine{std::move(scfg)};
 
     const auto wall_start = std::chrono::steady_clock::now();
-    const auto& ms = engine.run(run, static_cast<int>(rounds), Duration::seconds(1));
+    if (resume) {
+      // Re-run only what the checkpoint does not hold (torn records were
+      // dropped at load and their shards re-run). A checkpoint from a
+      // different plan (fleet, shards, rounds, seed) is rejected.
+      const core::SurveyCheckpoint cp = core::SurveyCheckpoint::load(checkpoint_path);
+      std::printf("resuming: %zu/%lld shards restored from %s (%zu torn records dropped)\n",
+                  cp.completed_count(), static_cast<long long>(shards),
+                  checkpoint_path.c_str(), cp.torn_records());
+      engine.resume(cp, run, static_cast<int>(rounds), Duration::seconds(1));
+    } else {
+      engine.run(run, static_cast<int>(rounds), Duration::seconds(1));
+    }
+    const auto& ms = engine.measurements();
     const double wall_s =
         std::chrono::duration<double>(std::chrono::steady_clock::now() - wall_start).count();
+    if (engine.degraded()) {
+      std::printf("DEGRADED: %zu shard(s) failed every attempt; %zu target(s) unmeasured\n",
+                  engine.failed_shard_indices().size(),
+                  engine.survey_end().failed_targets.size());
+    }
 
     report::Table table =
         report::Table::with_headers({"target", "true fwd", "single-conn", "syn"});
@@ -169,17 +206,14 @@ int main(int argc, char** argv) {
                 static_cast<long long>(targets));
     std::printf("median measured forward rate: %.4f\n", fwd_rates.quantile(0.5));
     if (!jsonl_path.empty()) {
-      std::ofstream jsonl_file{jsonl_path};
-      if (!jsonl_file) {
-        std::fprintf(stderr, "cannot open %s for writing\n", jsonl_path.c_str());
-        return 1;
-      }
-      report::JsonlWriter writer{jsonl_file};
       // The canonical merged stream: byte-identical for any --shards >= 2
-      // (--shards=1 streams live in completion order instead).
-      engine.emit_jsonl(writer);
-      std::printf("streamed %zu JSONL records to %s\n", writer.lines_written(),
-                  jsonl_path.c_str());
+      // (--shards=1 streams live in completion order instead). Written
+      // crash-safely — the artifact appears only complete.
+      report::AtomicJsonlFile file{jsonl_path};
+      engine.emit_jsonl(file.writer());
+      const std::size_t lines = file.writer().lines_written();
+      file.commit();
+      std::printf("streamed %zu JSONL records to %s\n", lines, jsonl_path.c_str());
     }
     return 0;
   }

@@ -1,0 +1,227 @@
+#include "core/checkpoint.hpp"
+
+#include <cstdio>
+#include <sstream>
+#include <stdexcept>
+#include <utility>
+
+#include "metrics/engine.hpp"
+#include "report/sinks.hpp"
+#include "util/fault_injector.hpp"
+
+namespace reorder::core {
+
+namespace {
+
+/// Checksum a record body by its rendering. dump() is a pure function of
+/// construction order, which the codec fixes, so the checksum is stable
+/// across processes — and fnv1a64 is already this repo's on-disk hash
+/// (the fault-injector site hash documents the constants).
+std::string body_crc(const report::Json& body) {
+  const std::uint64_t h = util::fnv1a64(body.dump());
+  char buf[17];
+  std::snprintf(buf, sizeof buf, "%016llx", static_cast<unsigned long long>(h));
+  return std::string{buf};
+}
+
+report::Json sample_to_json(const SampleResult& s) {
+  report::Json j = report::Json::object();
+  j.set("fwd", to_string(s.forward));
+  j.set("rev", to_string(s.reverse));
+  j.set("started_ns", s.started.ns());
+  j.set("completed_ns", s.completed.ns());
+  j.set("gap_ns", s.gap.ns());
+  j.set("fwd_uid_first", report::Json::u64(s.fwd_uid_first));
+  j.set("fwd_uid_second", report::Json::u64(s.fwd_uid_second));
+  j.set("rev_uid_first", report::Json::u64(s.rev_uid_first));
+  j.set("rev_uid_second", report::Json::u64(s.rev_uid_second));
+  return j;
+}
+
+SampleResult sample_from_json(const report::Json& j) {
+  SampleResult s;
+  s.forward = ordering_from_string(j.at("fwd").as_string());
+  s.reverse = ordering_from_string(j.at("rev").as_string());
+  s.started = util::TimePoint::from_ns(j.at("started_ns").as_int());
+  s.completed = util::TimePoint::from_ns(j.at("completed_ns").as_int());
+  s.gap = util::Duration::nanos(j.at("gap_ns").as_int());
+  s.fwd_uid_first = j.at("fwd_uid_first").as_u64();
+  s.fwd_uid_second = j.at("fwd_uid_second").as_u64();
+  s.rev_uid_first = j.at("rev_uid_first").as_u64();
+  s.rev_uid_second = j.at("rev_uid_second").as_u64();
+  return s;
+}
+
+report::Json end_to_json(const SurveyEvent& e) {
+  report::Json j = report::Json::object();
+  j.set("targets", report::Json::u64(e.targets));
+  j.set("rounds", e.rounds);
+  j.set("measurements", report::Json::u64(e.measurements));
+  j.set("at_ns", e.at.ns());
+  return j;
+}
+
+SurveyEvent end_from_json(const report::Json& j) {
+  SurveyEvent e;
+  e.targets = static_cast<std::size_t>(j.at("targets").as_u64());
+  e.rounds = static_cast<int>(j.at("rounds").as_int());
+  e.measurements = static_cast<std::size_t>(j.at("measurements").as_u64());
+  e.at = util::TimePoint::from_ns(j.at("at_ns").as_int());
+  return e;
+}
+
+}  // namespace
+
+report::Json measurement_to_json(const Measurement& m) {
+  report::Json j = report::Json::object();
+  j.set("target", m.target);
+  j.set("test", m.test);
+  j.set("at_ns", m.at.ns());
+  report::Json r = report::Json::object();
+  r.set("test_name", m.result.test_name);
+  r.set("admissible", m.result.admissible);
+  r.set("note", m.result.note);
+  r.set("fwd", report::to_json(m.result.forward));
+  r.set("rev", report::to_json(m.result.reverse));
+  report::Json samples = report::Json::array();
+  for (const SampleResult& s : m.result.samples) samples.push(sample_to_json(s));
+  r.set("samples", std::move(samples));
+  j.set("result", std::move(r));
+  return j;
+}
+
+Measurement measurement_from_json(const report::Json& j) {
+  Measurement m;
+  m.target = j.at("target").as_string();
+  m.test = j.at("test").as_string();
+  m.at = util::TimePoint::from_ns(j.at("at_ns").as_int());
+  const report::Json& r = j.at("result");
+  m.result.test_name = r.at("test_name").as_string();
+  m.result.admissible = r.at("admissible").as_bool();
+  m.result.note = r.at("note").as_string();
+  m.result.forward = report::estimate_from_json(r.at("fwd"));
+  m.result.reverse = report::estimate_from_json(r.at("rev"));
+  m.result.samples.reserve(r.at("samples").size());
+  for (const report::Json& s : r.at("samples").items()) {
+    m.result.samples.push_back(sample_from_json(s));
+  }
+  return m;
+}
+
+std::vector<std::size_t> SurveyCheckpoint::completed_shards() const {
+  std::vector<std::size_t> out;
+  out.reserve(shards_.size());
+  for (const auto& [shard, record] : shards_) out.push_back(shard);
+  return out;
+}
+
+void SurveyCheckpoint::record_shard(const ShardRunResult& result, int attempts) {
+  report::Json body = report::Json::object();
+  body.set("shard", report::Json::u64(result.shard));
+  body.set("attempts", attempts);
+  body.set("end", end_to_json(result.end));
+  report::Json log = report::Json::array();
+  for (const Measurement& m : result.log) log.push(measurement_to_json(m));
+  body.set("log", std::move(log));
+  // The shard's metric snapshots travel as the exact `metrics` records
+  // the engine would emit — the same schema restore_record consumes, so
+  // checkpointing exercises no second serialization format.
+  std::ostringstream text;
+  report::JsonlWriter writer{text};
+  result.metrics.emit_jsonl(writer, metrics::MetricEngine::EmitOrder::kCanonical);
+  report::Json records = report::Json::array();
+  for (report::Json& rec : report::read_jsonl_text(text.str())) records.push(std::move(rec));
+  body.set("metrics", std::move(records));
+  shards_[result.shard] = ShardRecord{std::move(body)};
+}
+
+ShardRunResult SurveyCheckpoint::restore_shard(std::size_t shard) const {
+  const report::Json& body = shards_.at(shard).body;
+  ShardRunResult out;
+  out.shard = static_cast<std::size_t>(body.at("shard").as_u64());
+  out.end = end_from_json(body.at("end"));
+  out.log.reserve(body.at("log").size());
+  for (const report::Json& m : body.at("log").items()) {
+    out.log.push_back(measurement_from_json(m));
+  }
+  for (const report::Json& rec : body.at("metrics").items()) {
+    out.metrics.restore_record(rec);
+  }
+  return out;
+}
+
+int SurveyCheckpoint::attempts(std::size_t shard) const {
+  return static_cast<int>(shards_.at(shard).body.at("attempts").as_int());
+}
+
+std::string SurveyCheckpoint::serialize() const {
+  std::ostringstream text;
+  report::JsonlWriter writer{text};
+  if (header_) {
+    report::Json h = report::Json::object();
+    h.set("type", "checkpoint_header");
+    h.set("shards", report::Json::u64(header_->shards));
+    h.set("targets", report::Json::u64(header_->targets));
+    h.set("rounds", header_->rounds);
+    h.set("seed", report::Json::u64(header_->seed));
+    writer.write(h);
+  }
+  for (const auto& [shard, record] : shards_) {
+    report::Json line = report::Json::object();
+    line.set("type", "shard_done");
+    line.set("shard", report::Json::u64(shard));
+    line.set("crc", body_crc(record.body));
+    line.set("body", record.body);
+    writer.write(line);
+  }
+  return text.str();
+}
+
+void SurveyCheckpoint::save(const std::string& path) const {
+  report::AtomicJsonlFile file{path};
+  // Re-emit through the same writer so serialize() stays the single
+  // source of the on-disk rendering (the torn-write tests slice it).
+  for (report::Json& line : report::read_jsonl_text(serialize())) {
+    file.writer().write(line);
+  }
+  file.commit();
+}
+
+SurveyCheckpoint SurveyCheckpoint::load(const std::string& path) {
+  SurveyCheckpoint cp;
+  report::RecoveredJsonl recovered = report::read_jsonl_file_prefix(path);
+  cp.torn_ = recovered.dropped_lines;
+  for (report::Json& line : recovered.records) {
+    const report::Json* type = line.find("type");
+    if (type == nullptr || !type->is_string()) {
+      ++cp.torn_;
+      continue;
+    }
+    if (type->as_string() == "checkpoint_header") {
+      Header h;
+      h.shards = static_cast<std::size_t>(line.at("shards").as_u64());
+      h.targets = static_cast<std::size_t>(line.at("targets").as_u64());
+      h.rounds = static_cast<int>(line.at("rounds").as_int());
+      h.seed = line.at("seed").as_u64();
+      cp.header_ = h;
+      continue;
+    }
+    if (type->as_string() != "shard_done") {
+      ++cp.torn_;
+      continue;
+    }
+    const report::Json* crc = line.find("crc");
+    const report::Json* body = line.find("body");
+    if (crc == nullptr || body == nullptr || !crc->is_string() ||
+        crc->as_string() != body_crc(*body)) {
+      // A record that parsed but fails its checksum (or lost fields) is
+      // corruption, not a schema: drop it and let the shard re-run.
+      ++cp.torn_;
+      continue;
+    }
+    cp.shards_[static_cast<std::size_t>(line.at("shard").as_u64())] = ShardRecord{*body};
+  }
+  return cp;
+}
+
+}  // namespace reorder::core

@@ -37,6 +37,10 @@ void TimeDomainProfile::add(util::Duration gap, Ordering forward_verdict) {
   by_gap_[gap.ns()].add(forward_verdict);
 }
 
+void TimeDomainProfile::add(util::Duration gap, const ReorderEstimate& estimate) {
+  by_gap_[gap.ns()] += estimate;
+}
+
 void TimeDomainProfile::merge(const TimeDomainProfile& other) {
   for (const auto& [ns, est] : other.by_gap_) by_gap_[ns] += est;
 }

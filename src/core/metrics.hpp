@@ -42,6 +42,10 @@ class TimeDomainProfile {
  public:
   void add(util::Duration gap, Ordering forward_verdict);
 
+  /// Credits a whole pre-tallied estimate at one gap — the bulk form a
+  /// deserializer uses to rebuild a profile from serialized points.
+  void add(util::Duration gap, const ReorderEstimate& estimate);
+
   /// Sums another profile's per-gap verdict counts into this one —
   /// associative and exact, so per-shard profiles combine losslessly.
   void merge(const TimeDomainProfile& other);

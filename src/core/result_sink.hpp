@@ -17,6 +17,7 @@
 #pragma once
 
 #include <cstddef>
+#include <string>
 #include <string_view>
 #include <vector>
 
@@ -56,6 +57,14 @@ struct SurveyEvent {
   /// Measurements completed so far (0 at begin).
   std::size_t measurements{0};
   util::TimePoint at;
+  // Degraded-mode accounting (meaningful on survey_end; new fields sit
+  // last so existing positional initializers keep their meaning). A
+  // survey is degraded when some shard exhausted its retry budget: its
+  // targets took no measurements, `targets` counts only participants,
+  // and the absentees are named here so the fleet is fully accounted for.
+  bool degraded{false};
+  std::size_t failed_shards{0};
+  std::vector<std::string> failed_targets{};
 };
 
 /// Streaming observer of measurement results. All callbacks default to

@@ -225,10 +225,38 @@ ScenarioSpec interrupt_coalescing(std::uint64_t seed) {
   return spec;
 }
 
+ScenarioSpec flaky_target(std::uint64_t seed) {
+  ScenarioSpec spec;
+  spec.name = "flaky-target";
+  spec.summary =
+      "uncooperative host: probabilistic SYN drops + rate-limited echo on a mildly "
+      "reordering path";
+  spec.testbed.seed = seed;
+  spec.testbed.remote = default_remote_config();
+  // A SYN that vanishes forces the prober through its retransmission
+  // path; a third of opening SYNs vanishing keeps measurements completing
+  // (eventually) while exercising every retry.
+  spec.testbed.remote.syn_drop_probability = 0.3;
+  // Tight echo budget: ping bursts overrun it and see silence — the
+  // paper's argument against ping-based measurement, in miniature.
+  spec.testbed.remote.ping_rate_limit_per_sec = 10;
+  spec.testbed.remote.behavior.immediate_ack_on_hole_fill = true;
+  // Mild reordering both ways so the completed measurements still carry
+  // signal worth merging.
+  spec.testbed.forward.swap_probability = 0.1;
+  spec.testbed.reverse.swap_probability = 0.05;
+  spec.tests = full_matrix();
+  // Dropped SYNs come back via RTO retransmission (250 ms, doubling);
+  // give each sample room for a few losing rolls in a row.
+  spec.run.sample_timeout = util::Duration::seconds(5);
+  spec.run.sample_spacing = util::Duration::millis(50);
+  return spec;
+}
+
 std::vector<std::string> names() {
-  return {"clean-path", "evade-window",  "flood-flows", "interrupt-coalescing",
-          "load-balanced", "lossy",      "random-ipid", "striped-links",
-          "swap-shaper"};
+  return {"clean-path", "evade-window",  "flaky-target", "flood-flows",
+          "interrupt-coalescing", "load-balanced", "lossy", "random-ipid",
+          "striped-links", "swap-shaper"};
 }
 
 ScenarioSpec by_name(const std::string& name, std::uint64_t seed) {
@@ -241,6 +269,7 @@ ScenarioSpec by_name(const std::string& name, std::uint64_t seed) {
   if (name == "evade-window") return evade_window(seed);
   if (name == "flood-flows") return flood_flows(seed);
   if (name == "interrupt-coalescing") return interrupt_coalescing(seed);
+  if (name == "flaky-target") return flaky_target(seed);
   std::string known;
   for (const auto& n : names()) known += known.empty() ? n : ", " + n;
   throw std::invalid_argument{"scenarios::by_name: unknown scenario '" + name +

@@ -122,6 +122,12 @@ ScenarioSpec flood_flows(std::uint64_t seed = 1);
 /// displacement, bursty timing; the line-rate ingest path's workload.
 ScenarioSpec interrupt_coalescing(std::uint64_t seed = 1);
 
+/// A flaky, uncooperative target — the survey's normal case, not its
+/// edge case: opening SYNs are probabilistically dropped (the probe must
+/// retransmit through) and echo replies are rate-limited, on an
+/// otherwise mildly reordering path. The fault-tolerance suite's host.
+ScenarioSpec flaky_target(std::uint64_t seed = 1);
+
 /// Names accepted by by_name(), sorted.
 std::vector<std::string> names();
 

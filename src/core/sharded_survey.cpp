@@ -2,12 +2,16 @@
 
 #include <algorithm>
 #include <future>
+#include <mutex>
 #include <set>
 #include <stdexcept>
+#include <thread>
 #include <tuple>
 #include <utility>
 
+#include "core/checkpoint.hpp"
 #include "report/sinks.hpp"
+#include "util/fault_injector.hpp"
 #include "util/shard_seeder.hpp"
 #include "util/thread_pool.hpp"
 
@@ -125,14 +129,93 @@ ShardRunResult ShardedSurveyEngine::run_shard(std::size_t shard, const TestRunCo
   return out;
 }
 
-const std::vector<Measurement>& ShardedSurveyEngine::run(const TestRunConfig& run, int rounds,
-                                                         util::Duration between) {
+ShardedSurveyEngine::ShardOutcome ShardedSurveyEngine::run_shard_with_retry(
+    std::size_t shard, const TestRunConfig& run, int rounds, util::Duration between) const {
+  util::FaultInjector* faults = config_.engine.faults;
+  const std::string run_site = "shard/" + std::to_string(shard) + "/run";
+  const std::string abort_site = "shard/" + std::to_string(shard) + "/abort";
+  const int max_attempts = std::max(1, config_.retry.max_attempts);
+  // Fractional milliseconds so the multiplier composes exactly; sleep_for
+  // takes the duration as-is.
+  std::chrono::duration<double, std::milli> backoff = config_.retry.initial_backoff;
+
+  ShardOutcome out;
+  for (int attempt = 1; attempt <= max_attempts; ++attempt) {
+    out.attempts = attempt;
+    bool transient = true;
+    try {
+      // The worker-died-before-the-run failure class.
+      if (faults != nullptr) faults->maybe_throw(run_site, util::FaultInjector::Mode::kThrow);
+      ShardRunResult result = run_shard(shard, run, rounds, between);
+      // The worker-died-before-harvest class: the shard world completed
+      // but its results never made it out — indistinguishable, to the
+      // driver, from the run never happening.
+      if (faults != nullptr) {
+        faults->maybe_throw(abort_site, util::FaultInjector::Mode::kShardAbort);
+      }
+      out.result = std::move(result);
+      out.error.clear();
+      return out;
+    } catch (const util::InjectedFault& fault) {
+      transient = fault.transient();
+      out.error = fault.what();
+    } catch (const std::invalid_argument&) {
+      // A broken survey PLAN (unknown technique, bad config) — not a
+      // runtime failure. It would fail identically on every attempt and
+      // on every resume; degrading would mask the typo. Fail fast.
+      throw;
+    } catch (const std::exception& e) {
+      out.error = e.what();
+    }
+    if (!transient || attempt == max_attempts) break;
+    std::this_thread::sleep_for(backoff);
+    backoff = std::min(backoff * config_.retry.multiplier,
+                       std::chrono::duration<double, std::milli>{config_.retry.max_backoff});
+  }
+  return out;
+}
+
+const std::vector<Measurement>& ShardedSurveyEngine::execute(const SurveyCheckpoint* restore_from,
+                                                             const TestRunConfig& run, int rounds,
+                                                             util::Duration between) {
   merged_log_.clear();
   merged_ = metrics::MetricEngine{};
   merged_end_ = SurveyEvent{};
   rounds_ = rounds;
+  failed_shards_.clear();
+  failure_messages_.clear();
+  attempts_.assign(shards_, 0);
 
-  std::vector<ShardRunResult> results(shards_);
+  std::vector<std::optional<ShardRunResult>> results(shards_);
+  std::vector<std::string> errors(shards_);
+
+  // The durable record of this run: header first, then one record per
+  // completed shard, rewritten atomically on every completion. Built even
+  // when it is never saved (checkpointing off) — record_shard is cheap
+  // relative to a shard run and keeps the code path single.
+  SurveyCheckpoint checkpoint;
+  checkpoint.set_header(SurveyCheckpoint::Header{shards_, config_.fleet.targets.size(), rounds,
+                                                config_.fleet.seed});
+  if (restore_from != nullptr) {
+    if (restore_from->header().has_value()) {
+      const SurveyCheckpoint::Header& h = *restore_from->header();
+      if (h.shards != shards_ || h.targets != config_.fleet.targets.size() ||
+          h.rounds != rounds || h.seed != config_.fleet.seed) {
+        throw std::invalid_argument{
+            "ShardedSurveyEngine::resume: checkpoint header does not match this survey plan"};
+      }
+    }
+    for (const std::size_t s : restore_from->completed_shards()) {
+      if (s >= shards_) continue;  // defensively ignore out-of-range records
+      results[s] = restore_from->restore_shard(s);
+      checkpoint.record_shard(*results[s], restore_from->attempts(s));
+    }
+  }
+
+  const bool checkpointing = !config_.checkpoint_path.empty();
+  std::mutex checkpoint_mutex;
+  if (checkpointing) checkpoint.save(config_.checkpoint_path);
+
   {
     const std::size_t threads =
         config_.threads != 0 ? config_.threads
@@ -141,11 +224,29 @@ const std::vector<Measurement>& ShardedSurveyEngine::run(const TestRunConfig& ru
     std::vector<std::future<void>> done;
     done.reserve(shards_);
     for (std::size_t s = 0; s < shards_; ++s) {
-      done.push_back(pool.submit(
-          [this, s, &results, &run, rounds, between] { results[s] = run_shard(s, run, rounds, between); }));
+      if (results[s].has_value()) continue;  // restored from the checkpoint
+      done.push_back(pool.submit([this, s, &results, &errors, &run, rounds, between, &checkpoint,
+                                  &checkpoint_mutex, checkpointing] {
+        ShardOutcome outcome = run_shard_with_retry(s, run, rounds, between);
+        attempts_[s] = outcome.attempts;
+        errors[s] = std::move(outcome.error);
+        if (!outcome.result.has_value()) return;
+        // Record (and, when enabled, persist) BEFORE the result is moved
+        // into the merge slot: the checkpoint write is the completion's
+        // durability point.
+        {
+          std::lock_guard lock{checkpoint_mutex};
+          checkpoint.record_shard(*outcome.result, outcome.attempts);
+          if (checkpointing) checkpoint.save(config_.checkpoint_path);
+        }
+        results[s] = std::move(outcome.result);
+      }));
     }
     // Wait for EVERY worker before rethrowing, so a failing shard cannot
-    // leave siblings writing into `results` after we unwind.
+    // leave siblings writing into shared state after we unwind. Runtime
+    // shard failure is data now (the degraded path), not an exception —
+    // only plan errors (std::invalid_argument) and driver bugs escape
+    // run_shard_with_retry.
     std::exception_ptr first_failure;
     for (auto& f : done) {
       try {
@@ -161,9 +262,23 @@ const std::vector<Measurement>& ShardedSurveyEngine::run(const TestRunConfig& ru
   // key lives on exactly one shard, the canonical sort below and the
   // canonical emission order erase any trace of it.
   std::size_t total = 0;
-  for (const auto& r : results) total += r.log.size();
+  for (const auto& r : results) total += r.has_value() ? r->log.size() : 0;
   merged_log_.reserve(total);
-  for (auto& r : results) {
+  for (std::size_t s = 0; s < shards_; ++s) {
+    if (!results[s].has_value()) {
+      // The shard exhausted its attempts: its targets took no
+      // measurements. Account for them by name so the fleet-wide report
+      // reconciles (participants + failed_targets == the whole fleet).
+      merged_end_.degraded = true;
+      ++merged_end_.failed_shards;
+      failed_shards_.push_back(s);
+      failure_messages_.push_back(errors[s]);
+      for (const SurveyTargetConfig& t : shard_config(s).targets) {
+        merged_end_.failed_targets.push_back(t.name);
+      }
+      continue;
+    }
+    ShardRunResult& r = *results[s];
     merged_.merge(r.metrics);
     merged_end_.targets += r.end.targets;
     merged_end_.at = std::max(merged_end_.at, r.end.at);
@@ -173,6 +288,31 @@ const std::vector<Measurement>& ShardedSurveyEngine::run(const TestRunConfig& ru
   merged_end_.rounds = rounds_;
   merged_end_.measurements = merged_log_.size();
   return merged_log_;
+}
+
+const std::vector<Measurement>& ShardedSurveyEngine::run(const TestRunConfig& run, int rounds,
+                                                         util::Duration between) {
+  return execute(nullptr, run, rounds, between);
+}
+
+const std::vector<Measurement>& ShardedSurveyEngine::resume(const SurveyCheckpoint& checkpoint,
+                                                            const TestRunConfig& run, int rounds,
+                                                            util::Duration between) {
+  return execute(&checkpoint, run, rounds, between);
+}
+
+std::vector<std::pair<std::string, bool>> ShardedSurveyEngine::participation() const {
+  std::set<std::string> failed{merged_end_.failed_targets.begin(),
+                               merged_end_.failed_targets.end()};
+  std::vector<std::pair<std::string, bool>> out;
+  out.reserve(config_.fleet.targets.size());
+  for (std::size_t i = 0; i < config_.fleet.targets.size(); ++i) {
+    const SurveyTargetConfig& t = config_.fleet.targets[i];
+    std::string name = t.name.empty() ? default_target_name(i) : t.name;
+    const bool ok = failed.count(name) == 0;
+    out.emplace_back(std::move(name), ok);
+  }
+  return out;
 }
 
 void ShardedSurveyEngine::replay(ResultSink& sink) const {
@@ -189,6 +329,23 @@ void ShardedSurveyEngine::emit_jsonl(report::JsonlWriter& out) const {
   report::JsonlResultSink sink{out};
   replay(sink);
   merged_.emit_jsonl(out, metrics::MetricEngine::EmitOrder::kCanonical);
+  // A degraded survey's metrics stream ends with the participation
+  // manifest, so a consumer of the merged metrics can reconcile the whole
+  // fleet without the survey_end record. Absent on clean runs: their
+  // output stays byte-identical to pre-degradation emissions.
+  if (merged_end_.degraded) {
+    report::Json manifest = report::Json::object();
+    manifest.set("type", "participation");
+    report::Json targets = report::Json::array();
+    for (const auto& [name, ok] : participation()) {
+      report::Json t = report::Json::object();
+      t.set("target", name);
+      t.set("participated", ok);
+      targets.push(std::move(t));
+    }
+    manifest.set("targets", std::move(targets));
+    out.write(manifest);
+  }
 }
 
 }  // namespace reorder::core

@@ -32,7 +32,11 @@
 // thread schedule cannot leak into a byte of output.
 #pragma once
 
+#include <chrono>
 #include <cstddef>
+#include <optional>
+#include <string>
+#include <utility>
 #include <vector>
 
 #include "core/survey_engine.hpp"
@@ -41,6 +45,27 @@
 #include "report/jsonl.hpp"
 
 namespace reorder::core {
+
+class SurveyCheckpoint;
+
+/// Failure policy for shard execution: how often a failed shard is
+/// re-attempted and how the waits between attempts grow. Retries apply
+/// only to TRANSIENT failures (infrastructure: a worker died, an injected
+/// kThrow/kShardAbort with transient=true); deterministic failures
+/// (std::invalid_argument, non-transient injected faults) would fail
+/// identically every attempt and go straight to the degraded path.
+struct ShardRetryPolicy {
+  /// Attempts per shard including the first (clamped to >= 1). A shard
+  /// still failing after the last attempt makes the survey degraded.
+  int max_attempts{3};
+  /// Wall-clock wait before attempt 2; grows by `multiplier` per further
+  /// attempt, capped at `max_backoff`. Wall time, not virtual time: the
+  /// shard's world is rebuilt from scratch each attempt, so virtual time
+  /// restarts — only the host needs breathing room.
+  std::chrono::milliseconds initial_backoff{1};
+  double multiplier{2.0};
+  std::chrono::milliseconds max_backoff{50};
+};
 
 struct ShardedSurveyConfig {
   /// The whole fleet in global declaration order — the order ShardSeeder
@@ -60,6 +85,13 @@ struct ShardedSurveyConfig {
   /// single engine — the query shims below then answer from whatever
   /// standard metrics the custom suite still contains.
   metrics::SuiteFactory suite_factory{};
+  /// Failure policy for shard attempts (see ShardRetryPolicy).
+  ShardRetryPolicy retry{};
+  /// When non-empty, every completed shard is durably recorded here (a
+  /// SurveyCheckpoint file, rewritten atomically per completion), so a
+  /// killed run resumes via SurveyCheckpoint::load + resume() re-running
+  /// only the shards not yet recorded.
+  std::string checkpoint_path{};
 };
 
 /// What one shard's run leaves behind — the unit the merge consumes, and
@@ -101,12 +133,26 @@ class ShardedSurveyEngine {
   ShardRunResult run_shard(std::size_t shard, const TestRunConfig& run, int rounds,
                            util::Duration between) const;
 
-  /// Runs every shard on the thread pool, rethrows the first shard
-  /// failure (after every worker finished), then merges: completion logs
-  /// concatenate and sort into the canonical (target, test, at) order,
-  /// metric engines fold through merge(). Returns the merged log.
+  /// Runs every shard on the thread pool — each shard retried per the
+  /// config's ShardRetryPolicy, completed shards checkpointed when a
+  /// checkpoint_path is set — then merges: completion logs concatenate
+  /// and sort into the canonical (target, test, at) order, metric engines
+  /// fold through merge(). A shard that exhausts its attempts does not
+  /// abort the survey: the run completes DEGRADED (see survey_end()) with
+  /// that shard's targets accounted as failed. Returns the merged log.
   const std::vector<Measurement>& run(const TestRunConfig& run, int rounds,
                                       util::Duration between);
+
+  /// run(), except shards recorded in `checkpoint` are restored instead
+  /// of re-executed — only pending shards (and any the checkpoint lost to
+  /// torn writes) run. Throws std::invalid_argument when the checkpoint's
+  /// header disagrees with this engine's plan (shard count, fleet size,
+  /// rounds, seed): restored results are only valid for the exact run
+  /// they came from. The merged outputs are byte-identical to an
+  /// uninterrupted run's — the kill-and-resume property tests pin this.
+  const std::vector<Measurement>& resume(const SurveyCheckpoint& checkpoint,
+                                         const TestRunConfig& run, int rounds,
+                                         util::Duration between);
 
   // ----------------------------------------------------- merged results
   /// The merged completion log in canonical (target, test, at) order.
@@ -121,6 +167,24 @@ class ShardedSurveyEngine {
   /// because each shard's end time is its slowest target's, and
   /// per-target timelines do not depend on co-residents).
   const SurveyEvent& survey_end() const { return merged_end_; }
+
+  // ------------------------------------------------ failure accounting
+  /// True when some shard exhausted its retry budget in the last run.
+  bool degraded() const { return merged_end_.degraded; }
+  /// Shards that failed every attempt, ascending.
+  const std::vector<std::size_t>& failed_shard_indices() const { return failed_shards_; }
+  /// Attempts consumed by shard `shard` in the last run/resume (0 when it
+  /// was restored from a checkpoint without re-running).
+  int shard_attempts(std::size_t shard) const { return attempts_.at(shard); }
+  /// The last attempt's failure message per failed shard (parallel to
+  /// failed_shard_indices()).
+  const std::vector<std::string>& failure_messages() const { return failure_messages_; }
+
+  /// The participation manifest: every fleet target in global order with
+  /// whether its measurements are present in the merged outputs — the
+  /// full-fleet accounting a degraded survey's consumers reconcile
+  /// against. All-true when the survey is not degraded.
+  std::vector<std::pair<std::string, bool>> participation() const;
 
   ReorderEstimate aggregate(const std::string& target, const std::string& test,
                             bool forward) const {
@@ -148,6 +212,29 @@ class ShardedSurveyEngine {
   void emit_jsonl(report::JsonlWriter& out) const;
 
  private:
+  /// Outcome of one shard's retry loop: a result, or the story of why
+  /// there is none.
+  struct ShardOutcome {
+    std::optional<ShardRunResult> result;
+    int attempts{0};
+    std::string error;
+  };
+
+  /// Runs one shard under the retry policy (fault points "shard/<s>/run"
+  /// before and "shard/<s>/abort" after the attempt), backing off between
+  /// transient failures. Runtime shard failure never throws — an empty
+  /// result is the degraded path's input; plan errors
+  /// (std::invalid_argument) propagate so a typo'd survey fails fast
+  /// instead of degrading.
+  ShardOutcome run_shard_with_retry(std::size_t shard, const TestRunConfig& run, int rounds,
+                                    util::Duration between) const;
+
+  /// The shared body of run()/resume(): restore what `restore_from`
+  /// holds, execute the rest on the pool, checkpoint completions, merge.
+  const std::vector<Measurement>& execute(const SurveyCheckpoint* restore_from,
+                                          const TestRunConfig& run, int rounds,
+                                          util::Duration between);
+
   ShardedSurveyConfig config_;
   std::size_t shards_{1};
 
@@ -155,6 +242,9 @@ class ShardedSurveyEngine {
   metrics::MetricEngine merged_;
   SurveyEvent merged_end_{};
   int rounds_{0};
+  std::vector<std::size_t> failed_shards_;
+  std::vector<std::string> failure_messages_;
+  std::vector<int> attempts_;
 };
 
 }  // namespace reorder::core

@@ -95,6 +95,18 @@ void SurveyEngine::begin_next_measurement(Target& target) {
         finish_measurement(target, generation, at, std::move(timeout));
       });
 
+  // Injected target timeout: the target "never answers" this measurement.
+  // Probing the fault point here — after the watchdog is armed, before
+  // the test would send a packet — means the measurement runs its full
+  // deadline and is then recorded inadmissible by the watchdog, exactly
+  // like a real unresponsive host, with zero probe traffic in flight.
+  if (options_.faults != nullptr &&
+      options_.faults->should_fire(
+          "target/" + target.name + "/test/" + std::string{target.tests[target.next_test]->name()},
+          util::FaultInjector::Mode::kTargetTimeout)) {
+    return;
+  }
+
   target.tests[target.next_test]->run(
       config_, [this, &target, generation, at](TestRunResult result) {
         finish_measurement(target, generation, at, std::move(result));

@@ -24,6 +24,7 @@
 #include "core/test_registry.hpp"
 #include "netsim/event_loop.hpp"
 #include "stats/pair_difference.hpp"
+#include "util/fault_injector.hpp"
 
 namespace reorder::core {
 
@@ -55,6 +56,13 @@ class SurveyEngine {
     /// driver turns it on so the merged log can replay full event streams
     /// through the canonical emission path.
     bool retain_samples{false};
+    /// Deterministic fault injection (not owned; may be null). A
+    /// kTargetTimeout plan firing at site "target/<name>/test/<test>"
+    /// makes that measurement behave like a target that never answers:
+    /// the test is not started and the watchdog records the timeout as
+    /// an inadmissible measurement at the deadline — the paper's
+    /// uncooperative-host case, reproducible from the injector's seed.
+    util::FaultInjector* faults{nullptr};
   };
 
   explicit SurveyEngine(sim::EventLoop& loop) : SurveyEngine{loop, Options{}} {}

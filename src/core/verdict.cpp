@@ -1,5 +1,7 @@
 #include "core/verdict.hpp"
 
+#include <stdexcept>
+
 namespace reorder::core {
 
 std::string to_string(Ordering o) {
@@ -10,6 +12,14 @@ std::string to_string(Ordering o) {
     case Ordering::kLost: return "lost";
   }
   return "?";
+}
+
+Ordering ordering_from_string(std::string_view s) {
+  if (s == "in-order") return Ordering::kInOrder;
+  if (s == "reordered") return Ordering::kReordered;
+  if (s == "ambiguous") return Ordering::kAmbiguous;
+  if (s == "lost") return Ordering::kLost;
+  throw std::invalid_argument{"ordering_from_string: unknown verdict '" + std::string{s} + "'"};
 }
 
 void ReorderEstimate::add(Ordering o) {

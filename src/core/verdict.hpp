@@ -22,6 +22,10 @@ enum class Ordering {
 
 std::string to_string(Ordering o);
 
+/// Inverse of to_string; throws std::invalid_argument on unknown text.
+/// The checkpoint codec's side of the JSONL verdict rendering.
+Ordering ordering_from_string(std::string_view s);
+
 /// One measurement sample: a pair of probe packets and the verdicts
 /// inferred from the replies. uid fields tie the sample to trace captures
 /// for ground-truth validation (§IV-A).

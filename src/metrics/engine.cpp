@@ -4,6 +4,7 @@
 #include <stdexcept>
 
 #include "metrics/pair_metrics.hpp"
+#include "metrics/restore.hpp"
 
 namespace reorder::metrics {
 
@@ -182,6 +183,24 @@ void MetricEngine::emit_jsonl(report::JsonlWriter& out, EmitOrder order) const {
     record.set("metrics", e->suite.to_json());
     out.write(record);
   }
+}
+
+void MetricEngine::restore_record(const report::Json& record) {
+  const std::string& target = record.at("target").as_string();
+  const std::string& test = record.at("test").as_string();
+  if (index_.find(std::make_pair(target, test)) != index_.end()) {
+    throw std::invalid_argument{"MetricEngine::restore_record: duplicate key " + target + "/" +
+                                test};
+  }
+  Entry e;
+  e.target = target;
+  e.test = test;
+  e.suite = suite_from_json(record.at("metrics"));
+  e.measurements = record.at("measurements").as_u64();
+  e.admissible = record.at("admissible").as_u64();
+  entries_.push_back(std::move(e));
+  index_.emplace(std::make_pair(entries_.back().target, entries_.back().test),
+                 entries_.size() - 1);
 }
 
 }  // namespace reorder::metrics

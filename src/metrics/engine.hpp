@@ -97,6 +97,13 @@ class MetricEngine {
   ///    "admissible":..,"metrics":{...}}
   void emit_jsonl(report::JsonlWriter& out, EmitOrder order = EmitOrder::kFirstSeen) const;
 
+  /// Rebuilds one (target, test) entry from an emit_jsonl `metrics`
+  /// record (suite restored via metrics::suite_from_json, bypassing the
+  /// factory). The checkpoint/resume and reorder-merge ingestion point.
+  /// Throws std::invalid_argument when the key is already present — a
+  /// record stream with duplicates should be merged engine-wise instead.
+  void restore_record(const report::Json& record);
+
  private:
   struct Entry {
     std::string target;

@@ -76,8 +76,19 @@ class Metric {
   virtual void merge(const Metric& other) = 0;
 
   /// JSON rendering of the current state (one object per metric; schema
-  /// documented per metric and in the README's "Metrics" section).
+  /// documented per metric and in the README's "Metrics" section). The
+  /// rendering is LOSSLESS for closed (end_sequence'd) state: from_json
+  /// of it reproduces an accumulator whose subsequent merge() and
+  /// to_json() are bit-identical to the original's — the contract the
+  /// checkpoint/resume layer depends on, property-tested per metric.
   virtual report::Json to_json() const = 0;
+
+  /// Restores the accumulator from a to_json() rendering, replacing any
+  /// current state. Open-sequence scratch state is not serialized: a
+  /// snapshot is only taken at sequence boundaries (merge() enforces
+  /// this by throwing on open sequences), so restored state is closed.
+  /// Throws (std::out_of_range / std::runtime_error) on schema mismatch.
+  virtual void from_json(const report::Json& j) = 0;
 
  protected:
   /// Downcast helper for merge(): checks name and concrete type.

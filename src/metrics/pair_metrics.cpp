@@ -41,6 +41,11 @@ report::Json PairRateMetric::to_json() const {
   return j;
 }
 
+void PairRateMetric::from_json(const report::Json& j) {
+  forward_ = report::estimate_from_json(j.at("fwd"));
+  reverse_ = report::estimate_from_json(j.at("rev"));
+}
+
 // ----------------------------------------------------- RateSeriesMetric
 
 void RateSeriesMetric::observe_measurement(const core::MeasurementEvent& e) {
@@ -68,6 +73,13 @@ report::Json RateSeriesMetric::to_json() const {
   j.set("fwd", std::move(fwd));
   j.set("rev", std::move(rev));
   return j;
+}
+
+void RateSeriesMetric::from_json(const report::Json& j) {
+  forward_.clear();
+  reverse_.clear();
+  for (const auto& r : j.at("fwd").items()) forward_.push_back(r.as_double());
+  for (const auto& r : j.at("rev").items()) reverse_.push_back(r.as_double());
 }
 
 // ----------------------------------------------------- TimeDomainMetric
@@ -101,6 +113,18 @@ report::Json TimeDomainMetric::to_json() const {
   return j;
 }
 
+void TimeDomainMetric::from_json(const report::Json& j) {
+  profile_ = core::TimeDomainProfile{};
+  for (const auto& point : j.at("points").items()) {
+    core::ReorderEstimate estimate;
+    estimate.in_order = point.at("in_order").as_u64();
+    estimate.reordered = point.at("reordered").as_u64();
+    estimate.ambiguous = point.at("ambiguous").as_u64();
+    estimate.lost = point.at("lost").as_u64();
+    profile_.add(util::Duration::nanos(point.at("gap_ns").as_int()), estimate);
+  }
+}
+
 // ------------------------------------------------------- RateEcdfMetric
 
 void RateEcdfMetric::observe_measurement(const core::MeasurementEvent& e) {
@@ -125,7 +149,18 @@ report::Json RateEcdfMetric::to_json() const {
     j.set("p90", forward_.quantile(0.9));
     j.set("max", forward_.max());
   }
+  // The full sample multiset, sorted — lossless (an Ecdf's queries see
+  // only the sorted multiset) and a pure function of the accumulated
+  // state however the stream was split across shards.
+  report::Json samples = report::Json::array();
+  for (const double r : forward_.sorted()) samples.push(r);
+  j.set("samples", std::move(samples));
   return j;
+}
+
+void RateEcdfMetric::from_json(const report::Json& j) {
+  forward_ = stats::Ecdf{};
+  for (const auto& r : j.at("samples").items()) forward_.add(r.as_double());
 }
 
 // ----------------------------------------------- LatencyHistogramMetric
@@ -150,16 +185,33 @@ report::Json LatencyHistogramMetric::to_json() const {
   j.set("count", histogram_.count());
   j.set("underflow", histogram_.underflow());
   j.set("overflow", histogram_.overflow());
+  // Binning configuration + per-bin indices make the rendering lossless
+  // (bin edges alone would need a fragile float inversion to restore).
+  j.set("lo", histogram_.lo());
+  j.set("hi", histogram_.hi());
+  j.set("nbins", histogram_.bins());
   report::Json bins = report::Json::array();
   for (std::size_t i = 0; i < histogram_.bins(); ++i) {
     if (histogram_.bin_count(i) == 0) continue;
     report::Json bin = report::Json::object();
+    bin.set("i", i);
     bin.set("lo_us", histogram_.bin_lo(i));
     bin.set("count", histogram_.bin_count(i));
     bins.push(std::move(bin));
   }
   j.set("bins", std::move(bins));
   return j;
+}
+
+void LatencyHistogramMetric::from_json(const report::Json& j) {
+  histogram_ = stats::Histogram{j.at("lo").as_double(), j.at("hi").as_double(),
+                                static_cast<std::size_t>(j.at("nbins").as_int())};
+  histogram_.add_underflow(j.at("underflow").as_int());
+  histogram_.add_overflow(j.at("overflow").as_int());
+  for (const auto& bin : j.at("bins").items()) {
+    histogram_.add_bin(static_cast<std::size_t>(bin.at("i").as_int()),
+                       bin.at("count").as_int());
+  }
 }
 
 // ------------------------------------------------------- LateTimeMetric
@@ -182,5 +234,7 @@ void LateTimeMetric::merge(const Metric& other) {
 }
 
 report::Json LateTimeMetric::to_json() const { return sketch_.to_json(); }
+
+void LateTimeMetric::from_json(const report::Json& j) { sketch_.from_json(j); }
 
 }  // namespace reorder::metrics

@@ -31,6 +31,7 @@ class PairRateMetric final : public Metric {
   std::unique_ptr<Metric> snapshot() const override;
   void merge(const Metric& other) override;
   report::Json to_json() const override;
+  void from_json(const report::Json& j) override;
 
   const core::ReorderEstimate& forward() const { return forward_; }
   const core::ReorderEstimate& reverse() const { return reverse_; }
@@ -53,6 +54,7 @@ class RateSeriesMetric final : public Metric {
   std::unique_ptr<Metric> snapshot() const override;
   void merge(const Metric& other) override;
   report::Json to_json() const override;
+  void from_json(const report::Json& j) override;
 
   const std::vector<double>& forward() const { return forward_; }
   const std::vector<double>& reverse() const { return reverse_; }
@@ -73,6 +75,7 @@ class TimeDomainMetric final : public Metric {
   std::unique_ptr<Metric> snapshot() const override;
   void merge(const Metric& other) override;
   report::Json to_json() const override;
+  void from_json(const report::Json& j) override;
 
   const core::TimeDomainProfile& profile() const { return profile_; }
 
@@ -93,6 +96,7 @@ class RateEcdfMetric final : public Metric {
   std::unique_ptr<Metric> snapshot() const override;
   void merge(const Metric& other) override;
   report::Json to_json() const override;
+  void from_json(const report::Json& j) override;
 
   const stats::Ecdf& forward() const { return forward_; }
 
@@ -114,6 +118,7 @@ class LatencyHistogramMetric final : public Metric {
   std::unique_ptr<Metric> snapshot() const override;
   void merge(const Metric& other) override;
   report::Json to_json() const override;
+  void from_json(const report::Json& j) override;
 
   const stats::Histogram& histogram() const { return histogram_; }
 
@@ -134,6 +139,7 @@ class LateTimeMetric final : public Metric {
   std::unique_ptr<Metric> snapshot() const override;
   void merge(const Metric& other) override;
   report::Json to_json() const override;
+  void from_json(const report::Json& j) override;
 
   const TailSketch& sketch() const { return sketch_; }
 

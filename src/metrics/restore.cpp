@@ -1,0 +1,35 @@
+#include "metrics/restore.hpp"
+
+#include <stdexcept>
+#include <string>
+
+#include "metrics/pair_metrics.hpp"
+#include "metrics/sequence_metrics.hpp"
+
+namespace reorder::metrics {
+
+std::unique_ptr<Metric> make_metric(std::string_view name) {
+  if (name == PairRateMetric::kName) return std::make_unique<PairRateMetric>();
+  if (name == RateSeriesMetric::kName) return std::make_unique<RateSeriesMetric>();
+  if (name == TimeDomainMetric::kName) return std::make_unique<TimeDomainMetric>();
+  if (name == RateEcdfMetric::kName) return std::make_unique<RateEcdfMetric>();
+  if (name == LatencyHistogramMetric::kName) return std::make_unique<LatencyHistogramMetric>();
+  if (name == LateTimeMetric::kName) return std::make_unique<LateTimeMetric>();
+  if (name == SequenceExtentMetric::kName) return std::make_unique<SequenceExtentMetric>();
+  if (name == NReorderingMetric::kName) return std::make_unique<NReorderingMetric>();
+  if (name == ReorderDensityMetric::kName) return std::make_unique<ReorderDensityMetric>();
+  if (name == BufferDensityMetric::kName) return std::make_unique<BufferDensityMetric>();
+  throw std::invalid_argument{"make_metric: unknown metric '" + std::string{name} + "'"};
+}
+
+MetricSuite suite_from_json(const report::Json& j) {
+  MetricSuite suite;
+  for (const auto& [name, state] : j.members()) {
+    auto metric = make_metric(name);
+    metric->from_json(state);
+    suite.add(std::move(metric));
+  }
+  return suite;
+}
+
+}  // namespace reorder::metrics

@@ -155,9 +155,22 @@ report::Json SequenceExtentMetric::to_json() const {
   j.set("ratio", ratio());
   j.set("max_extent", static_cast<std::uint64_t>(max_extent_));
   j.set("mean_extent", mean_extent());
-  j.set("inversions", inversions_);
+  j.set("extent_sum", report::Json::u64(extent_sum_));
+  j.set("inversions", report::Json::u64(inversions_));
   j.set("extent_tail", extent_tail_.to_json());
   return j;
+}
+
+void SequenceExtentMetric::from_json(const report::Json& j) {
+  SequenceExtentMetric restored;
+  restored.sequences_ = j.at("sequences").as_u64();
+  restored.packets_ = j.at("packets").as_u64();
+  restored.reordered_ = j.at("reordered").as_u64();
+  restored.extent_sum_ = j.at("extent_sum").as_u64();
+  restored.max_extent_ = static_cast<std::uint32_t>(j.at("max_extent").as_u64());
+  restored.inversions_ = j.at("inversions").as_u64();
+  restored.extent_tail_.from_json(j.at("extent_tail"));
+  *this = std::move(restored);
 }
 
 // ----------------------------------------------------- NReorderingMetric
@@ -269,6 +282,15 @@ report::Json NReorderingMetric::to_json() const {
   return j;
 }
 
+void NReorderingMetric::from_json(const report::Json& j) {
+  NReorderingMetric restored;
+  restored.packets_ = j.at("packets").as_u64();
+  for (const auto& d : j.at("density").items()) {
+    restored.density_[d.at("n").as_u64()] = d.at("count").as_u64();
+  }
+  *this = std::move(restored);
+}
+
 // -------------------------------------------------- ReorderDensityMetric
 
 void ReorderDensityMetric::observe_arrival(std::uint32_t send_index) {
@@ -309,6 +331,7 @@ void ReorderDensityMetric::merge(const Metric& other) {
 
 report::Json ReorderDensityMetric::to_json() const {
   report::Json j = report::Json::object();
+  j.set("threshold", threshold_);
   j.set("packets", packets_);
   report::Json density = report::Json::array();
   for (const auto& [d, count] : density_) {
@@ -322,6 +345,15 @@ report::Json ReorderDensityMetric::to_json() const {
   }
   j.set("density", std::move(density));
   return j;
+}
+
+void ReorderDensityMetric::from_json(const report::Json& j) {
+  ReorderDensityMetric restored{j.at("threshold").as_int()};
+  restored.packets_ = j.at("packets").as_u64();
+  for (const auto& d : j.at("density").items()) {
+    restored.density_[d.at("displacement").as_int()] = d.at("count").as_u64();
+  }
+  *this = std::move(restored);
 }
 
 // --------------------------------------------------- BufferDensityMetric
@@ -389,6 +421,16 @@ report::Json BufferDensityMetric::to_json() const {
   }
   j.set("density", std::move(density));
   return j;
+}
+
+void BufferDensityMetric::from_json(const report::Json& j) {
+  BufferDensityMetric restored;
+  restored.packets_ = j.at("packets").as_u64();
+  restored.max_occupancy_ = j.at("max_occupancy").as_u64();
+  for (const auto& d : j.at("density").items()) {
+    restored.density_[d.at("occupancy").as_u64()] = d.at("count").as_u64();
+  }
+  *this = std::move(restored);
 }
 
 // -------------------------------------------------------- batch feeding

@@ -99,6 +99,7 @@ class SequenceExtentMetric final : public Metric {
   std::unique_ptr<Metric> snapshot() const override;
   void merge(const Metric& other) override;
   report::Json to_json() const override;
+  void from_json(const report::Json& j) override;
 
   std::uint64_t packets() const { return packets_; }
   std::uint64_t reordered() const { return reordered_; }
@@ -153,6 +154,7 @@ class NReorderingMetric final : public Metric {
   std::unique_ptr<Metric> snapshot() const override;
   void merge(const Metric& other) override;
   report::Json to_json() const override;
+  void from_json(const report::Json& j) override;
 
   std::uint64_t packets() const { return packets_; }
   /// Packets that were exactly n-reordered (0 for unseen n).
@@ -189,6 +191,7 @@ class ReorderDensityMetric final : public Metric {
   std::unique_ptr<Metric> snapshot() const override;
   void merge(const Metric& other) override;
   report::Json to_json() const override;
+  void from_json(const report::Json& j) override;
 
   std::uint64_t packets() const { return packets_; }
   std::uint64_t count_for(std::int64_t displacement) const;
@@ -214,6 +217,7 @@ class BufferDensityMetric final : public Metric {
   std::unique_ptr<Metric> snapshot() const override;
   void merge(const Metric& other) override;
   report::Json to_json() const override;
+  void from_json(const report::Json& j) override;
 
   std::uint64_t packets() const { return packets_; }
   std::uint64_t count_for(std::uint64_t occupancy) const;

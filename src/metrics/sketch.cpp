@@ -73,7 +73,31 @@ report::Json TailSketch::to_json() const {
   j.set("p50", quantile(0.50));
   j.set("p90", quantile(0.90));
   j.set("p99", quantile(0.99));
+  j.set("sum", report::Json::u64(sum_));
+  report::Json buckets = report::Json::array();
+  for (std::size_t i = 0; i < buckets_.size(); ++i) {
+    if (buckets_[i] == 0) continue;
+    report::Json pair = report::Json::array();
+    pair.push(static_cast<std::uint64_t>(i));
+    pair.push(report::Json::u64(buckets_[i]));
+    buckets.push(std::move(pair));
+  }
+  j.set("buckets", std::move(buckets));
   return j;
+}
+
+void TailSketch::from_json(const report::Json& j) {
+  TailSketch restored;
+  restored.count_ = j.at("count").as_u64();
+  restored.sum_ = j.at("sum").as_u64();
+  restored.max_ = j.at("max").as_u64();
+  restored.min_ = restored.count_ == 0 ? 0 : j.at("min").as_u64();
+  for (const auto& pair : j.at("buckets").items()) {
+    const auto index = static_cast<std::size_t>(pair.at(0).as_u64());
+    if (index >= restored.buckets_.size()) restored.buckets_.resize(index + 1, 0);
+    restored.buckets_[index] = pair.at(1).as_u64();
+  }
+  *this = std::move(restored);
 }
 
 }  // namespace reorder::metrics

@@ -39,8 +39,15 @@ class TailSketch {
   /// Bucket-wise sum — exact, order-independent.
   void merge(const TailSketch& other);
 
-  /// {"count":..,"max":..,"p50":..,"p90":..,"p99":..} (all zero if empty).
+  /// {"count":..,"min":..,"max":..,"mean":..,"p50":..,"p90":..,"p99":..,
+  ///  "sum":..,"buckets":[[index,count],..]} (all zero/empty if empty).
+  /// The sparse bucket array + sum make the rendering lossless: from_json
+  /// of it rebuilds a bit-identical sketch (quantiles are derived).
   report::Json to_json() const;
+
+  /// Restores the sketch from a to_json() rendering, replacing any
+  /// current state. Throws on schema mismatch.
+  void from_json(const report::Json& j);
 
  private:
   static std::size_t bucket_index(std::uint64_t value);

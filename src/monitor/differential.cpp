@@ -221,6 +221,16 @@ std::vector<MonitorArrival> scenario_arrivals(const std::string& scenario, std::
       seqs.push_back(lossy_in_order(n, 0.02, rng));
     } else if (scenario == "evade-window") {
       seqs.push_back(evade(n, opt.evade_displacement));
+    } else if (scenario == "flaky-target") {
+      // Mild adjacent swapping (the scenario's path), and an unlucky
+      // fraction of flows die young — a failed open or rate-limited
+      // replies truncate the stream after a handful of packets, the way
+      // a flaky host looks on the wire.
+      std::vector<std::uint32_t> s = adjacent_swapped(n, 0.1, rng);
+      if (rng.bernoulli(0.3)) {
+        s.resize(std::min<std::size_t>(s.size(), 1 + rng.below(5)));
+      }
+      seqs.push_back(std::move(s));
     } else {
       throw std::invalid_argument{"scenario_arrivals: unknown scenario '" + scenario + "'"};
     }

@@ -204,6 +204,28 @@ double Json::as_double() const {
 
 std::int64_t Json::as_int() const { return static_cast<std::int64_t>(as_double()); }
 
+Json Json::u64(std::uint64_t v) {
+  constexpr std::uint64_t kExactDoubleMax = 1ull << 53;
+  if (v <= kExactDoubleMax) return Json{v};
+  return Json{std::to_string(v)};
+}
+
+std::uint64_t Json::as_u64() const {
+  if (const auto* d = std::get_if<double>(&value_)) {
+    if (*d < 0 || *d != std::floor(*d)) type_error("a non-negative integer");
+    return static_cast<std::uint64_t>(*d);
+  }
+  if (const auto* s = std::get_if<std::string>(&value_)) {
+    std::uint64_t v = 0;
+    const auto [ptr, ec] = std::from_chars(s->data(), s->data() + s->size(), v);
+    if (ec != std::errc{} || ptr != s->data() + s->size()) {
+      type_error("a decimal u64 string");
+    }
+    return v;
+  }
+  type_error("a u64 (number or decimal string)");
+}
+
 const std::string& Json::as_string() const {
   if (const auto* s = std::get_if<std::string>(&value_)) return *s;
   type_error("a string");

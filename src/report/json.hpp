@@ -30,6 +30,13 @@ class Json {
   Json(std::string s) : value_{std::move(s)} {}
   Json(std::string_view s) : value_{std::string{s}} {}
 
+  /// Lossless 64-bit unsigned carrier. Values representable exactly as a
+  /// double (<= 2^53) become plain numbers; larger ones become decimal
+  /// strings, since the number representation here is a double and would
+  /// silently round them. Read back with as_u64(), which accepts both.
+  static Json u64(std::uint64_t v);
+  std::uint64_t as_u64() const;
+
   static Json array() {
     Json j;
     j.value_ = Array{};

@@ -2,19 +2,25 @@
 
 namespace reorder::report {
 
-namespace {
-
-Json survey_json(const char* type, const core::SurveyEvent& e) {
+Json survey_event_json(const char* type, const core::SurveyEvent& e) {
   Json j = Json::object();
   j.set("type", type);
   j.set("targets", e.targets);
   j.set("rounds", e.rounds);
   j.set("measurements", e.measurements);
   j.set("at_ns", e.at.ns());
+  if (std::string_view{type} == "survey_end") {
+    // The fleet-accounting tail: `targets` above counts participants;
+    // degraded runs name their absentees so participants + failed_targets
+    // always account for the configured fleet.
+    j.set("degraded", e.degraded);
+    j.set("failed_shards", e.failed_shards);
+    Json failed = Json::array();
+    for (const auto& name : e.failed_targets) failed.push(name);
+    j.set("failed_targets", std::move(failed));
+  }
   return j;
 }
-
-}  // namespace
 
 Json to_json(const core::ReorderEstimate& estimate) {
   Json j = Json::object();
@@ -65,7 +71,7 @@ core::ReorderEstimate estimate_from_json(const Json& j) {
 }
 
 void JsonlResultSink::on_survey_begin(const core::SurveyEvent& e) {
-  if (options_.lifecycle) out_.write(survey_json("survey_begin", e));
+  if (options_.lifecycle) out_.write(survey_event_json("survey_begin", e));
 }
 
 void JsonlResultSink::on_sample(const core::SampleEvent& e) {
@@ -77,7 +83,7 @@ void JsonlResultSink::on_measurement(const core::MeasurementEvent& e) {
 }
 
 void JsonlResultSink::on_survey_end(const core::SurveyEvent& e) {
-  if (options_.lifecycle) out_.write(survey_json("survey_end", e));
+  if (options_.lifecycle) out_.write(survey_event_json("survey_end", e));
 }
 
 }  // namespace reorder::report

@@ -52,6 +52,11 @@ Json to_json(const core::ReorderEstimate& estimate);
 Json to_json(const core::SampleEvent& e);
 Json to_json(const core::MeasurementEvent& e);
 
+/// The survey_begin / survey_end line (`type` selects which; survey_end
+/// carries the degraded-mode accounting tail). Exposed so offline tools
+/// (reorder-merge) emit byte-identical lifecycle records.
+Json survey_event_json(const char* type, const core::SurveyEvent& e);
+
 /// Rebuilds an estimate from a to_json(ReorderEstimate) object.
 /// Throws (std::out_of_range / std::runtime_error) on schema mismatch.
 core::ReorderEstimate estimate_from_json(const Json& j);

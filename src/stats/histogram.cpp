@@ -36,6 +36,21 @@ void Histogram::merge(const Histogram& other) {
   total_ += other.total_;
 }
 
+void Histogram::add_bin(std::size_t i, std::int64_t n) {
+  counts_.at(i) += n;
+  total_ += n;
+}
+
+void Histogram::add_underflow(std::int64_t n) {
+  underflow_ += n;
+  total_ += n;
+}
+
+void Histogram::add_overflow(std::int64_t n) {
+  overflow_ += n;
+  total_ += n;
+}
+
 double Histogram::bin_lo(std::size_t i) const { return lo_ + bin_width_ * static_cast<double>(i); }
 double Histogram::bin_hi(std::size_t i) const { return bin_lo(i) + bin_width_; }
 

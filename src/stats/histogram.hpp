@@ -21,6 +21,8 @@ class Histogram {
   void merge(const Histogram& other);
 
   std::size_t bins() const { return counts_.size(); }
+  double lo() const { return lo_; }
+  double hi() const { return hi_; }
   std::int64_t count() const { return total_; }
   std::int64_t underflow() const { return underflow_; }
   std::int64_t overflow() const { return overflow_; }
@@ -29,6 +31,14 @@ class Histogram {
   double bin_lo(std::size_t i) const;
   /// Exclusive upper edge of bin i.
   double bin_hi(std::size_t i) const;
+
+  /// Restore-path bulk mutators: credit `n` observations directly to a
+  /// bin / the underflow / the overflow counter, keeping count() in step.
+  /// Equivalent to `n` add() calls that would have landed there — what a
+  /// deserializer uses to rebuild a histogram from serialized counts.
+  void add_bin(std::size_t i, std::int64_t n);
+  void add_underflow(std::int64_t n);
+  void add_overflow(std::int64_t n);
 
   /// ASCII rendering (one line per non-empty bin) for example programs.
   std::string render(std::size_t width = 50) const;

@@ -45,6 +45,12 @@ void Host::receive(const Packet& pkt) {
     return;
   }
   if (pkt.tcp.is_syn() && !pkt.tcp.is_ack() && config_.listeners.contains(pkt.tcp.dst_port)) {
+    // Flaky-host behaviour: the opening SYN silently vanishes (no RST —
+    // the prober can only wait it out and retransmit).
+    if (config_.syn_drop_probability > 0.0 && rng_.bernoulli(config_.syn_drop_probability)) {
+      ++counters_.syn_dropped;
+      return;
+    }
     accept_connection(pkt);
     return;
   }

@@ -48,6 +48,12 @@ struct HostConfig {
   /// Maximum echo replies per second (0 = unlimited). Token-bucket with a
   /// one-second window, the common router implementation.
   std::uint32_t ping_rate_limit_per_sec{0};
+  /// Probability a connection-opening SYN is silently dropped (a flaky
+  /// host: SYN-rate-limiting firewall, overflowing accept queue). Each
+  /// SYN rolls independently on the host RNG — deterministic in the
+  /// seed — so a retransmitted SYN may get through where the first did
+  /// not, exactly the retry behaviour probes see from such hosts.
+  double syn_drop_probability{0.0};
 };
 
 /// Aggregate host counters for tests and experiment sanity checks.
@@ -58,6 +64,7 @@ struct HostCounters {
   std::uint64_t connections_accepted{0};
   std::uint64_t echo_replies{0};
   std::uint64_t echo_rate_limited{0};
+  std::uint64_t syn_dropped{0};
 };
 
 class Host {

@@ -1,0 +1,85 @@
+#include "util/fault_injector.hpp"
+
+#include <algorithm>
+#include <optional>
+
+#include "util/shard_seeder.hpp"
+
+namespace reorder::util {
+
+namespace {
+
+bool site_matches(const std::string& plan_site, std::string_view site) {
+  if (!plan_site.empty() && plan_site.back() == '/') {
+    return site.size() >= plan_site.size() && site.substr(0, plan_site.size()) == plan_site;
+  }
+  return site == plan_site;
+}
+
+}  // namespace
+
+FaultInjector::SiteState& FaultInjector::state(std::string_view site) {
+  for (auto& s : sites_) {
+    if (s.site == site) return s;
+  }
+  sites_.push_back(SiteState{std::string{site}, 0});
+  return sites_.back();
+}
+
+const FaultInjector::Plan* FaultInjector::fire_locked(std::string_view site, Mode mode,
+                                                      std::uint64_t* hit_out) {
+  SiteState& s = state(site);
+  const std::uint64_t hit = s.hits++;
+  if (hit_out != nullptr) *hit_out = hit;
+  for (const auto& plan : plans_) {
+    if (plan.mode != mode || !site_matches(plan.site, site)) continue;
+    if (plan.max_fires != 0) {
+      std::uint64_t already = 0;
+      for (const auto& f : firings_) {
+        if (f.mode == mode && site_matches(plan.site, f.site)) ++already;
+      }
+      if (already >= plan.max_fires) continue;
+    }
+    // The firing decision: splitmix64 over (seed, site hash, hit index),
+    // compared against the probability as a uniform draw in [0, 1). Pure
+    // in its inputs — thread schedule, plan order and prior sites cannot
+    // perturb it.
+    const std::uint64_t draw = splitmix64(splitmix64(seed_ ^ fnv1a64(site)) + hit);
+    const double unit = static_cast<double>(draw >> 11) * 0x1.0p-53;
+    if (unit >= plan.probability) continue;
+    firings_.push_back(Firing{std::string{site}, mode, hit});
+    return &plan;
+  }
+  return nullptr;
+}
+
+bool FaultInjector::should_fire(std::string_view site, Mode mode) {
+  std::lock_guard lock{mutex_};
+  return fire_locked(site, mode, nullptr) != nullptr;
+}
+
+void FaultInjector::maybe_throw(std::string_view site, Mode mode) {
+  std::optional<InjectedFault> fault;
+  {
+    std::lock_guard lock{mutex_};
+    std::uint64_t hit = 0;
+    if (const Plan* plan = fire_locked(site, mode, &hit)) {
+      fault.emplace(std::string{site}, hit, plan->transient);
+    }
+  }
+  if (fault) throw *fault;
+}
+
+std::uint64_t FaultInjector::fired(std::string_view site) const {
+  std::lock_guard lock{mutex_};
+  return static_cast<std::uint64_t>(std::count_if(
+      firings_.begin(), firings_.end(), [&](const Firing& f) { return f.site == site; }));
+}
+
+void FaultInjector::reset() {
+  std::lock_guard lock{mutex_};
+  sites_.clear();
+  firings_.clear();
+}
+
+}  // namespace reorder::util
