@@ -22,6 +22,7 @@
 #include "netsim/path.hpp"
 #include "netsim/striped_link.hpp"
 #include "netsim/swap_shaper.hpp"
+#include "service/survey_service.hpp"
 #include "stats/students_t.hpp"
 #include "tcpip/tcp_endpoint.hpp"
 #include "trace/analyzer.hpp"
@@ -356,6 +357,77 @@ BENCHMARK(BM_ShardedSurvey)
     ->Arg(4)
     ->Unit(benchmark::kMillisecond)
     ->UseRealTime();
+
+// The resident service's admit-to-drain cycle over the same 8-target
+// fleet BM_ShardedSurvey runs — work-stealing pool, per-target worlds,
+// checkpoint off. The batch twin above is the reference: the service's
+// rows should scale with workers the same way (its per-target grain is
+// finer than the batch runtime's 4-shard grain, so stealing has more to
+// balance).
+void BM_ServiceAdmitDrain(benchmark::State& state) {
+  std::vector<core::SurveyTargetConfig> fleet;
+  for (int i = 0; i < 8; ++i) {
+    core::SurveyTargetConfig target;
+    target.name = "host-" + std::to_string(i);
+    target.forward.swap_probability = (i % 4) * 0.05;
+    target.remote.behavior.immediate_ack_on_hole_fill = true;
+    target.tests = {core::TestSpec{"single-connection"}, core::TestSpec{"syn"}};
+    fleet.push_back(std::move(target));
+  }
+  std::size_t measurements = 0;
+  for (auto _ : state) {
+    service::SurveyServiceConfig cfg;
+    cfg.seed = 11;
+    cfg.workers = static_cast<std::size_t>(state.range(0));
+    cfg.run.samples = 10;
+    cfg.rounds = 1;
+    cfg.between = util::Duration::millis(200);
+    service::SurveyService service{cfg};
+    service.admit(fleet);
+    service.drain();
+    measurements = service.snapshot().measurements;
+    benchmark::DoNotOptimize(measurements);
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<std::int64_t>(measurements));
+}
+BENCHMARK(BM_ServiceAdmitDrain)
+    ->ArgName("workers")
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(4)
+    ->Unit(benchmark::kMillisecond)
+    ->UseRealTime();
+
+// The live view's cost: snapshot() folds every populated accumulator
+// slot through MetricEngine::merge under per-slot locks. Priced on a
+// quiescent populated service so the number is the pure fold — mid-run
+// it additionally contends with completing workers, never blocks them.
+void BM_LiveSnapshot(benchmark::State& state) {
+  service::SurveyServiceConfig cfg;
+  cfg.seed = 11;
+  cfg.workers = 4;
+  cfg.run.samples = 10;
+  cfg.rounds = 1;
+  cfg.between = util::Duration::millis(200);
+  service::SurveyService service{cfg};
+  std::vector<core::SurveyTargetConfig> fleet;
+  for (int i = 0; i < 8; ++i) {
+    core::SurveyTargetConfig target;
+    target.name = "host-" + std::to_string(i);
+    target.forward.swap_probability = (i % 4) * 0.05;
+    target.remote.behavior.immediate_ack_on_hole_fill = true;
+    target.tests = {core::TestSpec{"single-connection"}, core::TestSpec{"syn"}};
+    fleet.push_back(std::move(target));
+  }
+  service.admit(std::move(fleet));
+  service.drain();
+  for (auto _ : state) {
+    const service::SurveyService::Snapshot snap = service.snapshot();
+    benchmark::DoNotOptimize(snap.measurements);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_LiveSnapshot);
 
 // ----------------------------------------------------------------- monitor
 

@@ -47,32 +47,6 @@ namespace {
 
 using namespace reorder;
 
-/// Prints the first few completions as the engine publishes them —
-/// mid-survey, in event-loop order.
-class NarratingSink final : public core::ResultSink {
- public:
-  explicit NarratingSink(std::size_t limit) : limit_{limit} {}
-
-  void on_survey_begin(const core::SurveyEvent& e) override {
-    std::printf("survey begins: %zu targets x %d rounds\n", e.targets, e.rounds);
-    std::printf("first completions (note the targets interleaving):\n");
-  }
-  void on_measurement(const core::MeasurementEvent& e) override {
-    if (e.measurement_index < limit_) {
-      std::printf("  t=%8.3fs  %-8.*s %.*s\n", e.at.seconds_f(),
-                  static_cast<int>(e.target.size()), e.target.data(),
-                  static_cast<int>(e.test.size()), e.test.data());
-    }
-  }
-  void on_survey_end(const core::SurveyEvent& e) override {
-    std::printf("survey complete: %zu measurements by t=%.1fs\n\n", e.measurements,
-                e.at.seconds_f());
-  }
-
- private:
-  std::size_t limit_;
-};
-
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -84,6 +58,7 @@ int main(int argc, char** argv) {
   std::int64_t seed = 11;
   std::int64_t shards = 1;
   std::int64_t threads = 0;
+  std::int64_t narrate_every = -1;
   double reordering_fraction = 0.5;
   std::string jsonl_path;
   std::string checkpoint_path;
@@ -97,6 +72,9 @@ int main(int argc, char** argv) {
   flags.add_i64("shards", &shards,
                 "simulation shards run in parallel (1 = single-loop live streaming)");
   flags.add_i64("threads", &threads, "worker threads for --shards > 1 (0 = auto)");
+  flags.add_i64("narrate-every", &narrate_every,
+                "narrate every Nth completion (0 = quiet, -1 = auto: full detail up to "
+                "10k targets, sampled above)");
   flags.add_double("reordering-fraction", &reordering_fraction,
                    "fraction of paths that reorder at all");
   flags.add_string("jsonl", &jsonl_path, "stream every survey event to this JSONL file");
@@ -224,7 +202,8 @@ int main(int argc, char** argv) {
   bed.populate(engine);
 
   // Attach the streaming consumers before the survey starts.
-  NarratingSink narrator{2 * bed.target_count()};
+  report::NarratingSink narrator{report::NarrationPolicy::from_flag(
+      narrate_every, bed.target_count(), 2 * bed.target_count())};
   engine.add_sink(narrator);
   std::ofstream jsonl_file;
   std::optional<report::JsonlWriter> jsonl_writer;

@@ -11,7 +11,14 @@ std::string default_target_name(std::size_t index) {
 }
 
 tcpip::Ipv4Address default_target_address(std::size_t index) {
-  return tcpip::Ipv4Address::from_octets(10, 1, static_cast<std::uint8_t>(index / 254),
+  // 254 hosts per /24, 256 /24s per second-octet block: 10.1.0.1 through
+  // 10.1.255.254, then 10.2.0.1, ... — ~16.5M distinct defaults. Indices
+  // below 65024 map exactly as they always did (10.1.x.y); the carry into
+  // the second octet is what lets a million-target fleet use defaults
+  // without colliding.
+  const std::size_t subnet = index / 254;
+  return tcpip::Ipv4Address::from_octets(10, static_cast<std::uint8_t>(1 + subnet / 256),
+                                         static_cast<std::uint8_t>(subnet % 256),
                                          static_cast<std::uint8_t>(index % 254 + 1));
 }
 

@@ -86,4 +86,32 @@ void JsonlResultSink::on_survey_end(const core::SurveyEvent& e) {
   if (options_.lifecycle) out_.write(survey_event_json("survey_end", e));
 }
 
+void NarratingSink::on_survey_begin(const core::SurveyEvent& e) {
+  std::fprintf(out_, "survey begins: %zu targets x %d rounds\n", e.targets, e.rounds);
+  if (policy_.every != 0 && policy_.first != 0) {
+    std::fprintf(out_, "completions (first %zu, then every %zu):\n", policy_.first,
+                 policy_.every);
+  } else if (policy_.every != 0) {
+    std::fprintf(out_, "completions (every %zu):\n", policy_.every);
+  } else if (policy_.first != 0) {
+    std::fprintf(out_, "first completions (note the targets interleaving):\n");
+  }
+}
+
+void NarratingSink::on_measurement(const core::MeasurementEvent& e) {
+  if (!tick()) return;
+  std::fprintf(out_, "  t=%8.3fs  %-8.*s %.*s\n", e.at.seconds_f(),
+               static_cast<int>(e.target.size()), e.target.data(),
+               static_cast<int>(e.test.size()), e.test.data());
+}
+
+void NarratingSink::on_survey_end(const core::SurveyEvent& e) {
+  // Deliberately quiet policies ({0,0}) skip the truncation marker too.
+  if (narrated_ < seen_ && (policy_.first != 0 || policy_.every != 0)) {
+    std::fprintf(out_, "  ... (%zu of %zu completions narrated)\n", narrated_, seen_);
+  }
+  std::fprintf(out_, "survey complete: %zu measurements by t=%.1fs\n\n", e.measurements,
+               e.at.seconds_f());
+}
+
 }  // namespace reorder::report

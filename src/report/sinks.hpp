@@ -20,10 +20,77 @@
 // and re-deriving them is exactly what the round-trip test checks.
 #pragma once
 
+#include <cstdio>
+
 #include "core/result_sink.hpp"
 #include "report/jsonl.hpp"
 
 namespace reorder::report {
+
+/// Rate limit for human-facing narration. Per-event output is readable at
+/// 8 targets and unusable at a million, so a policy admits the first
+/// `first` events in full and every `every`-th one after that — counting
+/// ADMITTED-STREAM position, so the sampling cadence is stable however
+/// large the run grows.
+struct NarrationPolicy {
+  /// Events narrated unconditionally, from the start.
+  std::size_t first{16};
+  /// Beyond `first`, narrate every Nth event; 0 = quiet after `first`.
+  std::size_t every{0};
+
+  bool admits(std::size_t n) const {
+    if (n < first) return true;
+    return every != 0 && (n - first) % every == 0;
+  }
+
+  /// The survey_fleet / survey_service default: full narration
+  /// (`full_limit` events, then quiet) for fleets up to 10k targets;
+  /// above that, a short head then roughly one line per 10k events.
+  static NarrationPolicy auto_for(std::size_t targets, std::size_t full_limit) {
+    if (targets <= 10'000) return NarrationPolicy{full_limit, 0};
+    return NarrationPolicy{16, 10'000};
+  }
+
+  /// The --narrate-every flag: negative = auto_for, 0 = fully quiet,
+  /// N >= 1 = every Nth event from the start.
+  static NarrationPolicy from_flag(std::int64_t narrate_every, std::size_t targets,
+                                   std::size_t full_limit) {
+    if (narrate_every < 0) return auto_for(targets, full_limit);
+    if (narrate_every == 0) return NarrationPolicy{0, 0};
+    return NarrationPolicy{0, static_cast<std::size_t>(narrate_every)};
+  }
+};
+
+/// Prints completions as a survey publishes them — mid-run, in event
+/// order — under a NarrationPolicy rate limit. The human-facing
+/// counterpart of JsonlResultSink; the examples attach one of each.
+class NarratingSink final : public core::ResultSink {
+ public:
+  explicit NarratingSink(NarrationPolicy policy, std::FILE* out = stdout)
+      : policy_{policy}, out_{out} {}
+
+  void on_survey_begin(const core::SurveyEvent& e) override;
+  void on_measurement(const core::MeasurementEvent& e) override;
+  void on_survey_end(const core::SurveyEvent& e) override;
+
+  /// Events narrated / seen so far.
+  std::size_t narrated() const { return narrated_; }
+  std::size_t seen() const { return seen_; }
+
+  /// The policy's admit-and-count step, exposed for narrators that are
+  /// not ResultSinks (the service's per-target completion callback).
+  bool tick() {
+    const bool print = policy_.admits(seen_++);
+    if (print) ++narrated_;
+    return print;
+  }
+
+ private:
+  NarrationPolicy policy_;
+  std::FILE* out_;
+  std::size_t seen_{0};
+  std::size_t narrated_{0};
+};
 
 class JsonlResultSink final : public core::ResultSink {
  public:

@@ -1,0 +1,444 @@
+// The resident survey service's headline guarantee, enforced: a fleet
+// admitted continuously — in any order, any batch size, onto any number
+// of work-stealing workers — produces canonical merged JSONL and metric
+// snapshots BYTE-IDENTICAL to the one-shot ShardedSurveyEngine batch run
+// over the same fleet + seed. Plus live mid-run snapshots, checkpoint
+// adoption across service generations, per-target retry/degraded
+// accounting, and plan-error propagation through drain().
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <future>
+#include <numeric>
+#include <random>
+#include <sstream>
+#include <stdexcept>
+#include <thread>
+
+#include "core/checkpoint.hpp"
+#include "core/sharded_survey.hpp"
+#include "service/survey_service.hpp"
+#include "util/fault_injector.hpp"
+
+namespace reorder::service {
+namespace {
+
+using util::Duration;
+
+/// The same heterogeneous nine-target fleet the sharded-survey suite
+/// pins its invariance guarantee on: clean, swapping and lossy paths,
+/// plus a random-IPID host whose dual test is inadmissible.
+std::vector<core::SurveyTargetConfig> nine_targets() {
+  std::vector<core::SurveyTargetConfig> targets;
+  for (int i = 0; i < 9; ++i) {
+    core::SurveyTargetConfig target;
+    target.name = "host-" + std::to_string(i);
+    target.forward.swap_probability = (i % 3) * 0.11;
+    target.reverse.swap_probability = (i % 3) * 0.04;
+    if (i == 4) target.forward.loss_probability = 0.02;
+    target.remote.behavior.immediate_ack_on_hole_fill = true;
+    target.tests = {core::TestSpec{"single-connection"}, core::TestSpec{"syn"}};
+    if (i == 7) {
+      target.remote.ipid_policy = tcpip::IpidPolicy::kRandom;
+      target.tests = {core::TestSpec{"dual-connection"}, core::TestSpec{"syn"}};
+    }
+    targets.push_back(std::move(target));
+  }
+  return targets;
+}
+
+constexpr std::uint64_t kSeed = 7;
+constexpr int kRounds = 2;
+
+core::TestRunConfig quick_run() {
+  core::TestRunConfig run;
+  run.samples = 8;
+  return run;
+}
+
+SurveyServiceConfig service_config(std::size_t workers, bool steal = true) {
+  SurveyServiceConfig cfg;
+  cfg.seed = kSeed;
+  cfg.workers = workers;
+  cfg.steal = steal;
+  cfg.run = quick_run();
+  cfg.rounds = kRounds;
+  cfg.between = Duration::millis(500);
+  return cfg;
+}
+
+std::string canonical_jsonl(SurveyService& service) {
+  std::ostringstream text;
+  report::JsonlWriter writer{text};
+  service.emit_jsonl(writer);
+  return text.str();
+}
+
+std::string canonical_jsonl(const core::ShardedSurveyEngine& engine) {
+  std::ostringstream text;
+  report::JsonlWriter writer{text};
+  engine.emit_jsonl(writer);
+  return text.str();
+}
+
+std::string snapshot_dump(const metrics::MetricEngine& engine) {
+  auto keys = engine.keys();
+  std::sort(keys.begin(), keys.end());
+  std::string out;
+  for (const auto& [target, test] : keys) {
+    out += target + "/" + test + " n=" + std::to_string(engine.measurements(target, test)) +
+           " adm=" + std::to_string(engine.admissible_measurements(target, test)) + " " +
+           engine.suite(target, test)->to_json().dump() + "\n";
+  }
+  return out;
+}
+
+/// The reference everything byte-compares against: the one-shot batch
+/// runtime over the same fleet + seed (its own suite proves this output
+/// shard-count-invariant).
+struct Reference {
+  std::string jsonl;
+  std::string snapshots;
+  core::SurveyEvent end{};
+};
+
+const Reference& batch_reference() {
+  static const Reference ref = [] {
+    core::ShardedSurveyConfig cfg;
+    cfg.fleet.seed = kSeed;
+    cfg.fleet.targets = nine_targets();
+    cfg.shards = 3;
+    cfg.threads = 2;
+    core::ShardedSurveyEngine engine{std::move(cfg)};
+    engine.run(quick_run(), kRounds, Duration::millis(500));
+    Reference out;
+    out.jsonl = canonical_jsonl(engine);
+    out.snapshots = snapshot_dump(engine.metrics());
+    out.end = engine.survey_end();
+    return out;
+  }();
+  return ref;
+}
+
+TEST(SurveyService, MatchesBatchRunByteForByteAcrossWorkerCounts) {
+  const Reference& ref = batch_reference();
+  ASSERT_FALSE(ref.jsonl.empty());
+  for (const std::size_t workers : {1u, 2u, 4u}) {
+    SurveyService service{service_config(workers)};
+    const std::vector<std::size_t> indices = service.admit(nine_targets());
+    ASSERT_EQ(indices.size(), 9u);
+    EXPECT_EQ(indices.front(), 0u);
+    EXPECT_EQ(indices.back(), 8u);
+    service.drain();
+    EXPECT_EQ(canonical_jsonl(service), ref.jsonl) << "workers=" << workers;
+    EXPECT_EQ(snapshot_dump(service.metrics()), ref.snapshots) << "workers=" << workers;
+    EXPECT_EQ(service.survey_end().targets, ref.end.targets);
+    EXPECT_EQ(service.survey_end().at, ref.end.at);
+    EXPECT_EQ(service.survey_end().measurements, ref.end.measurements);
+    EXPECT_FALSE(service.degraded());
+  }
+}
+
+TEST(SurveyService, FifoFallbackProducesTheSameBytes) {
+  SurveyService service{service_config(2, /*steal=*/false)};
+  service.admit(nine_targets());
+  service.drain();
+  EXPECT_EQ(canonical_jsonl(service), batch_reference().jsonl);
+  EXPECT_EQ(service.scheduler_stats().stolen, 0u);
+}
+
+TEST(SurveyService, AdmissionOrderIsInvisibleInTheOutput) {
+  // Shuffled single admissions with explicit global indices: identity is
+  // the index, so the arrival order must not leak into a byte of output.
+  std::mt19937 shuffle_rng{1234};
+  for (int round = 0; round < 3; ++round) {
+    std::vector<std::size_t> order(9);
+    std::iota(order.begin(), order.end(), 0u);
+    std::shuffle(order.begin(), order.end(), shuffle_rng);
+    SurveyService service{service_config(2)};
+    std::vector<core::SurveyTargetConfig> fleet = nine_targets();
+    for (const std::size_t index : order) {
+      EXPECT_EQ(service.admit(fleet[index], index), index);
+    }
+    service.drain();
+    EXPECT_EQ(canonical_jsonl(service), batch_reference().jsonl);
+    EXPECT_EQ(snapshot_dump(service.metrics()), batch_reference().snapshots);
+  }
+}
+
+TEST(SurveyService, BatchSizeIsInvisibleInTheOutput) {
+  for (const std::size_t batch : {1u, 2u, 4u, 9u}) {
+    SurveyService service{service_config(3)};
+    std::vector<core::SurveyTargetConfig> fleet = nine_targets();
+    std::size_t admitted = 0;
+    while (admitted < fleet.size()) {
+      const std::size_t n = std::min(batch, fleet.size() - admitted);
+      std::vector<core::SurveyTargetConfig> chunk;
+      for (std::size_t i = 0; i < n; ++i) chunk.push_back(std::move(fleet[admitted + i]));
+      service.admit(std::move(chunk));
+      admitted += n;
+    }
+    service.drain();
+    EXPECT_EQ(canonical_jsonl(service), batch_reference().jsonl) << "batch=" << batch;
+  }
+}
+
+TEST(SurveyService, DefaultIdentityIsPinnedLikeTheBatchPlanner) {
+  // Targets admitted with identity fields unset get name, address and
+  // seeds from their global index — the same derivation shard_config
+  // applies, so the outputs still byte-match the batch runtime's.
+  const auto strip = [](std::vector<core::SurveyTargetConfig> fleet) {
+    for (auto& target : fleet) target.name.clear();
+    return fleet;
+  };
+  core::ShardedSurveyConfig batch;
+  batch.fleet.seed = kSeed;
+  batch.fleet.targets = strip(nine_targets());
+  batch.shards = 2;
+  batch.threads = 2;
+  core::ShardedSurveyEngine engine{std::move(batch)};
+  engine.run(quick_run(), kRounds, Duration::millis(500));
+
+  SurveyService service{service_config(2)};
+  service.admit(strip(nine_targets()));
+  service.drain();
+  EXPECT_EQ(canonical_jsonl(service), canonical_jsonl(engine));
+  EXPECT_EQ(snapshot_dump(service.metrics()), snapshot_dump(engine.metrics()));
+}
+
+TEST(SurveyService, LiveSnapshotsMidRunDoNotPerturbTheOutput) {
+  SurveyService service{service_config(2)};
+  std::atomic<bool> running{true};
+  std::atomic<std::size_t> snapshots_taken{0};
+  // A reader hammering the live view concurrently with execution: the
+  // fold must neither tear (counts are per-slot-consistent) nor perturb
+  // a single output byte.
+  std::thread reader{[&] {
+    while (running.load()) {
+      const SurveyService::Snapshot snap = service.snapshot();
+      EXPECT_LE(snap.completed, snap.admitted);
+      // Bound against the full fleet, not snap.admitted: the slot fold
+      // happens after the counter reads, so completions that land in
+      // between may show up in measurements first.
+      EXPECT_LE(snap.measurements, 9u * 2u * kRounds);
+      snapshots_taken.fetch_add(1);
+    }
+  }};
+  service.admit(nine_targets());
+  service.drain();
+  running.store(false);
+  reader.join();
+  EXPECT_GT(snapshots_taken.load(), 0u);
+  EXPECT_EQ(canonical_jsonl(service), batch_reference().jsonl);
+
+  const SurveyService::Snapshot final_snap = service.snapshot();
+  EXPECT_EQ(final_snap.admitted, 9u);
+  EXPECT_EQ(final_snap.completed, 9u);
+  EXPECT_EQ(final_snap.in_flight, 0u);
+  EXPECT_EQ(final_snap.measurements, batch_reference().end.measurements);
+  EXPECT_EQ(final_snap.virtual_end, batch_reference().end.at);
+  EXPECT_EQ(snapshot_dump(final_snap.metrics), batch_reference().snapshots);
+}
+
+TEST(SurveyService, SnapshotJsonCarriesTheServiceSchema) {
+  SurveyService service{service_config(2)};
+  service.admit(nine_targets());
+  service.drain();
+  const report::Json j = service.snapshot().to_json();
+  EXPECT_EQ(j.at("type").as_string(), "service_snapshot");
+  EXPECT_EQ(j.at("admitted").as_u64(), 9u);
+  EXPECT_EQ(j.at("completed").as_u64(), 9u);
+  EXPECT_EQ(j.at("failed").as_u64(), 0u);
+  EXPECT_EQ(j.at("in_flight").as_u64(), 0u);
+  EXPECT_EQ(j.at("measurements").as_u64(), batch_reference().end.measurements);
+  EXPECT_EQ(j.at("workers").as_u64(), 2u);
+  EXPECT_FALSE(j.at("degraded").as_bool());
+  EXPECT_TRUE(j.contains("steals"));
+  EXPECT_TRUE(j.contains("steal_attempts"));
+  EXPECT_TRUE(j.contains("jobs_executed"));
+  EXPECT_TRUE(j.contains("metric_keys"));
+  EXPECT_TRUE(j.contains("virtual_end_ns"));
+  // One line of valid JSON — round-trips through the parser.
+  EXPECT_TRUE(report::Json::parse(j.dump()).has_value());
+}
+
+TEST(SurveyService, CheckpointAdoptionAcrossServiceGenerations) {
+  const std::string path = testing::TempDir() + "survey_service_ckpt.jsonl";
+  std::remove(path.c_str());
+  std::vector<core::SurveyTargetConfig> fleet = nine_targets();
+
+  // Generation 1 admits only part of the fleet, drains, and dies.
+  {
+    SurveyServiceConfig cfg = service_config(2);
+    cfg.checkpoint_path = path;
+    SurveyService service{cfg};
+    for (std::size_t i = 0; i < 5; ++i) service.admit(fleet[i], i);
+    service.drain();
+    service.stop();
+  }
+  const core::SurveyCheckpoint recorded = core::SurveyCheckpoint::load(path);
+  EXPECT_EQ(recorded.completed_count(), 5u);
+  ASSERT_TRUE(recorded.header().has_value());
+  EXPECT_EQ(recorded.header()->shards, 0u) << "service checkpoints carry the 0 marker";
+  EXPECT_EQ(recorded.header()->seed, kSeed);
+
+  // Generation 2 restores, admits the WHOLE fleet: recorded targets are
+  // adopted (attempts == 0), the rest execute, and the merged output is
+  // byte-identical to an uninterrupted batch run.
+  {
+    SurveyServiceConfig cfg = service_config(2);
+    cfg.checkpoint_path = path;
+    SurveyService service{cfg};
+    service.restore(core::SurveyCheckpoint::load(path));
+    service.admit(nine_targets());
+    service.drain();
+    EXPECT_EQ(service.attempts(0), 0) << "adopted, not re-run";
+    EXPECT_EQ(service.attempts(8), 1);
+    EXPECT_EQ(canonical_jsonl(service), batch_reference().jsonl);
+    EXPECT_EQ(snapshot_dump(service.metrics()), batch_reference().snapshots);
+    service.stop();
+  }
+  // The new generation's checkpoint re-recorded the adopted targets too.
+  EXPECT_EQ(core::SurveyCheckpoint::load(path).completed_count(), 9u);
+  std::remove(path.c_str());
+}
+
+TEST(SurveyService, RestoreRejectsAMismatchedOrBatchCheckpoint) {
+  core::SurveyCheckpoint wrong_seed;
+  wrong_seed.set_header(core::SurveyCheckpoint::Header{0, 9, kRounds, kSeed + 1});
+  core::SurveyCheckpoint batch_granularity;
+  batch_granularity.set_header(core::SurveyCheckpoint::Header{3, 9, kRounds, kSeed});
+
+  SurveyService service{service_config(1)};
+  EXPECT_THROW(service.restore(wrong_seed), std::invalid_argument);
+  EXPECT_THROW(service.restore(batch_granularity), std::invalid_argument);
+  service.admit(nine_targets()[0], 0);
+  EXPECT_THROW(service.restore(core::SurveyCheckpoint{}), std::logic_error)
+      << "restore must precede admission";
+  service.drain();
+}
+
+TEST(SurveyService, TransientFailuresRetryToTheSameBytes) {
+  util::FaultInjector faults{17};
+  // Target 3's world dies twice before its run and once after (the
+  // completed-but-unharvested class); the third run attempt succeeds.
+  faults.arm({"shard/3/run", util::FaultInjector::Mode::kThrow, 1.0, 2, true});
+  faults.arm({"shard/3/abort", util::FaultInjector::Mode::kShardAbort, 1.0, 1, true});
+
+  SurveyServiceConfig cfg = service_config(2);
+  cfg.engine.faults = &faults;
+  cfg.retry.max_attempts = 5;
+  cfg.retry.initial_backoff = std::chrono::milliseconds(1);
+  SurveyService service{cfg};
+  service.admit(nine_targets());
+  service.drain();
+  EXPECT_EQ(service.attempts(3), 4) << "two pre-run faults + one abort + success";
+  EXPECT_EQ(service.attempts(2), 1);
+  EXPECT_FALSE(service.degraded());
+  // Retries are invisible in the output: same bytes as the fault-free run.
+  EXPECT_EQ(canonical_jsonl(service), batch_reference().jsonl);
+  EXPECT_EQ(snapshot_dump(service.metrics()), batch_reference().snapshots);
+}
+
+TEST(SurveyService, ExhaustedRetriesDegradeWithFullFleetAccounting) {
+  util::FaultInjector faults{17};
+  faults.arm({"shard/4/run", util::FaultInjector::Mode::kThrow, 1.0, 0, true});
+
+  SurveyServiceConfig cfg = service_config(2);
+  cfg.engine.faults = &faults;
+  cfg.retry.max_attempts = 2;
+  cfg.retry.initial_backoff = std::chrono::milliseconds(1);
+  SurveyService service{cfg};
+  service.admit(nine_targets());
+  service.drain();
+
+  EXPECT_TRUE(service.degraded());
+  ASSERT_EQ(service.failed_target_indices().size(), 1u);
+  EXPECT_EQ(service.failed_target_indices()[0], 4u);
+  EXPECT_EQ(service.attempts(4), 2);
+  ASSERT_EQ(service.failure_messages().size(), 1u);
+  EXPECT_NE(service.failure_messages()[0].find("shard/4/run"), std::string::npos);
+  EXPECT_EQ(service.survey_end().targets, 8u) << "participants only";
+  EXPECT_EQ(service.survey_end().failed_shards, 1u);
+
+  const auto manifest = service.participation();
+  ASSERT_EQ(manifest.size(), 9u);
+  for (const auto& [name, participated] : manifest) {
+    EXPECT_EQ(participated, name != "host-4") << name;
+  }
+  // The degraded stream ends with the participation record.
+  const std::string jsonl = canonical_jsonl(service);
+  EXPECT_NE(jsonl.find("\"type\":\"participation\""), std::string::npos);
+  EXPECT_NE(jsonl.find("{\"target\":\"host-4\",\"participated\":false}"), std::string::npos);
+
+  const SurveyService::Snapshot snap = service.snapshot();
+  EXPECT_EQ(snap.failed, 1u);
+  EXPECT_TRUE(snap.degraded);
+}
+
+TEST(SurveyService, PlanErrorsSurfaceAtDrainNotAsDegradation) {
+  SurveyService service{service_config(2)};
+  std::vector<core::SurveyTargetConfig> fleet = nine_targets();
+  core::SurveyTargetConfig typo;
+  typo.name = "typo-host";
+  typo.tests = {core::TestSpec{"no-such-technique"}};
+  service.admit(fleet[0], 0);
+  service.admit(typo, 9);
+  EXPECT_THROW(service.drain(), std::invalid_argument);
+  // The plan error is consumed by the throwing drain; the healthy
+  // target's results remain readable.
+  service.drain();
+  EXPECT_EQ(service.completed(), 1u);
+  EXPECT_EQ(service.metrics().measurements("host-0", "syn"),
+            static_cast<std::uint64_t>(kRounds));
+}
+
+TEST(SurveyService, ResultsAreGatedOnQuiescence) {
+  // A suite factory that blocks the first world until released: while it
+  // holds the worker, the service is demonstrably busy and the merged
+  // accessors must refuse rather than hand out a torn view.
+  std::promise<void> release;
+  std::shared_future<void> released = release.get_future().share();
+  SurveyServiceConfig cfg = service_config(2);
+  cfg.suite_factory = [released](std::string_view target, std::string_view test) {
+    released.wait();
+    return metrics::default_suite(target, test);
+  };
+  SurveyService service{cfg};
+  service.admit(nine_targets()[0], 0);
+  EXPECT_THROW(service.metrics(), std::logic_error);
+  EXPECT_THROW(service.measurements(), std::logic_error);
+  EXPECT_THROW(canonical_jsonl(service), std::logic_error);
+  release.set_value();
+  service.drain();
+  EXPECT_NO_THROW(service.metrics());
+}
+
+TEST(SurveyService, AdmissionRejectsIdentityCollisionsFleetWide) {
+  SurveyService service{service_config(1)};
+  std::vector<core::SurveyTargetConfig> fleet = nine_targets();
+  service.admit(fleet[0], 0);
+  EXPECT_THROW(service.admit(fleet[0], 5), std::invalid_argument) << "duplicate name";
+  core::SurveyTargetConfig clone = fleet[1];
+  clone.name = "unique-name";
+  clone.address = core::default_target_address(0);
+  EXPECT_THROW(service.admit(clone, 6), std::invalid_argument) << "duplicate address";
+  EXPECT_THROW(service.admit(fleet[2], 0), std::invalid_argument) << "duplicate index";
+  service.drain();
+  EXPECT_EQ(service.admitted(), 1u);
+}
+
+TEST(SurveyService, StopRetiresTheServiceButKeepsResultsReadable) {
+  SurveyService service{service_config(2)};
+  service.admit(nine_targets());
+  service.stop();
+  EXPECT_THROW(service.admit(nine_targets()[0]), std::logic_error);
+  EXPECT_EQ(canonical_jsonl(service), batch_reference().jsonl);
+  const SurveyService::Snapshot snap = service.snapshot();
+  EXPECT_EQ(snap.completed, 9u);
+  EXPECT_EQ(snap.workers, 2u) << "scheduler identity preserved across stop";
+  EXPECT_EQ(service.scheduler_stats().executed, 9u);
+}
+
+}  // namespace
+}  // namespace reorder::service
