@@ -1,0 +1,313 @@
+#include "ingest/parallel_pipeline.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <memory>
+#include <thread>
+#include <utility>
+
+namespace reorder::ingest {
+
+ParallelIngestPipeline::ParallelIngestPipeline(ParallelPipelineConfig config)
+    : config_{std::move(config)} {
+  if (config_.shards == 0) config_.shards = 1;
+  if (config_.batch_capacity == 0) config_.batch_capacity = 1;
+  if (config_.ring_batches == 0) config_.ring_batches = 1;
+  suite_factory_ = config_.suite_factory ? config_.suite_factory : &SequenceEngine::default_suite;
+  if (config_.sequences) {
+    sequence_shards_.reserve(config_.shards);
+    for (std::size_t s = 0; s < config_.shards; ++s) sequence_shards_.emplace_back(suite_factory_);
+  }
+  if (config_.monitor) {
+    monitor_shards_.reserve(config_.shards);
+    for (std::size_t s = 0; s < config_.shards; ++s) {
+      monitor_shards_.emplace_back(config_.monitor_config);
+    }
+  }
+}
+
+const ParallelPipelineStats& ParallelIngestPipeline::run(Source source) {
+  const std::size_t n_shards = config_.shards;
+  stats_ = ParallelPipelineStats{};
+  stats_.shards.resize(n_shards);
+
+  // One data ring per shard, plus the return direction: consumers recycle
+  // emptied sub-batches back to the dispatcher's builders, so steady state
+  // allocates nothing. Each ring keeps its SPSC discipline — the
+  // dispatcher thread is the only producer of every data ring and the only
+  // consumer of every free ring.
+  std::vector<std::unique_ptr<SpscRing<ArrivalBatch>>> rings;
+  std::vector<std::unique_ptr<SpscRing<ArrivalBatch>>> free_rings;
+  rings.reserve(n_shards);
+  free_rings.reserve(n_shards);
+  for (std::size_t s = 0; s < n_shards; ++s) {
+    rings.push_back(std::make_unique<SpscRing<ArrivalBatch>>(config_.ring_batches));
+    free_rings.push_back(std::make_unique<SpscRing<ArrivalBatch>>(config_.ring_batches));
+  }
+  std::atomic<bool> done{false};
+
+  struct ConsumerCounters {
+    std::uint64_t arrivals{0};
+    std::uint64_t batches{0};
+  };
+  std::vector<ConsumerCounters> consumed(n_shards);
+
+  const auto started = std::chrono::steady_clock::now();
+
+  std::vector<std::thread> consumers;
+  consumers.reserve(n_shards);
+  for (std::size_t s = 0; s < n_shards; ++s) {
+    consumers.emplace_back([&, s] {
+      SequenceEngine* seq = config_.sequences ? &sequence_shards_[s] : nullptr;
+      monitor::MonitorEngine* mon = config_.monitor ? &monitor_shards_[s] : nullptr;
+      const std::int64_t stall_ns = config_.consumer_stall.ns();
+      ArrivalBatch batch;
+      const auto consume = [&] {
+        if (seq != nullptr) seq->ingest_batch(batch);
+        if (mon != nullptr) mon->ingest_batch(batch);
+        ++consumed[s].batches;
+        consumed[s].arrivals += batch.size();
+        if (stall_ns > 0) {
+          const auto until =
+              std::chrono::steady_clock::now() + std::chrono::nanoseconds{stall_ns};
+          while (std::chrono::steady_clock::now() < until) {
+          }
+        }
+        batch.clear();
+        ArrivalBatch recycled = std::move(batch);
+        free_rings[s]->push_or_drop(recycled);  // full free ring: deallocate
+        batch = std::move(recycled);            // no-op if the push took it
+      };
+      for (;;) {
+        if (rings[s]->try_pop(batch)) {
+          consume();
+          continue;
+        }
+        if (done.load(std::memory_order_acquire)) {
+          // Dispatcher finished: one final drain settles the race between
+          // its last publish and our failed pop.
+          while (rings[s]->try_pop(batch)) consume();
+          break;
+        }
+        std::this_thread::yield();
+      }
+    });
+  }
+
+  // ------------------------------------------- producer + dispatcher stage
+  // Runs on the calling thread: pack the source into parent batches, split
+  // each by flow hash into per-shard builders, ship full sub-batches. One
+  // thread does both so a 1-shard pipeline costs the same two threads as
+  // the single-consumer IngestPipeline (the scaling baseline is honest).
+  {
+    ArrivalBatchBuilder parent_builder{config_.batch_capacity};
+    std::vector<ArrivalBatchBuilder> sub_builders;
+    sub_builders.reserve(n_shards);
+    for (std::size_t s = 0; s < n_shards; ++s) sub_builders.emplace_back(config_.batch_capacity);
+    std::vector<Arrival> scratch(config_.batch_capacity);
+
+    const auto ship_sub = [&](std::size_t s) {
+      ArrivalBatch recycled;
+      while (free_rings[s]->try_pop(recycled)) sub_builders[s].recycle(std::move(recycled));
+      ArrivalBatch sub = sub_builders[s].take();
+      if (sub.empty()) return;
+      const std::size_t fill = sub.size();
+      ++stats_.dispatcher.sub_batches;
+      const std::size_t bucket =
+          std::min<std::size_t>(7, (fill - 1) * 8 / config_.batch_capacity);
+      ++stats_.dispatcher.fill_hist[bucket];
+      ++stats_.shards[s].batches_dispatched;
+      stats_.shards[s].arrivals_dispatched += fill;
+      if (config_.backpressure == Backpressure::kSpin) {
+        rings[s]->push_spin(std::move(sub));
+      } else if (!rings[s]->push_or_drop(sub)) {
+        ++stats_.shards[s].batches_dropped;
+        stats_.shards[s].arrivals_dropped += fill;
+        sub_builders[s].recycle(std::move(sub));
+      }
+    };
+    const auto dispatch = [&](const ArrivalBatch& parent) {
+      ++stats_.dispatcher.parent_batches;
+      const std::uint64_t* flows = parent.flows();
+      const std::uint32_t* send = parent.send_indices();
+      const std::int64_t* at = parent.timestamps_ns();
+      for (std::size_t i = 0; i < parent.size(); ++i) {
+        const std::size_t s = shard_of(flows[i], n_shards);
+        if (sub_builders[s].push(flows[i], send[i], at[i])) ship_sub(s);
+      }
+    };
+
+    for (;;) {
+      const std::size_t n = source(scratch.data(), scratch.size());
+      if (n == 0) break;
+      stats_.arrivals_produced += n;
+      for (std::size_t i = 0; i < n; ++i) {
+        if (parent_builder.push(scratch[i])) {
+          ArrivalBatch parent = parent_builder.take();
+          dispatch(parent);
+          parent.clear();
+          parent_builder.recycle(std::move(parent));
+        }
+      }
+    }
+    if (parent_builder.size() > 0) dispatch(parent_builder.take());
+    // Flush every shard's partial sub-batch, then let the consumers drain.
+    for (std::size_t s = 0; s < n_shards; ++s) ship_sub(s);
+  }
+  done.store(true, std::memory_order_release);
+  for (std::thread& t : consumers) t.join();
+
+  // ------------------------------------------------------------- fold stats
+  std::uint64_t max_dispatched = 0;
+  for (std::size_t s = 0; s < n_shards; ++s) {
+    ShardStats& shard = stats_.shards[s];
+    shard.arrivals_consumed = consumed[s].arrivals;
+    shard.batches_consumed = consumed[s].batches;
+    shard.ring = rings[s]->counters();
+    stats_.arrivals_consumed += shard.arrivals_consumed;
+    stats_.arrivals_dropped += shard.arrivals_dropped;
+    stats_.batches_consumed += shard.batches_consumed;
+    stats_.batches_dropped += shard.batches_dropped;
+    stats_.spin_waits += shard.ring.spin_waits;
+    max_dispatched = std::max(max_dispatched, shard.arrivals_dispatched);
+  }
+  const std::uint64_t dispatched_total = stats_.arrivals_consumed + stats_.arrivals_dropped;
+  if (dispatched_total > 0) {
+    stats_.dispatcher.imbalance_ratio =
+        static_cast<double>(max_dispatched) * static_cast<double>(n_shards) /
+        static_cast<double>(dispatched_total);
+  }
+  stats_.wall_ns = std::chrono::duration_cast<std::chrono::nanoseconds>(
+                       std::chrono::steady_clock::now() - started)
+                       .count();
+  return stats_;
+}
+
+const ParallelPipelineStats& ParallelIngestPipeline::run(const Arrival* arrivals,
+                                                         std::size_t count) {
+  std::size_t next = 0;
+  return run([arrivals, count, next](Arrival* out, std::size_t max) mutable {
+    const std::size_t n = std::min(max, count - next);
+    std::copy(arrivals + next, arrivals + next + n, out);
+    next += n;
+    return n;
+  });
+}
+
+const ParallelPipelineStats& ParallelIngestPipeline::run(const std::vector<Arrival>& arrivals) {
+  return run(arrivals.data(), arrivals.size());
+}
+
+void ParallelIngestPipeline::flush() {
+  for (SequenceEngine& seq : sequence_shards_) seq.flush();
+  for (monitor::MonitorEngine& mon : monitor_shards_) mon.flush();
+}
+
+metrics::MetricSuite ParallelIngestPipeline::merged_sequences() const {
+  // Re-interleave the disjoint shard flow sets into one ascending global
+  // order and replay SequenceEngine::merged()'s exact fold: a fresh
+  // factory suite, merging an end_sequence()'d copy of every flow's suite.
+  std::vector<std::pair<std::uint64_t, const SequenceEngine*>> all;
+  for (const SequenceEngine& seq : sequence_shards_) {
+    for (const std::uint64_t flow : seq.flow_ids()) all.emplace_back(flow, &seq);
+  }
+  std::sort(all.begin(), all.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
+  metrics::MetricSuite out = suite_factory_();
+  for (const auto& [flow, seq] : all) {
+    metrics::MetricSuite copy = seq->flow_suite(flow)->snapshot();
+    copy.end_sequence();
+    out.merge(copy);
+  }
+  return out;
+}
+
+report::Json ParallelIngestPipeline::sequences_json() const {
+  std::uint64_t arrivals = 0;
+  std::uint64_t flows = 0;
+  for (const SequenceEngine& seq : sequence_shards_) {
+    arrivals += seq.arrivals();
+    flows += seq.flow_count();
+  }
+  report::Json j = report::Json::object();
+  j.set("arrivals", arrivals);
+  j.set("flows", flows);
+  j.set("metrics", merged_sequences().to_json());
+  return j;
+}
+
+monitor::MonitorEngine ParallelIngestPipeline::merged_monitor() const {
+  monitor::MonitorEngine out{config_.monitor_config};
+  for (const monitor::MonitorEngine& mon : monitor_shards_) out.merge(mon);
+  return out;
+}
+
+report::Json ParallelIngestPipeline::to_json() const {
+  report::Json j = report::Json::object();
+  j.set("mode", std::string{"parallel"});
+  j.set("shards", static_cast<std::uint64_t>(config_.shards));
+  j.set("backpressure",
+        std::string{config_.backpressure == Backpressure::kSpin ? "spin" : "drop"});
+  j.set("batch_capacity", static_cast<std::uint64_t>(config_.batch_capacity));
+  j.set("ring_batches", static_cast<std::uint64_t>(config_.ring_batches));
+  j.set("arrivals_produced", stats_.arrivals_produced);
+  j.set("arrivals_consumed", stats_.arrivals_consumed);
+  j.set("arrivals_dropped", stats_.arrivals_dropped);
+  j.set("batches_consumed", stats_.batches_consumed);
+  j.set("batches_dropped", stats_.batches_dropped);
+  j.set("spin_waits", stats_.spin_waits);
+  j.set("wall_ns", static_cast<std::uint64_t>(stats_.wall_ns));
+  const double secs = static_cast<double>(stats_.wall_ns) / 1e9;
+  j.set("arrivals_per_sec",
+        secs > 0.0 ? static_cast<double>(stats_.arrivals_consumed) / secs : 0.0);
+
+  report::Json dispatcher = report::Json::object();
+  dispatcher.set("parent_batches", stats_.dispatcher.parent_batches);
+  dispatcher.set("sub_batches", stats_.dispatcher.sub_batches);
+  report::Json hist = report::Json::array();
+  for (const std::uint64_t count : stats_.dispatcher.fill_hist) hist.push(count);
+  dispatcher.set("fill_hist", std::move(hist));
+  dispatcher.set("imbalance_ratio", stats_.dispatcher.imbalance_ratio);
+  j.set("dispatcher", std::move(dispatcher));
+
+  report::Json per_shard = report::Json::array();
+  for (std::size_t s = 0; s < stats_.shards.size(); ++s) {
+    const ShardStats& shard = stats_.shards[s];
+    report::Json item = report::Json::object();
+    item.set("shard", static_cast<std::uint64_t>(s));
+    item.set("arrivals_dispatched", shard.arrivals_dispatched);
+    item.set("arrivals_consumed", shard.arrivals_consumed);
+    item.set("arrivals_dropped", shard.arrivals_dropped);
+    item.set("batches_dispatched", shard.batches_dispatched);
+    item.set("batches_consumed", shard.batches_consumed);
+    item.set("batches_dropped", shard.batches_dropped);
+    report::Json ring = report::Json::object();
+    ring.set("pushed", shard.ring.pushed);
+    ring.set("popped", shard.ring.popped);
+    ring.set("dropped", shard.ring.dropped);
+    ring.set("spin_waits", shard.ring.spin_waits);
+    item.set("ring", std::move(ring));
+    if (config_.sequences) {
+      item.set("sequence_arrivals", sequence_shards_[s].arrivals());
+      item.set("sequence_flows", static_cast<std::uint64_t>(sequence_shards_[s].flow_count()));
+    }
+    if (config_.monitor) {
+      item.set("monitor_arrivals", monitor_shards_[s].arrivals());
+      item.set("monitor_live", monitor_shards_[s].live_flows());
+    }
+    per_shard.push(std::move(item));
+  }
+  j.set("per_shard", std::move(per_shard));
+  return j;
+}
+
+void ParallelIngestPipeline::emit_jsonl(report::JsonlWriter& out) const {
+  report::Json j = report::Json::object();
+  j.set("type", "ingest");
+  const report::Json body = to_json();
+  for (const auto& [key, value] : body.members()) j.set(key, value);
+  out.write(j);
+}
+
+}  // namespace reorder::ingest

@@ -1,0 +1,175 @@
+// Multi-queue parallel ingest: NIC-RSS-style flow-hash sharding of the
+// line-rate path across N consumer cores.
+//
+// The single-consumer IngestPipeline tops out at one core's analytics
+// throughput; here a dispatcher stage splits every produced ArrivalBatch
+// by shard_of(flow) = splitmix64(flow) % shards into per-shard sub-batches
+// (filled through recycled ArrivalBatchBuilders, so steady state stays
+// allocation-free) and feeds N independent SpscRings, each drained by its
+// own consumer thread that owns a private SequenceEngine and/or
+// monitor::MonitorEngine shard.
+//
+// The determinism argument, in full: a flow is pinned to exactly one
+// shard for the pipeline's lifetime, the dispatcher scans parent batches
+// in production order, and each shard's ring is FIFO — so every shard
+// observes its flows' arrivals in exactly the global source order
+// restricted to those flows. Per-flow arrival order is therefore
+// preserved, and since the sequence metrics and monitor detectors keep
+// only per-flow state (plus order-independent integer totals), the
+// cross-shard folds — merged_sequences() interleaving all shards' flows
+// back into ascending-flow-id order, merged_monitor() summing detector
+// totals and table counters — are BIT-IDENTICAL to the single-consumer
+// pipeline and to the scalar recurrence. (For the monitor this holds
+// whenever no shard evicts, i.e. the table is provisioned for its live
+// flows — the same boundary MonitorEngine::merge documents.)
+// tests/parallel_ingest_test.cpp enforces the identity differentially
+// over every scenario for shards in {1,2,4,8}, misaligned batch
+// capacities and both backpressure policies.
+//
+// Observability: per-shard ring/engine counters plus dispatcher stats —
+// sub-batch fill histogram (capacity eighths) and the flow-imbalance
+// ratio (max shard arrivals / mean) — all land in the {"type":"ingest"}
+// JSONL record. Conservation holds across all shards:
+// consumed + dropped == produced.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "ingest/arrival_batch.hpp"
+#include "ingest/pipeline.hpp"
+#include "ingest/spsc_ring.hpp"
+#include "metrics/metric.hpp"
+#include "monitor/engine.hpp"
+#include "report/jsonl.hpp"
+#include "util/shard_seeder.hpp"
+#include "util/time.hpp"
+
+namespace reorder::ingest {
+
+/// Which consumer shard owns `flow`. splitmix64 avalanches the id first so
+/// structured flow spaces (sequential ids, (target,test) hashes) spread
+/// evenly; the modulo then pins the flow to one queue — the software
+/// restatement of NIC receive-side scaling's hash-to-queue indirection.
+inline std::size_t shard_of(std::uint64_t flow, std::size_t shards) {
+  return static_cast<std::size_t>(util::splitmix64(flow) % shards);
+}
+
+struct ParallelPipelineConfig {
+  /// Consumer shard count (>= 1; clamped). shards == 1 is the degenerate
+  /// single-queue pipeline, kept as the scaling baseline.
+  std::size_t shards{1};
+  /// Arrivals per batch — the grain of both parent and sub-batches.
+  std::size_t batch_capacity{1024};
+  /// Per-shard ring capacity in batches; rounded up to a power of two.
+  std::size_t ring_batches{64};
+  Backpressure backpressure{Backpressure::kSpin};
+  /// Saturation knob: every consumer busy-waits this long per batch,
+  /// forcing the dispatcher into its backpressure policy.
+  util::Duration consumer_stall{util::Duration::nanos(0)};
+  /// Exact per-flow sequence metrics on every shard (suite_factory, or
+  /// SequenceEngine::default_suite when empty; the factory must be safe to
+  /// invoke concurrently from the consumer threads).
+  bool sequences{true};
+  SequenceEngine::SuiteFactory suite_factory{};
+  /// Bounded always-on monitor shard on every consumer.
+  bool monitor{false};
+  monitor::MonitorConfig monitor_config{};
+};
+
+/// One shard's transfer/consumption accounting.
+struct ShardStats {
+  std::uint64_t arrivals_dispatched{0};  ///< routed into this shard's ring
+  std::uint64_t arrivals_consumed{0};
+  std::uint64_t arrivals_dropped{0};  ///< shed whole sub-batches (kDrop)
+  std::uint64_t batches_dispatched{0};
+  std::uint64_t batches_consumed{0};
+  std::uint64_t batches_dropped{0};
+  SpscRingCounters ring{};  ///< this shard's data ring, post-quiescence
+};
+
+/// The dispatcher stage's own accounting.
+struct DispatcherStats {
+  std::uint64_t parent_batches{0};  ///< batches split (incl. final partial)
+  std::uint64_t sub_batches{0};     ///< sub-batches shipped to shard rings
+  /// Shipped sub-batch fill in capacity eighths: bucket 7 is full batches;
+  /// a dispatcher that ships mostly-empty sub-batches (over-sharded, or
+  /// flow-starved) shows up on the left of this histogram.
+  std::array<std::uint64_t, 8> fill_hist{};
+  /// max shard arrivals / (total / shards); 1.0 is a perfect split, 0 when
+  /// nothing was dispatched. The RSS hash-quality number.
+  double imbalance_ratio{0.0};
+};
+
+/// Whole-run accounting. Conservation across all shards:
+/// arrivals_consumed + arrivals_dropped == arrivals_produced.
+struct ParallelPipelineStats {
+  std::uint64_t arrivals_produced{0};
+  std::uint64_t arrivals_consumed{0};
+  std::uint64_t arrivals_dropped{0};
+  std::uint64_t batches_consumed{0};
+  std::uint64_t batches_dropped{0};
+  std::uint64_t spin_waits{0};  ///< dispatcher spin rounds, all shard rings
+  std::int64_t wall_ns{0};      ///< run() entry -> all consumers joined
+  DispatcherStats dispatcher{};
+  std::vector<ShardStats> shards{};
+};
+
+class ParallelIngestPipeline {
+ public:
+  using Source = IngestPipeline::Source;
+
+  explicit ParallelIngestPipeline(ParallelPipelineConfig config);
+
+  /// Runs the dispatcher stage on the calling thread and one consumer
+  /// thread per shard until `source` is exhausted and every ring is
+  /// drained; returns the run's stats. The shard engines accumulate across
+  /// run() calls (replay-style drivers call run repeatedly, then flush()).
+  const ParallelPipelineStats& run(Source source);
+  const ParallelPipelineStats& run(const Arrival* arrivals, std::size_t count);
+  const ParallelPipelineStats& run(const std::vector<Arrival>& arrivals);
+
+  std::size_t shards() const { return config_.shards; }
+  const ParallelPipelineStats& stats() const { return stats_; }
+
+  bool has_sequences() const { return config_.sequences; }
+  bool has_monitor() const { return config_.monitor; }
+  SequenceEngine& shard_sequences(std::size_t shard) { return sequence_shards_[shard]; }
+  const SequenceEngine& shard_sequences(std::size_t shard) const {
+    return sequence_shards_[shard];
+  }
+  monitor::MonitorEngine& shard_monitor(std::size_t shard) { return monitor_shards_[shard]; }
+  const monitor::MonitorEngine& shard_monitor(std::size_t shard) const {
+    return monitor_shards_[shard];
+  }
+
+  /// Closes every shard engine's open flows (the scalar engines' flush()).
+  void flush();
+
+  /// The cross-shard fold of every flow's sequence suite, re-interleaved
+  /// into ascending global flow-id order — the exact fold
+  /// SequenceEngine::merged() performs on a single engine, so the bytes
+  /// match the single-consumer pipeline's.
+  metrics::MetricSuite merged_sequences() const;
+  /// {"arrivals":..,"flows":..,"metrics":{..}} — byte-identical to the
+  /// single consumer's SequenceEngine::to_json().
+  report::Json sequences_json() const;
+  /// All monitor shards folded into one engine via MonitorEngine::merge —
+  /// byte-identical to the single engine when no shard evicted.
+  monitor::MonitorEngine merged_monitor() const;
+
+  /// The extended {"type":"ingest"} body: run totals, dispatcher stats
+  /// (fill histogram, imbalance ratio) and the per-shard counter array.
+  report::Json to_json() const;
+  void emit_jsonl(report::JsonlWriter& out) const;
+
+ private:
+  ParallelPipelineConfig config_;
+  SequenceEngine::SuiteFactory suite_factory_;
+  std::vector<SequenceEngine> sequence_shards_;
+  std::vector<monitor::MonitorEngine> monitor_shards_;
+  ParallelPipelineStats stats_;
+};
+
+}  // namespace reorder::ingest

@@ -85,6 +85,19 @@ metrics::MetricSuite SequenceEngine::merged() const {
   return out;
 }
 
+std::vector<std::uint64_t> SequenceEngine::flow_ids() const {
+  std::vector<std::uint64_t> ids;
+  ids.reserve(flows_.size());
+  for (const auto& [flow, suite] : flows_) ids.push_back(flow);
+  std::sort(ids.begin(), ids.end());
+  return ids;
+}
+
+const metrics::MetricSuite* SequenceEngine::flow_suite(std::uint64_t flow) const {
+  const auto it = flows_.find(flow);
+  return it == flows_.end() ? nullptr : &it->second;
+}
+
 report::Json SequenceEngine::to_json() const {
   report::Json j = report::Json::object();
   j.set("arrivals", arrivals_);

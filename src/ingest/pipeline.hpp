@@ -74,6 +74,15 @@ class SequenceEngine {
   /// ascending flow-id order (deterministic bytes).
   metrics::MetricSuite merged() const;
 
+  /// Every live flow id, ascending — merged()'s fold order, exposed so the
+  /// parallel pipeline can interleave N disjoint shards into the same
+  /// global order (the bit-identity argument needs the fold sequence, not
+  /// just the per-flow states, to match the single engine's).
+  std::vector<std::uint64_t> flow_ids() const;
+  /// The flow's live suite, or nullptr; no insertion.
+  const metrics::MetricSuite* flow_suite(std::uint64_t flow) const;
+  const SuiteFactory& factory() const { return factory_; }
+
   /// {"arrivals":..,"flows":..,"metrics":{<merged suite>}}
   report::Json to_json() const;
 

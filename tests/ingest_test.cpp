@@ -19,6 +19,7 @@
 //     record; a saturated kSpin pipeline loses nothing and counts spins.
 #include <gtest/gtest.h>
 
+#include <chrono>
 #include <memory>
 #include <sstream>
 #include <string>
@@ -169,6 +170,44 @@ TEST(SpscRing, ThreadedStreamArrivesIntactThroughTinyRing) {
   EXPECT_EQ(c.pushed, kCount);
   EXPECT_EQ(c.popped, kCount);
   EXPECT_EQ(c.dropped, 0u);
+}
+
+TEST(SpscRing, SpinBackoffStaysLosslessUnderSaturation) {
+  // push_spin's exponential backoff (pause bursts, then scheduler
+  // yields) changes how the producer waits, never whether delivery is
+  // lossless or ordered. A 2-slot ring against a consumer that stalls
+  // every 64 pops keeps the ring saturated, so the producer rides the
+  // whole backoff ladder; spin_waits must still count the contention.
+  constexpr std::uint64_t kCount = 50'000;
+  SpscRing<std::uint64_t> ring{2};
+  std::uint64_t popped = 0;
+  bool ordered = true;
+  std::thread consumer{[&] {
+    std::uint64_t v = 0;
+    while (popped < kCount) {
+      if (ring.try_pop(v)) {
+        ordered = ordered && v == popped;
+        ++popped;
+        if ((popped & 63u) == 0) {
+          const auto until =
+              std::chrono::steady_clock::now() + std::chrono::microseconds{50};
+          while (std::chrono::steady_clock::now() < until) {
+          }
+        }
+      } else {
+        std::this_thread::yield();
+      }
+    }
+  }};
+  for (std::uint64_t i = 0; i < kCount; ++i) ring.push_spin(i);
+  consumer.join();
+  EXPECT_TRUE(ordered);
+  EXPECT_EQ(popped, kCount);
+  const SpscRingCounters c = ring.counters();
+  EXPECT_EQ(c.pushed, kCount);
+  EXPECT_EQ(c.popped, kCount);
+  EXPECT_EQ(c.dropped, 0u);
+  EXPECT_GT(c.spin_waits, 0u);  // the ladder was climbed, and counted
 }
 
 // -------------------------------------------------------- ArrivalBatch

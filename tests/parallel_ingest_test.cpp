@@ -1,0 +1,327 @@
+// The multi-queue parallel ingest pipeline's contracts, enforced:
+//
+//   * flow -> shard stability: shard_of is a pure function, so the same
+//     flow never crosses shards — every flow lands in exactly one shard's
+//     engine, and that shard is the one the hash names;
+//   * sub-batch conservation: the dispatcher neither invents nor loses
+//     lanes — per-shard dispatched arrivals sum to the produced stream,
+//     the fill histogram accounts for every shipped sub-batch, and each
+//     consumer's engine saw exactly what its ring delivered;
+//   * THE tentpole invariant: the folded snapshots/JSONL of the sharded
+//     pipeline are byte-identical to the single-consumer pipeline and the
+//     scalar recurrence, over every scenario in the library, for shards
+//     in {1,2,4,8}, misaligned batch capacities and both backpressure
+//     policies — sharding buys cores, never a different answer;
+//   * a 200k-arrival threaded run through 4 shards (small rings, constant
+//     wrap-around) arrives intact — under the TSAN CI job this is the
+//     proof of the dispatcher/consumer fence pairing;
+//   * saturation is observable per shard: a stalled kDrop run sheds whole
+//     sub-batches and surfaces conservation (consumed + dropped ==
+//     produced) and per-shard ring counters in the JSONL record.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <set>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "core/scenario.hpp"
+#include "ingest/parallel_pipeline.hpp"
+#include "ingest/pipeline.hpp"
+#include "monitor/differential.hpp"
+#include "monitor/engine.hpp"
+#include "report/jsonl.hpp"
+#include "util/random.hpp"
+
+namespace reorder::ingest {
+namespace {
+
+// Small but structured multi-flow traffic for the equivalence matrix
+// (mirrors ingest_test.cpp's grid).
+monitor::TrafficOptions small_traffic() {
+  monitor::TrafficOptions opt;
+  opt.flows = 6;
+  opt.packets_per_flow = 64;
+  opt.evade_displacement = 20;
+  opt.flood_flows = 192;
+  opt.flood_packets = 8;
+  opt.flood_active = 24;
+  opt.coalesce_frames = 12;
+  return opt;
+}
+
+ParallelPipelineConfig base_config(std::size_t shards, std::size_t batch_capacity,
+                                   Backpressure policy) {
+  ParallelPipelineConfig cfg;
+  cfg.shards = shards;
+  cfg.batch_capacity = batch_capacity;
+  cfg.ring_batches = 64;
+  cfg.backpressure = policy;
+  return cfg;
+}
+
+// ------------------------------------------------------ flow -> shard
+
+TEST(ParallelIngest, FlowNeverCrossesShards) {
+  // Property: after a full run, every flow lives in exactly one shard's
+  // engine, and that shard is shard_of(flow, shards) — the pinning that
+  // makes per-flow order (and thus the folded snapshot) deterministic.
+  const std::vector<Arrival> arrivals =
+      from_monitor(monitor::scenario_arrivals("flood-flows", 7, small_traffic()));
+  for (const std::size_t shards : {std::size_t{1}, std::size_t{2}, std::size_t{4},
+                                   std::size_t{8}}) {
+    ParallelIngestPipeline pipeline{base_config(shards, 43, Backpressure::kSpin)};
+    pipeline.run(arrivals);
+    pipeline.flush();
+    std::set<std::uint64_t> seen;
+    for (std::size_t s = 0; s < shards; ++s) {
+      for (const std::uint64_t flow : pipeline.shard_sequences(s).flow_ids()) {
+        EXPECT_EQ(shard_of(flow, shards), s) << "flow " << flow << " on wrong shard";
+        EXPECT_TRUE(seen.insert(flow).second) << "flow " << flow << " on two shards";
+      }
+    }
+    std::set<std::uint64_t> expected;
+    for (const Arrival& a : arrivals) expected.insert(a.flow);
+    EXPECT_EQ(seen, expected);
+  }
+}
+
+TEST(ParallelIngest, SubBatchConservation) {
+  // The dispatcher splits parent batches into per-shard sub-batches; the
+  // lanes must be conserved: per-shard dispatched arrivals sum to the
+  // produced stream, every shipped sub-batch lands in the fill histogram,
+  // and each shard's engine observed exactly its dispatched arrivals.
+  const std::vector<Arrival> arrivals =
+      from_monitor(monitor::scenario_arrivals("interrupt-coalescing", 11, small_traffic()));
+  ParallelIngestPipeline pipeline{base_config(4, 37, Backpressure::kSpin)};
+  const ParallelPipelineStats& stats = pipeline.run(arrivals);
+  pipeline.flush();
+
+  EXPECT_EQ(stats.arrivals_produced, arrivals.size());
+  std::uint64_t dispatched = 0;
+  std::uint64_t batches = 0;
+  for (std::size_t s = 0; s < 4; ++s) {
+    const ShardStats& shard = stats.shards[s];
+    dispatched += shard.arrivals_dispatched;
+    batches += shard.batches_dispatched;
+    EXPECT_EQ(shard.arrivals_consumed, shard.arrivals_dispatched) << s;  // kSpin: lossless
+    EXPECT_EQ(shard.arrivals_dropped, 0u) << s;
+    EXPECT_EQ(pipeline.shard_sequences(s).arrivals(), shard.arrivals_consumed) << s;
+    EXPECT_EQ(shard.ring.pushed, shard.batches_dispatched) << s;
+    EXPECT_EQ(shard.ring.popped, shard.batches_consumed) << s;
+  }
+  EXPECT_EQ(dispatched, arrivals.size());
+  EXPECT_EQ(stats.arrivals_consumed + stats.arrivals_dropped, stats.arrivals_produced);
+  EXPECT_EQ(batches, stats.dispatcher.sub_batches);
+  std::uint64_t hist_total = 0;
+  for (const std::uint64_t bucket : stats.dispatcher.fill_hist) hist_total += bucket;
+  EXPECT_EQ(hist_total, stats.dispatcher.sub_batches);
+  EXPECT_GE(stats.dispatcher.imbalance_ratio, 1.0);
+  EXPECT_GT(stats.dispatcher.parent_batches, 0u);
+
+  // Every input flow surfaced in exactly one shard, none invented.
+  std::set<std::uint64_t> want;
+  for (const Arrival& a : arrivals) want.insert(a.flow);
+  std::set<std::uint64_t> got;
+  for (std::size_t s = 0; s < 4; ++s) {
+    for (const std::uint64_t flow : pipeline.shard_sequences(s).flow_ids()) {
+      ASSERT_NE(pipeline.shard_sequences(s).flow_suite(flow), nullptr);
+      EXPECT_TRUE(got.insert(flow).second) << flow;
+    }
+  }
+  EXPECT_EQ(got, want);
+}
+
+// --------------------------------------- folded == single == scalar
+
+TEST(ParallelIngest, FoldedSnapshotsBitIdenticalOverEveryScenarioShardsAndPolicies) {
+  // THE tentpole: for every scenario, the parallel pipeline's folded
+  // sequence/monitor snapshots (and their JSONL bytes) must equal the
+  // scalar recurrence's and the single-consumer pipeline's, for shards in
+  // {1,2,4,8} x both backpressure policies, at a misaligned batch
+  // capacity so flow runs split across sub-batch boundaries. The monitor
+  // table is provisioned for the scenario's live flows (no eviction), the
+  // boundary MonitorEngine::merge documents.
+  monitor::MonitorConfig mon_cfg;
+  mon_cfg.table.slots = 4096;
+  for (const std::string& scenario : core::scenarios::names()) {
+    const std::vector<Arrival> arrivals =
+        from_monitor(monitor::scenario_arrivals(scenario, 31, small_traffic()));
+
+    // Scalar reference: per-arrival observe/ingest, no threads.
+    SequenceEngine seq_scalar;
+    monitor::MonitorEngine mon_scalar{mon_cfg};
+    for (const Arrival& a : arrivals) {
+      seq_scalar.observe(a.flow, a.send_index);
+      mon_scalar.ingest(a.flow, a.send_index);
+    }
+    seq_scalar.flush();
+    mon_scalar.flush();
+    ASSERT_EQ(mon_scalar.table().counters().evictions, 0u) << scenario;
+    const std::string seq_want = seq_scalar.to_json().dump();
+    const std::string mon_want = mon_scalar.to_json().dump();
+
+    // Single-consumer pipeline reference (threaded, one queue).
+    {
+      SequenceEngine seq_single;
+      monitor::MonitorEngine mon_single{mon_cfg};
+      PipelineConfig cfg;
+      cfg.batch_capacity = 43;
+      cfg.ring_batches = 64;
+      IngestPipeline single{cfg, &seq_single, &mon_single};
+      single.run(arrivals);
+      seq_single.flush();
+      mon_single.flush();
+      ASSERT_EQ(seq_single.to_json().dump(), seq_want) << scenario;
+      ASSERT_EQ(mon_single.to_json().dump(), mon_want) << scenario;
+    }
+
+    for (const std::size_t shards : {std::size_t{1}, std::size_t{2}, std::size_t{4},
+                                     std::size_t{8}}) {
+      for (const Backpressure policy : {Backpressure::kSpin, Backpressure::kDrop}) {
+        // 64-deep rings hold the whole stream, so kDrop cannot actually
+        // shed here — both policies must land on identical bytes.
+        ParallelPipelineConfig cfg = base_config(shards, 43, policy);
+        cfg.monitor = true;
+        cfg.monitor_config = mon_cfg;
+        ParallelIngestPipeline pipeline{cfg};
+        const ParallelPipelineStats& stats = pipeline.run(arrivals);
+        pipeline.flush();
+        ASSERT_EQ(stats.arrivals_dropped, 0u) << scenario << " shards " << shards;
+        ASSERT_EQ(stats.arrivals_consumed, arrivals.size()) << scenario;
+        ASSERT_EQ(pipeline.sequences_json().dump(), seq_want)
+            << scenario << " shards " << shards;
+        ASSERT_EQ(pipeline.merged_monitor().to_json().dump(), mon_want)
+            << scenario << " shards " << shards;
+
+        std::ostringstream want_jsonl, got_jsonl;
+        report::JsonlWriter ww{want_jsonl}, wg{got_jsonl};
+        mon_scalar.emit_jsonl(ww);
+        pipeline.merged_monitor().emit_jsonl(wg);
+        ASSERT_EQ(got_jsonl.str(), want_jsonl.str()) << scenario << " shards " << shards;
+      }
+    }
+  }
+}
+
+TEST(ParallelIngest, MisalignedCapacitiesAgree) {
+  // Different (misaligned) batch capacities change every sub-batch
+  // boundary; the folded bytes must not move.
+  const std::vector<Arrival> arrivals =
+      from_monitor(monitor::scenario_arrivals("evade-window", 13, small_traffic()));
+  std::string want;
+  for (const std::size_t capacity : {std::size_t{7}, std::size_t{43}, std::size_t{64},
+                                     std::size_t{1024}}) {
+    ParallelIngestPipeline pipeline{base_config(4, capacity, Backpressure::kSpin)};
+    pipeline.run(arrivals);
+    pipeline.flush();
+    const std::string got = pipeline.sequences_json().dump();
+    if (want.empty()) {
+      want = got;
+    } else {
+      EXPECT_EQ(got, want) << "capacity " << capacity;
+    }
+  }
+}
+
+TEST(ParallelIngest, ThreadedStreamOf200kArrivalsThroughFourShards) {
+  // The TSAN proof for the sharded path: 200k arrivals over 64 flows
+  // through 4 consumer threads behind small rings (constant wrap-around
+  // and backpressure), bit-exact with the scalar recurrence.
+  constexpr std::size_t kFlows = 64;
+  constexpr std::size_t kCount = 200'000;
+  std::vector<Arrival> arrivals;
+  arrivals.reserve(kCount);
+  std::vector<std::uint32_t> next(kFlows, 0);
+  util::Rng rng{99};
+  for (std::size_t i = 0; i < kCount; ++i) {
+    const std::size_t f = static_cast<std::size_t>(rng.below(kFlows));
+    arrivals.push_back(Arrival{f + 1, next[f]++, static_cast<std::int64_t>(i)});
+  }
+
+  SequenceEngine scalar;
+  for (const Arrival& a : arrivals) scalar.observe(a.flow, a.send_index);
+  scalar.flush();
+
+  ParallelPipelineConfig cfg = base_config(4, 64, Backpressure::kSpin);
+  cfg.ring_batches = 4;  // tiny rings: the fences earn their keep
+  ParallelIngestPipeline pipeline{cfg};
+  const ParallelPipelineStats& stats = pipeline.run(arrivals);
+  pipeline.flush();
+
+  EXPECT_EQ(stats.arrivals_produced, kCount);
+  EXPECT_EQ(stats.arrivals_consumed, kCount);
+  EXPECT_EQ(stats.arrivals_dropped, 0u);
+  std::uint64_t engine_total = 0;
+  for (std::size_t s = 0; s < 4; ++s) engine_total += pipeline.shard_sequences(s).arrivals();
+  EXPECT_EQ(engine_total, kCount);
+  EXPECT_EQ(pipeline.sequences_json().dump(), scalar.to_json().dump());
+}
+
+// ------------------------------------------------- saturation + JSONL
+
+TEST(ParallelIngest, DropPolicyShedsPerShardAndSurfacesCountersInJsonl) {
+  // Deterministic saturation: 1-arrival sub-batches, 1-slot rings, and
+  // consumers stalling 1ms per batch while the dispatcher streams 1000
+  // arrivals in microseconds — shard rings MUST overflow. Conservation
+  // must hold across all shards and every counter must land in the
+  // {"type":"ingest"} record.
+  std::vector<Arrival> arrivals;
+  for (std::uint32_t i = 0; i < 1000; ++i) {
+    arrivals.push_back(Arrival{(i % 8) + 1, i / 8, 0});
+  }
+  ParallelPipelineConfig cfg = base_config(2, 1, Backpressure::kDrop);
+  cfg.ring_batches = 1;
+  cfg.consumer_stall = util::Duration::millis(1);
+  ParallelIngestPipeline pipeline{cfg};
+  const ParallelPipelineStats& stats = pipeline.run(arrivals);
+  pipeline.flush();
+
+  EXPECT_EQ(stats.arrivals_produced, 1000u);
+  EXPECT_GT(stats.arrivals_dropped, 0u);
+  EXPECT_EQ(stats.arrivals_consumed + stats.arrivals_dropped, stats.arrivals_produced);
+  std::uint64_t consumed = 0, dropped = 0;
+  for (const ShardStats& shard : stats.shards) {
+    EXPECT_EQ(shard.arrivals_consumed + shard.arrivals_dropped, shard.arrivals_dispatched);
+    EXPECT_EQ(shard.ring.pushed + shard.ring.dropped,
+              shard.batches_dispatched);
+    consumed += shard.arrivals_consumed;
+    dropped += shard.arrivals_dropped;
+  }
+  EXPECT_EQ(consumed, stats.arrivals_consumed);
+  EXPECT_EQ(dropped, stats.arrivals_dropped);
+
+  const report::Json j = pipeline.to_json();
+  ASSERT_NE(j.find("per_shard"), nullptr);
+  ASSERT_NE(j.find("dispatcher"), nullptr);
+  EXPECT_EQ(j.find("shards")->dump(), "2");
+  std::ostringstream jsonl;
+  report::JsonlWriter writer{jsonl};
+  pipeline.emit_jsonl(writer);
+  const std::string line = jsonl.str();
+  EXPECT_NE(line.find("\"type\":\"ingest\""), std::string::npos);
+  EXPECT_NE(line.find("\"mode\":\"parallel\""), std::string::npos);
+  EXPECT_NE(line.find("\"per_shard\":["), std::string::npos);
+  EXPECT_NE(line.find("\"fill_hist\":["), std::string::npos);
+  EXPECT_NE(line.find("\"imbalance_ratio\":"), std::string::npos);
+  EXPECT_NE(line.find("\"arrivals_dropped\":" + std::to_string(stats.arrivals_dropped)),
+            std::string::npos);
+}
+
+TEST(ParallelIngest, SpinPolicyLosesNothingUnderTheSameSaturation) {
+  std::vector<Arrival> arrivals;
+  for (std::uint32_t i = 0; i < 64; ++i) arrivals.push_back(Arrival{(i % 4) + 1, i / 4, 0});
+  ParallelPipelineConfig cfg = base_config(2, 1, Backpressure::kSpin);
+  cfg.ring_batches = 1;
+  cfg.consumer_stall = util::Duration::micros(200);
+  ParallelIngestPipeline pipeline{cfg};
+  const ParallelPipelineStats& stats = pipeline.run(arrivals);
+  EXPECT_EQ(stats.arrivals_produced, 64u);
+  EXPECT_EQ(stats.arrivals_consumed, 64u);
+  EXPECT_EQ(stats.arrivals_dropped, 0u);
+  EXPECT_GT(stats.spin_waits, 0u);  // the dispatcher did wait
+}
+
+}  // namespace
+}  // namespace reorder::ingest
